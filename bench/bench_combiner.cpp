@@ -1,0 +1,125 @@
+// E14 — diode-OR input vs per-source conditioning.
+//
+// Survey Sec. III.1: most surveyed boards put one conditioning circuit per
+// source on the power unit; the cheapest commercial boards (EH-Link class)
+// instead OR their sources through diodes into a single input, so only the
+// highest-voltage source conducts at any moment. This bench runs the same
+// three indoor sources both ways through identical weather and measures the
+// cost of the shared input — the quantitative argument for the per-module
+// architectures the survey highlights.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/table.hpp"
+#include "env/environment.hpp"
+#include "harvest/combiner.hpp"
+#include "harvest/transducers.hpp"
+#include "power/chain.hpp"
+#include "power/converter.hpp"
+#include "power/mppt.hpp"
+#include "storage/supercapacitor.hpp"
+#include "systems/platform.hpp"
+#include "systems/runner.hpp"
+
+using namespace msehsim;
+
+namespace {
+
+power::Converter wide_frontend(std::string name) {
+  power::Converter::Params cp;
+  cp.topology = power::Topology::kBuckBoost;
+  cp.peak_efficiency = 0.85;
+  cp.rated_power = Watts{20e-3};
+  cp.quiescent_current = Amps{0.5e-6};
+  cp.min_input = Volts{0.05};
+  cp.max_input = Volts{20.0};
+  return power::Converter(std::move(name), cp);
+}
+
+std::unique_ptr<harvest::Harvester> make_source(int which, const char* tag) {
+  switch (which) {
+    case 0: {
+      harvest::PvPanel::Params p;
+      p.indoor = true;
+      return std::make_unique<harvest::PvPanel>(std::string("pv.") + tag, p);
+    }
+    case 1: {
+      harvest::Teg::Params p;
+      p.seebeck_per_kelvin = Volts{0.025};
+      p.internal_resistance = Ohms{10.0};
+      return std::make_unique<harvest::Teg>(std::string("teg.") + tag, p);
+    }
+    default:
+      return std::make_unique<harvest::VibrationHarvester>(
+          harvest::VibrationHarvester::piezo(std::string("pz.") + tag));
+  }
+}
+
+std::unique_ptr<systems::Platform> build(bool or_combined) {
+  systems::PlatformSpec spec;
+  spec.name = or_combined ? "diode-OR input" : "per-source chains";
+  spec.quiescent_current = Amps{5e-6};
+  auto p = std::make_unique<systems::Platform>(spec);
+  const Seconds period{5.0};
+  if (or_combined) {
+    std::vector<std::unique_ptr<harvest::Harvester>> sources;
+    for (int i = 0; i < 3; ++i) sources.push_back(make_source(i, "or"));
+    p->add_input(std::make_unique<power::InputChain>(
+        std::make_unique<harvest::DiodeOrCombiner>("or", std::move(sources)),
+        std::make_unique<power::PerturbObserve>(), wide_frontend("fe"), period));
+  } else {
+    for (int i = 0; i < 3; ++i)
+      p->add_input(std::make_unique<power::InputChain>(
+          make_source(i, "sep"), std::make_unique<power::PerturbObserve>(),
+          wide_frontend("fe." + std::to_string(i)), period));
+  }
+  storage::Supercapacitor::Params sc;
+  sc.main_capacitance = Farads{10.0};
+  sc.initial_voltage = Volts{3.0};
+  p->add_storage(std::make_unique<storage::Supercapacitor>("sc", sc), 0);
+  p->set_output(
+      power::OutputChain(power::Converter::smart_buck_boost("out"), Volts{2.5}));
+  node::WorkloadParams work;
+  work.task_period = Seconds{120.0};
+  p->set_node(std::make_unique<node::SensorNode>("node", node::McuParams{},
+                                                 node::RadioParams{}, work));
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kSeed = 2013;
+  constexpr double kDay = 86400.0;
+
+  std::printf("E14 — diode-OR input vs per-source conditioning\n");
+  std::printf("same three indoor sources, one week, identical weather\n\n");
+
+  TextTable t({"architecture", "inputs", "harvested/day", "packets/day",
+               "avail %"});
+  double harvested[2] = {};
+  for (int arch = 0; arch < 2; ++arch) {
+    const bool or_combined = arch == 0;
+    auto platform = build(or_combined);
+    auto environment = env::Environment::indoor_industrial(kSeed);
+    systems::RunOptions options;
+    options.dt = Seconds{5.0};
+    const auto r = run_platform(*platform, environment, Seconds{7 * kDay}, options);
+    harvested[arch] = r.harvested.value() / 7.0;
+    t.add_row({or_combined ? "diode-OR (EH-Link class)" : "per-source chains",
+               or_combined ? "1" : "3", format_energy(harvested[arch]),
+               format_fixed(static_cast<double>(r.packets) / 7.0, 1),
+               format_fixed(r.availability * 100.0, 1)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  const double ratio = harvested[0] > 0.0 ? harvested[1] / harvested[0] : 0.0;
+  std::printf("per-source conditioning harvests %.2fx the OR-ed input\n", ratio);
+  // The shared input must lose measurably: reverse-blocked sources are
+  // wasted whenever two sources are live at once.
+  const bool holds = ratio > 1.2;
+  std::printf("\nper-source conditioning justifies its cost here: %s\n",
+              holds ? "HOLDS" : "VIOLATED");
+  return holds ? 0 : 1;
+}

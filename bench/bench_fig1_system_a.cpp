@@ -1,0 +1,105 @@
+// E2 — Fig. 1: the Smart Power Unit (System A) architecture and behaviour.
+//
+// Regenerates the figure's content as (a) a structural dump of the block
+// diagram wiring, and (b) a 7-day outdoor simulation demonstrating the
+// architecture's signature behaviours: MPPT on every source, supercap-first
+// storage hierarchy, and hydrogen fuel-cell takeover when ambient energy
+// runs out (survey claim C6).
+#include <cstdio>
+
+#include "core/table.hpp"
+#include "env/environment.hpp"
+#include "storage/fuel_cell.hpp"
+#include "systems/catalog.hpp"
+#include "systems/runner.hpp"
+
+using namespace msehsim;
+
+namespace {
+
+void dump_architecture(systems::Platform& p) {
+  std::printf("Fig. 1 block diagram (as wired in the model):\n\n");
+  TextTable inputs({"input chain", "source", "tracking", "converter"});
+  for (std::size_t i = 0; i < p.input_count(); ++i) {
+    const auto& chain = p.input(i);
+    inputs.add_row({std::string(chain.harvester().name()),
+                    std::string(harvest::to_string(chain.harvester().kind())),
+                    std::string(chain.mppt().name()),
+                    std::string(power::to_string(chain.converter().topology()))});
+  }
+  std::printf("%s\n", inputs.render().c_str());
+
+  TextTable stores({"storage", "kind", "capacity", "role"});
+  const char* roles[] = {"primary buffer", "deep reserve", "backup (on demand)"};
+  for (std::size_t i = 0; i < p.storage_count(); ++i) {
+    const auto& dev = p.store(i);
+    stores.add_row({std::string(dev.name()),
+                    std::string(storage::to_string(dev.kind())),
+                    format_energy(dev.capacity().value()),
+                    i < 3 ? roles[i] : "aux"});
+  }
+  std::printf("%s\n", stores.render().c_str());
+  std::printf("output: buck-boost -> 3.0 V rail -> wireless sensor node "
+              "(wake-up radio equipped)\n");
+  std::printf("intelligence: power-unit MCU, I2C telemetry, duty-cycle + "
+              "fuel-cell policies\n\n");
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kSeed = 2013;
+  constexpr double kDay = 86400.0;
+
+  std::printf("E2 / Fig. 1 — Smart Power Unit architecture (System A)\n\n");
+
+  auto platform = systems::build_system_a(kSeed);
+  dump_architecture(*platform);
+
+  // Phase 1: normal outdoor week.
+  auto outdoor = env::Environment::outdoor(kSeed);
+  systems::RunOptions options;
+  options.dt = Seconds{2.0};
+  const auto week = run_platform(*platform, outdoor, Seconds{7 * kDay}, options);
+
+  storage::FuelCell* cell = nullptr;
+  for (std::size_t i = 0; i < platform->storage_count(); ++i)
+    if (platform->store(i).kind() == storage::StorageKind::kFuelCell)
+      cell = dynamic_cast<storage::FuelCell*>(&platform->store(i));
+
+  TextTable normal({"metric", "sunny outdoor week"});
+  normal.add_row({"harvested", format_energy(week.harvested.value())});
+  normal.add_row({"node load", format_energy(week.load.value())});
+  normal.add_row({"packets", std::to_string(week.packets)});
+  normal.add_row({"availability", format_fixed(week.availability * 100.0, 2) + " %"});
+  normal.add_row({"fuel cell depletion",
+                  format_fixed((cell ? cell->depletion() : 0.0) * 100.0, 2) + " %"});
+  std::printf("%s\n", normal.render().c_str());
+
+  // Phase 2: ambient sources die and the buffers are spent (a long
+  // overcast stretch compressed into a pre-drain): the fuel cell must take
+  // over — the architecture's raison d'etre.
+  for (std::size_t i = 0; i < platform->storage_count(); ++i) {
+    auto& dev = platform->store(i);
+    if (!dev.rechargeable()) continue;
+    for (int k = 0; k < 200000 && dev.soc() > 0.05; ++k)
+      dev.discharge(Watts{3.0}, Seconds{60.0});
+  }
+  env::Environment dead(kSeed, "no ambient energy");
+  const auto blackout =
+      run_platform(*platform, dead, Seconds{3 * kDay}, options);
+
+  TextTable dark({"metric", "3 days with no ambient energy"});
+  dark.add_row({"harvested", format_energy(blackout.harvested.value())});
+  dark.add_row({"packets", std::to_string(blackout.packets)});
+  dark.add_row({"availability", format_fixed(blackout.availability * 100.0, 2) + " %"});
+  dark.add_row({"fuel cell depletion",
+                format_fixed((cell ? cell->depletion() : 0.0) * 100.0, 2) + " %"});
+  std::printf("%s\n", dark.render().c_str());
+
+  const bool c6_holds = cell != nullptr && cell->depletion() > 0.0 &&
+                        blackout.availability > 0.5;
+  std::printf("claim C6 (fuel-cell backup sustains the node): %s\n",
+              c6_holds ? "HOLDS" : "VIOLATED");
+  return c6_holds ? 0 : 1;
+}

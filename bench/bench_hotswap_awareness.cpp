@@ -1,0 +1,99 @@
+// E8 — survey claim C5 (Sec. III.2): "For the devices that perform energy
+// monitoring, the connection of an alternative device (especially storage
+// device) will typically affect measurements as the software will not
+// automatically be able to recognise any change in capacity." System B is
+// the exception.
+//
+// Performs the same storage swap on MPWiNode (analog monitoring, frozen
+// firmware assumptions) and on Plug-and-Play (electronic datasheets) and
+// reports the stored-energy estimate error before and after.
+#include <cstdio>
+#include <memory>
+
+#include "bus/datasheet.hpp"
+#include "bus/module_port.hpp"
+#include "core/table.hpp"
+#include "storage/battery.hpp"
+#include "storage/supercapacitor.hpp"
+#include "systems/catalog.hpp"
+
+using namespace msehsim;
+
+namespace {
+
+double estimate_error(systems::Platform& platform, double actual_stored) {
+  platform.management_tick(Seconds{0.0});
+  const auto& e = platform.last_estimate();
+  if (!e.valid || actual_stored <= 0.0) return 1.0;
+  return std::abs(e.stored.value() - actual_stored) / actual_stored;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kSeed = 2013;
+  std::printf("E8 / claim C5 — storage hot-swap vs energy-awareness\n\n");
+
+  TextTable t({"system", "monitoring", "error before swap", "error after swap",
+               "recognized swap?"});
+
+  // --- System D: MPWiNode. Swap the stock 2xAA pack (2 Ah) for a pack of
+  // high-capacity cells (5 Ah) — same voltage, 2.5x the charge, exactly the
+  // "alternative storage device" swap Sec. III.2 warns about. -------------
+  auto d = systems::build_system_d(kSeed);
+  const double d_err_before = estimate_error(*d, d->store(0).stored_energy().value());
+  storage::Battery::Params big =
+      storage::Battery::nimh_aa_pack("x", 2, 0.5).params();
+  big.rated_capacity = AmpHours{5.0};
+  d->swap_storage(0, std::make_unique<storage::Battery>(
+                         storage::Battery("d.pack5ah", big)));
+  const double d_err_after = estimate_error(*d, d->store(0).stored_energy().value());
+  const bool d_recognized = d_err_after < 0.15;  // it will not be
+  t.add_row({"MPWiNode (D)", "analog line", format_fixed(d_err_before * 100.0, 1) + " %",
+             format_fixed(d_err_after * 100.0, 1) + " %",
+             d_recognized ? "yes" : "no"});
+
+  // --- System B: Plug-and-Play. Swap the 10 F module for 2.5 F with a
+  // self-describing datasheet. -------------------------------------------
+  auto b = systems::build_system_b(kSeed);
+  double b_actual = 0.0;
+  for (std::size_t i = 0; i < b->storage_count(); ++i)
+    b_actual += b->store(i).stored_energy().value();
+  const double b_err_before = estimate_error(*b, b_actual);
+
+  storage::Supercapacitor::Params sp;
+  sp.main_capacitance = Farads{2.5};
+  sp.initial_voltage = Volts{2.8};
+  auto replacement = std::make_unique<storage::Supercapacitor>("b.sc2", sp);
+  bus::ElectronicDatasheet ds;
+  ds.device_class = bus::DeviceClass::kStorage;
+  ds.model = "PNP-SC2F5";
+  ds.storage_kind = storage::StorageKind::kSupercapacitor;
+  ds.capacity = replacement->capacity();
+  ds.max_voltage = Volts{5.0};
+  bus::ModulePort::Telemetry telemetry;
+  auto* dev = replacement.get();
+  telemetry.stored_energy = [dev] { return dev->stored_energy(); };
+  telemetry.terminal_voltage = [dev] { return dev->voltage(); };
+  auto port = std::make_unique<bus::ModulePort>(0x14, ds, std::move(telemetry));
+  b->swap_storage(0, std::move(replacement), std::move(port), 0x14);
+
+  b_actual = 0.0;
+  for (std::size_t i = 0; i < b->storage_count(); ++i)
+    b_actual += b->store(i).stored_energy().value();
+  const double b_err_after = estimate_error(*b, b_actual);
+  const bool b_recognized = b_err_after < 0.15;
+  t.add_row({"Plug-and-Play (B)", "electronic datasheet",
+             format_fixed(b_err_before * 100.0, 1) + " %",
+             format_fixed(b_err_after * 100.0, 1) + " %",
+             b_recognized ? "yes" : "no"});
+
+  std::printf("%s\n", t.render().c_str());
+
+  const bool holds = !d_recognized && b_recognized;
+  std::printf(
+      "claim C5 (fixed-assumption monitors drift after a swap; only the\n"
+      "datasheet architecture re-recognizes hardware): %s\n",
+      holds ? "HOLDS" : "VIOLATED");
+  return holds ? 0 : 1;
+}

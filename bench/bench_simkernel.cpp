@@ -1,0 +1,116 @@
+// E10 — google-benchmark microbenchmarks of the simulation kernels.
+//
+// Not a paper artifact: engineering throughput numbers (steps/second per
+// subsystem) so users can size year-scale studies.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "env/environment.hpp"
+#include "harvest/transducers.hpp"
+#include "storage/supercapacitor.hpp"
+#include "systems/catalog.hpp"
+#include "systems/runner.hpp"
+
+using namespace msehsim;
+
+namespace {
+
+void BM_EnvironmentAdvance(benchmark::State& state) {
+  auto env = env::Environment::indoor_industrial(1);
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.advance(Seconds{t}, Seconds{1.0}));
+    t += 1.0;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EnvironmentAdvance);
+
+void BM_PvCurrentAt(benchmark::State& state) {
+  harvest::PvPanel pv("pv", {});
+  env::AmbientConditions c;
+  c.solar_irradiance = WattsPerSquareMeter{800.0};
+  pv.set_conditions(c);
+  double v = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pv.current_at(Volts{v}));
+    v = v < 4.0 ? v + 0.001 : 0.0;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PvCurrentAt);
+
+void BM_PvMppOracle(benchmark::State& state) {
+  harvest::PvPanel pv("pv", {});
+  env::AmbientConditions c;
+  c.solar_irradiance = WattsPerSquareMeter{800.0};
+  pv.set_conditions(c);
+  for (auto _ : state) benchmark::DoNotOptimize(pv.maximum_power_point());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PvMppOracle);
+
+void BM_SupercapChargePacket(benchmark::State& state) {
+  storage::Supercapacitor::Params p;
+  p.main_capacitance = Farads{25.0};
+  p.initial_voltage = Volts{2.0};
+  storage::Supercapacitor sc("sc", p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sc.charge(Watts{10e-3}, Seconds{1.0}));
+    benchmark::DoNotOptimize(sc.discharge(Watts{10e-3}, Seconds{1.0}));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_SupercapChargePacket);
+
+void BM_PlatformStep(benchmark::State& state) {
+  auto platform = systems::build_system_a(1);
+  auto env = env::Environment::outdoor(1);
+  double t = 0.0;
+  for (auto _ : state) {
+    const auto c = env.advance(Seconds{t}, Seconds{1.0});
+    platform->step(c, Seconds{t}, Seconds{1.0});
+    t += 1.0;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PlatformStep);
+
+void BM_SystemBPlatformStep(benchmark::State& state) {
+  auto platform = systems::build_system_b(1);
+  auto env = env::Environment::indoor_industrial(1);
+  double t = 0.0;
+  for (auto _ : state) {
+    const auto c = env.advance(Seconds{t}, Seconds{1.0});
+    platform->step(c, Seconds{t}, Seconds{1.0});
+    t += 1.0;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SystemBPlatformStep);
+
+void BM_ManagementTick(benchmark::State& state) {
+  auto platform = systems::build_system_b(1);
+  for (auto _ : state) platform->management_tick(Seconds{0.0});
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ManagementTick);
+
+void BM_SimulatedDay(benchmark::State& state) {
+  // End-to-end: one simulated day of System A at 5 s resolution.
+  for (auto _ : state) {
+    auto platform = systems::build_system_a(1);
+    auto env = env::Environment::outdoor(1);
+    systems::RunOptions options;
+    options.dt = Seconds{5.0};
+    benchmark::DoNotOptimize(
+        run_platform(*platform, env, Seconds{86400.0}, options));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimulatedDay)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+// Shared helpers for the experiment binaries: ad-hoc chain and platform
+// construction for controlled source-mix studies.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harvest/transducers.hpp"
+#include "node/sensor_node.hpp"
+#include "power/chain.hpp"
+#include "power/converter.hpp"
+#include "power/mppt.hpp"
+#include "storage/supercapacitor.hpp"
+#include "systems/platform.hpp"
+
+namespace msehsim::benchutil {
+
+/// Source kinds the controlled studies mix and match.
+enum class Source { kPvOutdoor, kPvIndoor, kWind, kHvac, kTeg, kPiezo, kWater };
+
+inline const char* name(Source s) {
+  switch (s) {
+    case Source::kPvOutdoor: return "PV";
+    case Source::kPvIndoor: return "PV(indoor)";
+    case Source::kWind: return "wind";
+    case Source::kHvac: return "HVAC-flow";
+    case Source::kTeg: return "TEG";
+    case Source::kPiezo: return "piezo";
+    case Source::kWater: return "water";
+  }
+  return "?";
+}
+
+/// Builds one input chain for @p source with an oracle tracker (so studies
+/// isolate *availability*, not tracking quality) and a generic buck-boost.
+inline std::unique_ptr<power::InputChain> make_chain(Source source,
+                                                     const std::string& tag) {
+  using harvest::PvPanel;
+  using harvest::Teg;
+  using harvest::VibrationHarvester;
+  using harvest::WindTurbine;
+
+  std::unique_ptr<harvest::Harvester> h;
+  switch (source) {
+    case Source::kPvOutdoor:
+      h = std::make_unique<PvPanel>("pv." + tag, PvPanel::Params{});
+      break;
+    case Source::kPvIndoor: {
+      PvPanel::Params p;
+      p.indoor = true;
+      h = std::make_unique<PvPanel>("pvi." + tag, p);
+      break;
+    }
+    case Source::kWind:
+      h = std::make_unique<WindTurbine>("wind." + tag, WindTurbine::Params{});
+      break;
+    case Source::kHvac: {
+      WindTurbine::Params p;
+      p.rotor_area_m2 = 0.005;
+      p.power_coefficient = 0.20;
+      p.cut_in = MetersPerSecond{0.8};
+      p.rated = MetersPerSecond{6.0};
+      p.voc_per_ms = Volts{1.5};
+      p.internal_resistance = Ohms{20.0};
+      h = std::make_unique<WindTurbine>("hvac." + tag, p);
+      break;
+    }
+    case Source::kTeg: {
+      Teg::Params p;
+      p.seebeck_per_kelvin = Volts{0.025};
+      p.internal_resistance = Ohms{10.0};
+      h = std::make_unique<Teg>("teg." + tag, p);
+      break;
+    }
+    case Source::kPiezo:
+      h = std::make_unique<VibrationHarvester>(
+          VibrationHarvester::piezo("pz." + tag));
+      break;
+    case Source::kWater:
+      h = std::make_unique<WindTurbine>(
+          WindTurbine::water_turbine("water." + tag));
+      break;
+  }
+  power::Converter::Params cp;
+  cp.topology = power::Topology::kBuckBoost;
+  cp.peak_efficiency = 0.85;
+  cp.rated_power = Watts{50e-3};
+  cp.quiescent_current = Amps{0.5e-6};
+  cp.min_input = Volts{0.05};
+  cp.max_input = Volts{20.0};
+  return std::make_unique<power::InputChain>(
+      std::move(h), std::make_unique<power::OracleMppt>(),
+      power::Converter("fe." + tag, cp), Seconds{5.0});
+}
+
+/// A minimal platform: the given sources into one supercap and a standard
+/// sensor node behind a buck-boost rail.
+inline std::unique_ptr<systems::Platform> make_platform(
+    const std::vector<Source>& sources, Farads buffer,
+    Seconds task_period = Seconds{60.0}, Volts initial_voltage = Volts{3.0}) {
+  systems::PlatformSpec spec;
+  spec.name = "study";
+  spec.quiescent_current = Amps{2e-6};
+  auto p = std::make_unique<systems::Platform>(spec);
+  int i = 0;
+  for (const auto s : sources) p->add_input(make_chain(s, std::to_string(i++)));
+  storage::Supercapacitor::Params sp;
+  sp.main_capacitance = buffer;
+  sp.slow_capacitance = Farads{0.0};
+  sp.initial_voltage = initial_voltage;
+  p->add_storage(std::make_unique<storage::Supercapacitor>("buf", sp), 0);
+  p->set_output(
+      power::OutputChain(power::Converter::smart_buck_boost("out"), Volts{3.0}));
+  node::WorkloadParams w;
+  w.task_period = task_period;
+  p->set_node(std::make_unique<node::SensorNode>("node", node::McuParams{},
+                                                 node::RadioParams{}, w));
+  return p;
+}
+
+}  // namespace msehsim::benchutil

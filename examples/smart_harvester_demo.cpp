@@ -1,0 +1,61 @@
+// Smart harvester demo: the survey's Sec.-IV research proposal, running
+// head-to-head against the two reference architectures (Systems A and B)
+// in the same indoor-industrial week.
+//
+//   $ ./smart_harvester_demo
+#include <cstdio>
+
+#include "core/table.hpp"
+#include "env/environment.hpp"
+#include "systems/catalog.hpp"
+#include "systems/runner.hpp"
+
+using namespace msehsim;
+
+int main() {
+  constexpr std::uint64_t kSeed = 4;
+  constexpr double kWeek = 7.0 * 86400.0;
+
+  struct Contender {
+    systems::SystemId id;
+  };
+  const Contender contenders[] = {
+      {systems::SystemId::kSmartPowerUnit},
+      {systems::SystemId::kPlugAndPlay},
+      {systems::SystemId::kSmartHarvester},
+  };
+
+  std::printf(
+      "Sec. IV 'smart harvester' proposal vs reference architectures\n"
+      "one week, indoor industrial site\n\n");
+
+  TextTable t({"system", "harvested", "packets", "avail %", "tracking eff %",
+               "awareness", "hot-swap aware"});
+  for (const auto& c : contenders) {
+    auto platform = systems::build(c.id, kSeed);
+    auto environment = env::Environment::indoor_industrial(kSeed);
+    systems::RunOptions options;
+    options.dt = Seconds{5.0};
+    const auto r = run_platform(*platform, environment, Seconds{kWeek}, options);
+
+    double tracking = 0.0;
+    for (std::size_t i = 0; i < platform->input_count(); ++i)
+      tracking += platform->input(i).tracking_efficiency();
+    tracking /= static_cast<double>(platform->input_count());
+
+    const auto cls = platform->classify();
+    t.add_row({std::string(systems::to_string(c.id)),
+               format_energy(r.harvested.value()), std::to_string(r.packets),
+               format_fixed(r.availability * 100.0, 1),
+               format_fixed(tracking * 100.0, 1),
+               std::string(taxonomy::to_string(cls.intelligence)),
+               cls.swappability == taxonomy::Swappability::kCompletelyFlexible
+                   ? "yes"
+                   : "no"});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "The proposed scheme combines System A's adaptive tracking with\n"
+      "System B's hardware recognition: per-device intelligence gives both.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Trace playback: data-driven studies with measured environment traces.
+//
+// Deployment studies often start from logged anemometer/pyranometer data
+// rather than synthetic generators. This example shows the full loop:
+//   1. generate a day of synthetic weather and log it to CSV (standing in
+//      for a real measurement campaign),
+//   2. load the CSV back as a TraceEnvironment,
+//   3. run the same platform against generator and trace and compare —
+//      the trace replays the sampled weather, so results track closely.
+//
+//   $ ./trace_playback [trace.csv]
+#include <cstdio>
+#include <string>
+
+#include "core/csv.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "env/environment.hpp"
+#include "systems/catalog.hpp"
+#include "systems/runner.hpp"
+
+using namespace msehsim;
+
+int main(int argc, char** argv) {
+  constexpr std::uint64_t kSeed = 6;
+  constexpr double kDay = 86400.0;
+  const Seconds sample{60.0};
+  const std::string path = argc > 1 ? argv[1] : "weather_trace.csv";
+
+  // 1. "Measurement campaign": sample the synthetic outdoor site at 1 min.
+  {
+    auto source = env::Environment::outdoor(kSeed);
+    Series solar("solar_irradiance");
+    Series wind("wind_speed");
+    for (double t = 0.0; t < kDay; t += sample.value()) {
+      const auto c = source.advance(Seconds{t}, sample);
+      solar.push(Seconds{t}, c.solar_irradiance.value());
+      wind.push(Seconds{t}, c.wind_speed.value());
+    }
+    write_csv(path, {&solar, &wind});
+    std::printf("logged %zu samples of outdoor weather to %s\n\n",
+                solar.values().size(), path.c_str());
+  }
+
+  // 2. Replay through a TraceEnvironment.
+  auto trace = env::TraceEnvironment::from_file(path);
+
+  // 3. Same platform, generator vs trace.
+  auto live = systems::build_system_c(kSeed);   // AmbiMax-class outdoor node
+  auto replay = systems::build_system_c(kSeed);
+  auto generator = env::Environment::outdoor(kSeed);
+  systems::RunOptions options;
+  options.dt = Seconds{5.0};
+  const auto r_live = run_platform(*live, generator, Seconds{kDay}, options);
+  const auto r_replay = run_platform(*replay, trace, Seconds{kDay}, options);
+
+  TextTable t({"metric", "live generator", "trace replay"});
+  t.add_row({"harvested", format_energy(r_live.harvested.value()),
+             format_energy(r_replay.harvested.value())});
+  t.add_row({"node load", format_energy(r_live.load.value()),
+             format_energy(r_replay.load.value())});
+  t.add_row({"packets", std::to_string(r_live.packets),
+             std::to_string(r_replay.packets)});
+  t.add_row({"availability %", format_fixed(r_live.availability * 100.0, 1),
+             format_fixed(r_replay.availability * 100.0, 1)});
+  std::printf("%s\n", t.render().c_str());
+
+  const double rel = r_live.harvested.value() > 0.0
+                         ? r_replay.harvested.value() / r_live.harvested.value()
+                         : 0.0;
+  std::printf("replay/live harvest ratio: %.2f (1-min sampling flattens "
+              "sub-minute gusts)\n", rel);
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "bus/i2c.hpp"
+
+#include "core/error.hpp"
+
+namespace msehsim::bus {
+
+I2cBus::I2cBus(Params params) : params_(params) {
+  require_spec(params_.energy_per_byte.value() >= 0.0,
+               "I2C energy per byte must be >= 0");
+}
+
+void I2cBus::attach(I2cSlave& slave) {
+  const auto [it, inserted] = slaves_.emplace(slave.address(), &slave);
+  (void)it;
+  require_spec(inserted, "I2C address collision");
+}
+
+void I2cBus::detach(std::uint8_t address) { slaves_.erase(address); }
+
+bool I2cBus::present(std::uint8_t address) const {
+  return slaves_.contains(address);
+}
+
+void I2cBus::bill(std::size_t payload_bytes) {
+  // Address byte + register byte + payload.
+  energy_ += params_.energy_per_byte * static_cast<double>(payload_bytes + 2);
+  ++transactions_;
+}
+
+std::optional<std::vector<std::uint8_t>> I2cBus::read(std::uint8_t address,
+                                                      std::uint8_t start_register,
+                                                      std::size_t count) {
+  const auto it = slaves_.find(address);
+  if (it == slaves_.end()) {
+    bill(0);
+    ++naks_;
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto value =
+        it->second->read_register(static_cast<std::uint8_t>(start_register + i));
+    if (!value) {
+      bill(out.size());
+      ++naks_;
+      return std::nullopt;
+    }
+    out.push_back(*value);
+  }
+  bill(out.size());
+  return out;
+}
+
+bool I2cBus::write(std::uint8_t address, std::uint8_t start_register,
+                   const std::vector<std::uint8_t>& data) {
+  const auto it = slaves_.find(address);
+  if (it == slaves_.end()) {
+    bill(0);
+    ++naks_;
+    return false;
+  }
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (!it->second->write_register(static_cast<std::uint8_t>(start_register + i),
+                                    data[i])) {
+      bill(i);
+      ++naks_;
+      return false;
+    }
+  }
+  bill(data.size());
+  return true;
+}
+
+std::vector<std::uint8_t> I2cBus::scan() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(slaves_.size());
+  for (const auto& [addr, slave] : slaves_) {
+    (void)slave;
+    out.push_back(addr);
+  }
+  return out;
+}
+
+}  // namespace msehsim::bus

@@ -1,0 +1,77 @@
+// I2C bus emulation with energy accounting.
+//
+// Survey Sec. II.3: System A's power-unit microcontroller "communicates via
+// an I2C bus, allowing the energy status to be monitored and controlled";
+// System B modules "communicate via a digital interface to the embedded
+// system". The emulation models the protocol-visible behaviour — addressed
+// register reads/writes, NAK for absent devices — and charges a per-byte
+// energy cost so digital energy-awareness has a measurable overhead
+// (the complexity-vs-benefit trade-off of Sec. II.3).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/units.hpp"
+
+namespace msehsim::bus {
+
+/// A device that answers on the bus.
+class I2cSlave {
+ public:
+  virtual ~I2cSlave() = default;
+
+  [[nodiscard]] virtual std::uint8_t address() const = 0;
+  /// Register read; returns nullopt to NAK an invalid register.
+  virtual std::optional<std::uint8_t> read_register(std::uint8_t reg) = 0;
+  /// Register write; returns false to NAK.
+  virtual bool write_register(std::uint8_t reg, std::uint8_t value) = 0;
+};
+
+class I2cBus {
+ public:
+  struct Params {
+    Joules energy_per_byte{100e-9};  ///< pull-up + driver energy at 100 kHz
+  };
+
+  explicit I2cBus(Params params);
+  I2cBus() : I2cBus(Params{}) {}
+
+  /// Attaches @p slave (non-owning). Throws SpecError on address collision.
+  void attach(I2cSlave& slave);
+
+  /// Detaches whatever answers at @p address; no-op if absent (hot-unplug).
+  void detach(std::uint8_t address);
+
+  [[nodiscard]] bool present(std::uint8_t address) const;
+
+  /// Burst register read. nullopt if the address NAKs (absent device) or a
+  /// register NAKs mid-burst.
+  std::optional<std::vector<std::uint8_t>> read(std::uint8_t address,
+                                                std::uint8_t start_register,
+                                                std::size_t count);
+
+  /// Burst register write; false on NAK.
+  bool write(std::uint8_t address, std::uint8_t start_register,
+             const std::vector<std::uint8_t>& data);
+
+  /// Addresses that currently ACK, ascending (bus scan).
+  [[nodiscard]] std::vector<std::uint8_t> scan() const;
+
+  [[nodiscard]] Joules energy_consumed() const { return energy_; }
+  [[nodiscard]] std::uint64_t transactions() const { return transactions_; }
+  [[nodiscard]] std::uint64_t nak_count() const { return naks_; }
+
+ private:
+  void bill(std::size_t payload_bytes);
+
+  Params params_;
+  std::map<std::uint8_t, I2cSlave*> slaves_;
+  Joules energy_{0.0};
+  std::uint64_t transactions_{0};
+  std::uint64_t naks_{0};
+};
+
+}  // namespace msehsim::bus

@@ -1,0 +1,42 @@
+// Analog sensing — the minimal energy-monitoring capability.
+//
+// Survey Sec. II.3: "At their most basic, energy-aware systems may provide
+// an analog line to allow the microcontroller to monitor the store
+// voltage." AdcLine models that path: an ADC with finite resolution,
+// quantization noise, and a per-sample energy cost, so analog monitoring
+// has both an accuracy limit and an overhead.
+#pragma once
+
+#include <cstdint>
+
+#include "core/random.hpp"
+#include "core/units.hpp"
+
+namespace msehsim::bus {
+
+class AdcLine {
+ public:
+  struct Params {
+    int bits{10};
+    Volts full_scale{3.3};
+    Joules energy_per_sample{2e-6};
+    double noise_lsb{0.5};  ///< RMS input-referred noise in LSBs
+  };
+
+  AdcLine(Params params, std::uint64_t seed);
+
+  /// Samples @p actual: adds noise, quantizes, clamps to full scale.
+  Volts sample(Volts actual);
+
+  [[nodiscard]] Volts lsb() const;
+  [[nodiscard]] Joules energy_consumed() const { return energy_; }
+  [[nodiscard]] std::uint64_t samples_taken() const { return samples_; }
+
+ private:
+  Params params_;
+  Pcg32 rng_;
+  Joules energy_{0.0};
+  std::uint64_t samples_{0};
+};
+
+}  // namespace msehsim::bus

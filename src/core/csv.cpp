@@ -1,0 +1,84 @@
+#include "core/csv.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/stats.hpp"
+
+namespace msehsim {
+
+void write_csv(const std::string& path, const std::vector<const Series*>& series) {
+  require_spec(!series.empty(), "write_csv needs at least one series");
+  const auto& times = series.front()->times();
+  for (const auto* s : series) {
+    require_spec(s != nullptr, "write_csv: null series");
+    require_spec(s->times().size() == times.size(),
+                 "write_csv: series lengths differ");
+  }
+  std::ofstream out(path);
+  require_spec(out.good(), "write_csv: cannot open " + path);
+  out << "time";
+  for (const auto* s : series) out << ',' << s->name();
+  out << '\n';
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    out << times[i];
+    for (const auto* s : series) out << ',' << s->values()[i];
+    out << '\n';
+  }
+}
+
+std::size_t CsvData::column(const std::string& name) const {
+  for (std::size_t i = 0; i < headers.size(); ++i)
+    if (headers[i] == name) return i;
+  throw SpecError("CSV column not found: " + name);
+}
+
+namespace {
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream in(line);
+  while (std::getline(in, field, sep)) out.push_back(field);
+  if (!line.empty() && line.back() == sep) out.emplace_back();
+  return out;
+}
+}  // namespace
+
+CsvData parse_csv(const std::string& text) {
+  std::istringstream in(text);
+  CsvData data;
+  std::string line;
+  if (!std::getline(in, line)) throw SpecError("parse_csv: empty input");
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  data.headers = split(line, ',');
+  require_spec(!data.headers.empty(), "parse_csv: no header columns");
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const auto cells = split(line, ',');
+    require_spec(cells.size() == data.headers.size(),
+                 "parse_csv: row arity mismatch");
+    std::vector<double> row;
+    row.reserve(cells.size());
+    for (const auto& cell : cells) {
+      char* end = nullptr;
+      const double v = std::strtod(cell.c_str(), &end);
+      require_spec(end != cell.c_str(), "parse_csv: non-numeric cell '" + cell + "'");
+      row.push_back(v);
+    }
+    data.rows.push_back(std::move(row));
+  }
+  return data;
+}
+
+CsvData read_csv(const std::string& path) {
+  std::ifstream in(path);
+  require_spec(in.good(), "read_csv: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_csv(buffer.str());
+}
+
+}  // namespace msehsim

@@ -1,0 +1,34 @@
+// Minimal CSV input/output.
+//
+// Used to export recorded time series for offline plotting and to play back
+// measured environment traces (the substitution for the paper's physical
+// deployment environments).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace msehsim {
+
+class Series;
+
+/// Writes aligned series to @p path as `time,<name1>,<name2>,...`.
+/// All series must share identical time vectors (same recorder cadence).
+void write_csv(const std::string& path, const std::vector<const Series*>& series);
+
+/// A parsed CSV with a header row; all cells numeric.
+struct CsvData {
+  std::vector<std::string> headers;
+  std::vector<std::vector<double>> rows;
+
+  /// Column index for @p name; throws SpecError if absent.
+  [[nodiscard]] std::size_t column(const std::string& name) const;
+};
+
+/// Reads a numeric CSV with a header row. Throws SpecError on malformed input.
+CsvData read_csv(const std::string& path);
+
+/// Parses CSV text (same format as read_csv) — used by tests.
+CsvData parse_csv(const std::string& text);
+
+}  // namespace msehsim

@@ -1,0 +1,61 @@
+#include "core/simulation.hpp"
+
+#include "core/error.hpp"
+
+namespace msehsim {
+
+Simulation::Simulation(Seconds dt) : dt_(dt) {
+  require_spec(dt.value() > 0.0, "Simulation dt must be > 0");
+}
+
+void Simulation::on_step(StepFn fn) { step_fns_.push_back(std::move(fn)); }
+
+void Simulation::every(Seconds period, EventFn fn, Seconds phase) {
+  require_spec(period.value() > 0.0, "Periodic task period must be > 0");
+  require_spec(phase.value() >= 0.0, "Periodic task phase must be >= 0");
+  Seconds first = now_ + phase;
+  periodics_.push_back(Periodic{period, first, std::move(fn)});
+}
+
+void Simulation::at(Seconds when, EventFn fn) {
+  require_spec(when >= now_, "One-shot event scheduled in the past");
+  one_shots_.push(OneShot{when, event_sequence_++, std::move(fn)});
+}
+
+void Simulation::dispatch_scheduled() {
+  // Fire everything due within [now, now + dt). Events see time == now
+  // because within a step all quantities are piecewise constant.
+  const Seconds horizon = now_ + dt_;
+  for (auto& p : periodics_) {
+    while (p.next < horizon) {
+      p.fn(now_);
+      p.next += p.period;
+    }
+  }
+  while (!one_shots_.empty() && one_shots_.top().when < horizon) {
+    // Copy out before pop so the callback may schedule further events.
+    EventFn fn = one_shots_.top().fn;
+    one_shots_.pop();
+    fn(now_);
+  }
+}
+
+void Simulation::step() {
+  dispatch_scheduled();
+  for (auto& fn : step_fns_) fn(now_, dt_);
+  now_ += dt_;
+  ++steps_;
+}
+
+void Simulation::run_for(Seconds duration) { run_until(now_ + duration); }
+
+void Simulation::run_until(Seconds time) {
+  stop_requested_ = false;
+  // Half-step tolerance avoids an extra step from floating-point drift.
+  while (now_ + dt_ * 0.5 < time) {
+    step();
+    if (stop_requested_) break;
+  }
+}
+
+}  // namespace msehsim

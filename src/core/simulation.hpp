@@ -1,0 +1,88 @@
+// Fixed-timestep simulation engine.
+//
+// msehsim uses quasi-static power-flow simulation: within one timestep every
+// electrical quantity is treated as constant, and components exchange energy
+// packets of (power x dt). The engine advances wall-clock time, invokes
+// per-step callbacks in registration order (environment first, then power
+// flow, then loads, then observers), and dispatches periodic tasks (MPPT
+// updates, monitor polls) and one-shot events (hardware hot-swaps).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "core/units.hpp"
+
+namespace msehsim {
+
+/// Per-step callback: (current time, step length).
+using StepFn = std::function<void(Seconds, Seconds)>;
+/// Scheduled callback: (current time).
+using EventFn = std::function<void(Seconds)>;
+
+class Simulation {
+ public:
+  /// @p dt fixed step length; must be > 0.
+  explicit Simulation(Seconds dt);
+
+  [[nodiscard]] Seconds now() const { return now_; }
+  [[nodiscard]] Seconds dt() const { return dt_; }
+  [[nodiscard]] std::uint64_t steps() const { return steps_; }
+
+  /// Registers a per-step callback. Callbacks run in registration order,
+  /// which defines the intra-step causality (environment -> power -> load).
+  void on_step(StepFn fn);
+
+  /// Runs @p fn every @p period of simulated time, first at @p phase.
+  /// Periodic tasks fire at the *start* of the step whose time they fall in.
+  void every(Seconds period, EventFn fn, Seconds phase = Seconds{0.0});
+
+  /// Runs @p fn once at simulated time @p when (start of enclosing step).
+  void at(Seconds when, EventFn fn);
+
+  /// Advances the simulation by @p duration.
+  void run_for(Seconds duration);
+
+  /// Advances the simulation until now() >= @p time.
+  void run_until(Seconds time);
+
+  /// Executes exactly one step.
+  void step();
+
+  /// Requests run_for/run_until to return after the current step.
+  void stop() { stop_requested_ = true; }
+
+ private:
+  struct Periodic {
+    Seconds period;
+    Seconds next;
+    EventFn fn;
+  };
+  struct OneShot {
+    Seconds when;
+    std::uint64_t sequence;  // FIFO tiebreak for same-time events
+    EventFn fn;
+  };
+  struct OneShotLater {
+    bool operator()(const OneShot& a, const OneShot& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  void dispatch_scheduled();
+
+  Seconds dt_;
+  Seconds now_{0.0};
+  std::uint64_t steps_{0};
+  std::uint64_t event_sequence_{0};
+  bool stop_requested_{false};
+  std::vector<StepFn> step_fns_;
+  std::vector<Periodic> periodics_;
+  std::priority_queue<OneShot, std::vector<OneShot>, OneShotLater> one_shots_;
+};
+
+}  // namespace msehsim

@@ -1,0 +1,69 @@
+#include "core/solve.hpp"
+
+#include <cmath>
+
+namespace msehsim {
+
+double bisect(const std::function<double(double)>& f, double lo, double hi,
+              int iterations) {
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if (flo * fhi > 0.0) return std::fabs(flo) < std::fabs(fhi) ? lo : hi;
+  for (int i = 0; i < iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if (fmid == 0.0) return mid;
+    if (flo * fmid < 0.0) {
+      hi = mid;
+      fhi = fmid;
+    } else {
+      lo = mid;
+      flo = fmid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double golden_max(const std::function<double(double)>& f, double lo, double hi,
+                  int iterations) {
+  constexpr double kInvPhi = 0.6180339887498949;
+  double a = lo;
+  double b = hi;
+  double c = b - (b - a) * kInvPhi;
+  double d = a + (b - a) * kInvPhi;
+  double fc = f(c);
+  double fd = f(d);
+  for (int i = 0; i < iterations; ++i) {
+    if (fc > fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - (b - a) * kInvPhi;
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + (b - a) * kInvPhi;
+      fd = f(d);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+double interp_clamped(const double* xs, const double* ys, int n, double x) {
+  if (n <= 0) return 0.0;
+  if (x <= xs[0]) return ys[0];
+  if (x >= xs[n - 1]) return ys[n - 1];
+  for (int i = 1; i < n; ++i) {
+    if (x <= xs[i]) {
+      const double t = (x - xs[i - 1]) / (xs[i] - xs[i - 1]);
+      return ys[i - 1] + t * (ys[i] - ys[i - 1]);
+    }
+  }
+  return ys[n - 1];
+}
+
+}  // namespace msehsim

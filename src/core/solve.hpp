@@ -1,0 +1,24 @@
+// Small numeric helpers shared across the electrical models.
+#pragma once
+
+#include <functional>
+
+namespace msehsim {
+
+/// Finds a root of @p f on [lo, hi] by bisection. The interval must bracket
+/// a sign change (f(lo) and f(hi) of opposite sign or zero); otherwise the
+/// endpoint with the smaller |f| is returned. Deterministic and robust —
+/// exactly what the implicit PV diode equation needs.
+double bisect(const std::function<double(double)>& f, double lo, double hi,
+              int iterations = 60);
+
+/// Maximizes a unimodal function on [lo, hi] by golden-section search and
+/// returns the argmax. Used to locate maximum power points on I-V curves.
+double golden_max(const std::function<double(double)>& f, double lo, double hi,
+                  int iterations = 80);
+
+/// Linear interpolation of y(x) over sorted breakpoints; clamps outside the
+/// table. Used for OCV-SoC curves and converter efficiency maps.
+double interp_clamped(const double* xs, const double* ys, int n, double x);
+
+}  // namespace msehsim

@@ -1,0 +1,64 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace msehsim {
+
+void RunningStats::add(double v, Seconds dt) {
+  ++count_;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+  integral_ += v * dt.value();
+  span_ += dt;
+  if (v > 0.0) positive_span_ += dt;
+}
+
+double RunningStats::mean() const {
+  if (span_.value() <= 0.0) return 0.0;
+  return integral_ / span_.value();
+}
+
+double RunningStats::fraction_positive() const {
+  if (span_.value() <= 0.0) return 0.0;
+  return positive_span_ / span_;
+}
+
+Series::Series(std::string name, std::uint64_t keep_every)
+    : name_(std::move(name)), keep_every_(keep_every) {
+  require_spec(keep_every_ >= 1, "Series keep_every must be >= 1");
+}
+
+void Series::push(Seconds t, double v) {
+  // The first sample has no preceding interval; weight it zero so integrals
+  // are exact trapezoid-free step sums over [t_i, t_{i+1}).
+  const Seconds dt = has_last_time_ ? t - last_time_ : Seconds{0.0};
+  last_time_ = t;
+  has_last_time_ = true;
+  stats_.add(v, dt);
+  if (pushed_ % keep_every_ == 0) {
+    times_.push_back(t.value());
+    values_.push_back(v);
+  }
+  ++pushed_;
+}
+
+double Series::last() const {
+  require_spec(!values_.empty(), "Series::last on empty series");
+  return values_.back();
+}
+
+double percentile(std::vector<double> data, double q) {
+  if (data.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(data.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  std::nth_element(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(idx),
+                   data.end());
+  return data[idx];
+}
+
+}  // namespace msehsim

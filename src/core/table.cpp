@@ -1,0 +1,91 @@
+#include "core/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace msehsim {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  require_spec(!headers_.empty(), "TextTable needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  require_spec(row.size() == headers_.size(),
+               "TextTable row arity does not match headers");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << "| " << row[c];
+      out << std::string(widths[c] - row[c].size() + 1, ' ');
+    }
+    out << "|\n";
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    out << "|" << std::string(widths[c] + 2, '-');
+  out << "|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.render();
+}
+
+std::string format_fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+namespace {
+std::string with_prefix(double v, const char* unit) {
+  struct Prefix {
+    double scale;
+    const char* name;
+  };
+  static constexpr Prefix kPrefixes[] = {
+      {1e3, "k"}, {1.0, ""}, {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}};
+  const double mag = std::fabs(v);
+  for (const auto& p : kPrefixes) {
+    if (mag >= p.scale * 0.9995 || p.scale == 1e-12) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.3g %s%s", v / p.scale, p.name, unit);
+      return buf;
+    }
+  }
+  return "0 " + std::string(unit);
+}
+}  // namespace
+
+std::string format_power(double watts) {
+  if (watts == 0.0) return "0 W";
+  return with_prefix(watts, "W");
+}
+
+std::string format_current(double amps) {
+  if (amps == 0.0) return "0 A";
+  return with_prefix(amps, "A");
+}
+
+std::string format_energy(double joules) {
+  if (joules == 0.0) return "0 J";
+  return with_prefix(joules, "J");
+}
+
+}  // namespace msehsim

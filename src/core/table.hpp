@@ -1,0 +1,48 @@
+// Aligned ASCII table rendering for bench output.
+//
+// Every bench binary regenerates a table or figure from the paper; TextTable
+// renders them in a stable, diffable format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace msehsim {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same arity as the headers.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with column alignment and a header separator.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return headers_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const {
+    return rows_.at(i);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+/// Formats @p value with @p digits significant decimal places.
+std::string format_fixed(double value, int digits);
+
+/// Formats a power with an auto-selected engineering prefix (nW..W).
+std::string format_power(double watts);
+
+/// Formats a current with an auto-selected engineering prefix (nA..A).
+std::string format_current(double amps);
+
+/// Formats an energy with an auto-selected engineering prefix (uJ..kJ).
+std::string format_energy(double joules);
+
+}  // namespace msehsim

@@ -1,0 +1,31 @@
+// Ambient energy conditions seen by a deployment site at one instant.
+//
+// This is the interface between the environment generators (src/env) and the
+// transducer models (src/harvest): each harvester reads the one channel it
+// transduces. A channel that is absent at a site is simply zero.
+#pragma once
+
+#include "core/units.hpp"
+
+namespace msehsim::env {
+
+struct AmbientConditions {
+  /// Broadband solar irradiance on the harvester plane (outdoor PV).
+  WattsPerSquareMeter solar_irradiance{0.0};
+  /// Illuminance (indoor PV under artificial light).
+  Lux illuminance{0.0};
+  /// Free-stream air speed at the turbine (outdoor wind or HVAC flow).
+  MetersPerSecond wind_speed{0.0};
+  /// Temperature difference across a thermoelectric generator.
+  Kelvin thermal_gradient{0.0};
+  /// RMS base acceleration of the dominant vibration tone.
+  MetersPerSecondSquared vibration_rms{0.0};
+  /// Frequency of the dominant vibration tone.
+  Hertz vibration_freq{0.0};
+  /// Incident RF power density at the rectenna.
+  WattsPerSquareMeter rf_power_density{0.0};
+  /// Water flow speed at a micro hydro turbine (MPWiNode scenario).
+  MetersPerSecond water_flow{0.0};
+};
+
+}  // namespace msehsim::env

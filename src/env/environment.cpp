@@ -1,0 +1,156 @@
+#include "env/environment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace msehsim::env {
+
+Environment::Environment(std::uint64_t seed, std::string description)
+    : seed_(seed), description_(std::move(description)) {}
+
+Environment& Environment::with_solar(SolarChannel::Params p) {
+  solar_.emplace(p, seed_ ^ stream_key("ch.solar"));
+  return *this;
+}
+Environment& Environment::with_indoor_light(IndoorLightChannel::Params p) {
+  indoor_light_.emplace(p, seed_ ^ stream_key("ch.lux"));
+  return *this;
+}
+Environment& Environment::with_wind(WindChannel::Params p) {
+  wind_.emplace(p, seed_ ^ stream_key("ch.wind"));
+  return *this;
+}
+Environment& Environment::with_hvac_flow(HvacFlowChannel::Params p) {
+  hvac_.emplace(p, seed_ ^ stream_key("ch.hvac"));
+  return *this;
+}
+Environment& Environment::with_thermal(ThermalChannel::Params p) {
+  thermal_.emplace(p, seed_ ^ stream_key("ch.thermal"));
+  return *this;
+}
+Environment& Environment::with_vibration(VibrationChannel::Params p) {
+  vibration_.emplace(p, seed_ ^ stream_key("ch.vib"));
+  return *this;
+}
+Environment& Environment::with_rf(RfChannel::Params p) {
+  rf_.emplace(p, seed_ ^ stream_key("ch.rf"));
+  return *this;
+}
+Environment& Environment::with_water_flow(WaterFlowChannel::Params p) {
+  water_.emplace(p, seed_ ^ stream_key("ch.water"));
+  return *this;
+}
+
+AmbientConditions Environment::advance(Seconds now, Seconds dt) {
+  AmbientConditions c;
+  if (solar_) c.solar_irradiance = solar_->advance(now, dt);
+  if (indoor_light_) c.illuminance = indoor_light_->advance(now, dt);
+  if (wind_) c.wind_speed = wind_->advance(now, dt);
+  if (hvac_) {
+    // Indoor flow adds to (usually zero) outdoor wind at the same port.
+    c.wind_speed += hvac_->advance(now, dt);
+  }
+  if (thermal_) c.thermal_gradient = thermal_->advance(now, dt);
+  if (vibration_) {
+    const auto v = vibration_->advance(now, dt);
+    c.vibration_rms = v.rms;
+    c.vibration_freq = v.frequency;
+  }
+  if (rf_) c.rf_power_density = rf_->advance(now, dt);
+  if (water_) c.water_flow = water_->advance(now, dt);
+  return c;
+}
+
+Environment Environment::outdoor(std::uint64_t seed) {
+  Environment e(seed, "outdoor (sun + wind)");
+  e.with_solar({}).with_wind({});
+  return e;
+}
+
+Environment Environment::indoor_industrial(std::uint64_t seed) {
+  Environment e(seed, "indoor industrial (light + HVAC + thermal + vibration + RF)");
+  e.with_indoor_light({}).with_hvac_flow({}).with_thermal({}).with_vibration({}).with_rf(
+      {});
+  return e;
+}
+
+Environment Environment::agricultural(std::uint64_t seed) {
+  Environment e(seed, "agricultural (sun + wind + irrigation flow)");
+  e.with_solar({}).with_wind({}).with_water_flow({});
+  return e;
+}
+
+Environment Environment::office(std::uint64_t seed) {
+  Environment e(seed, "office (light + RF)");
+  e.with_indoor_light({}).with_rf({});
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// TraceEnvironment
+// ---------------------------------------------------------------------------
+
+TraceEnvironment::TraceEnvironment(CsvData trace, std::string description)
+    : trace_(std::move(trace)), description_(std::move(description)) {
+  require_spec(!trace_.rows.empty(), "TraceEnvironment: empty trace");
+  auto find = [this](const char* name) -> int {
+    for (std::size_t i = 0; i < trace_.headers.size(); ++i)
+      if (trace_.headers[i] == name) return static_cast<int>(i);
+    return -1;
+  };
+  col_time_ = find("time");
+  require_spec(col_time_ >= 0, "TraceEnvironment: trace needs a 'time' column");
+  col_solar_ = find("solar_irradiance");
+  col_lux_ = find("illuminance");
+  col_wind_ = find("wind_speed");
+  col_dt_ = find("thermal_gradient");
+  col_vib_ = find("vibration_rms");
+  col_vibf_ = find("vibration_freq");
+  col_rf_ = find("rf_power_density");
+  col_water_ = find("water_flow");
+  const auto t0 = trace_.rows.front()[static_cast<std::size_t>(col_time_)];
+  const auto t1 = trace_.rows.back()[static_cast<std::size_t>(col_time_)];
+  require_spec(t1 > t0, "TraceEnvironment: trace time must be increasing");
+  duration_ = Seconds{t1 - t0};
+}
+
+TraceEnvironment TraceEnvironment::from_file(const std::string& path) {
+  return TraceEnvironment(read_csv(path), "trace:" + path);
+}
+
+double TraceEnvironment::cell(std::size_t row, int col) const {
+  if (col < 0) return 0.0;
+  return trace_.rows[row][static_cast<std::size_t>(col)];
+}
+
+AmbientConditions TraceEnvironment::advance(Seconds now, Seconds dt) {
+  (void)dt;
+  const double t0 = trace_.rows.front()[static_cast<std::size_t>(col_time_)];
+  double t = t0 + std::fmod(now.value() - 0.0, duration_.value());
+  if (t < t0) t += duration_.value();
+  // Find the last row with time <= t (rows are sorted by construction check
+  // on endpoints; binary search over the time column).
+  std::size_t lo = 0;
+  std::size_t hi = trace_.rows.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi + 1) / 2;
+    if (trace_.rows[mid][static_cast<std::size_t>(col_time_)] <= t)
+      lo = mid;
+    else
+      hi = mid - 1;
+  }
+  AmbientConditions c;
+  c.solar_irradiance = WattsPerSquareMeter{cell(lo, col_solar_)};
+  c.illuminance = Lux{cell(lo, col_lux_)};
+  c.wind_speed = MetersPerSecond{cell(lo, col_wind_)};
+  c.thermal_gradient = Kelvin{cell(lo, col_dt_)};
+  c.vibration_rms = MetersPerSecondSquared{cell(lo, col_vib_)};
+  c.vibration_freq = Hertz{cell(lo, col_vibf_)};
+  c.rf_power_density = WattsPerSquareMeter{cell(lo, col_rf_)};
+  c.water_flow = MetersPerSecond{cell(lo, col_water_)};
+  return c;
+}
+
+}  // namespace msehsim::env

@@ -1,0 +1,107 @@
+// Composite deployment environment.
+//
+// An Environment owns whichever channel generators exist at a site and
+// produces one AmbientConditions sample per simulation step. Presets cover
+// the deployment classes the survey discusses: outdoor (System A, AmbiMax),
+// indoor industrial (System B, Cymbet, EH-Link), and agricultural
+// (MPWiNode). A TraceEnvironment plays back measured CSV traces instead.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/csv.hpp"
+#include "env/channels.hpp"
+#include "env/conditions.hpp"
+
+namespace msehsim::env {
+
+/// Interface: anything that yields ambient conditions over time.
+class EnvironmentModel {
+ public:
+  virtual ~EnvironmentModel() = default;
+
+  /// Advances internal state by @p dt and returns conditions valid over
+  /// [now, now + dt).
+  virtual AmbientConditions advance(Seconds now, Seconds dt) = 0;
+
+  /// Human-readable site description.
+  [[nodiscard]] virtual std::string description() const = 0;
+};
+
+/// Synthetic environment assembled from optional channels.
+class Environment final : public EnvironmentModel {
+ public:
+  /// Builder-style channel installation. Channels left unset read as zero.
+  Environment& with_solar(SolarChannel::Params p);
+  Environment& with_indoor_light(IndoorLightChannel::Params p);
+  Environment& with_wind(WindChannel::Params p);
+  Environment& with_hvac_flow(HvacFlowChannel::Params p);
+  Environment& with_thermal(ThermalChannel::Params p);
+  Environment& with_vibration(VibrationChannel::Params p);
+  Environment& with_rf(RfChannel::Params p);
+  Environment& with_water_flow(WaterFlowChannel::Params p);
+
+  explicit Environment(std::uint64_t seed, std::string description = "synthetic");
+
+  AmbientConditions advance(Seconds now, Seconds dt) override;
+  [[nodiscard]] std::string description() const override { return description_; }
+
+  // -- Presets matching the survey's deployment classes -------------------
+
+  /// Outdoor site: sun + wind (System A / AmbiMax scenario).
+  static Environment outdoor(std::uint64_t seed);
+
+  /// Indoor industrial site: artificial light, HVAC airflow, machinery
+  /// thermal gradients and vibration, ambient RF (System B scenario).
+  static Environment indoor_industrial(std::uint64_t seed);
+
+  /// Agricultural site: sun, wind, irrigation water flow (MPWiNode).
+  static Environment agricultural(std::uint64_t seed);
+
+  /// Office site: artificial light and RF only (energy-sparse indoor).
+  static Environment office(std::uint64_t seed);
+
+ private:
+  std::uint64_t seed_;
+  std::string description_;
+  std::optional<SolarChannel> solar_;
+  std::optional<IndoorLightChannel> indoor_light_;
+  std::optional<WindChannel> wind_;
+  std::optional<HvacFlowChannel> hvac_;
+  std::optional<ThermalChannel> thermal_;
+  std::optional<VibrationChannel> vibration_;
+  std::optional<RfChannel> rf_;
+  std::optional<WaterFlowChannel> water_;
+};
+
+/// Plays back a CSV trace with columns named after AmbientConditions fields
+/// (`time`, `solar_irradiance`, `illuminance`, `wind_speed`,
+/// `thermal_gradient`, `vibration_rms`, `vibration_freq`,
+/// `rf_power_density`, `water_flow`); missing columns read as zero.
+/// Values are held piecewise-constant between trace rows; the trace loops.
+class TraceEnvironment final : public EnvironmentModel {
+ public:
+  explicit TraceEnvironment(CsvData trace, std::string description = "trace");
+
+  static TraceEnvironment from_file(const std::string& path);
+
+  AmbientConditions advance(Seconds now, Seconds dt) override;
+  [[nodiscard]] std::string description() const override { return description_; }
+
+  /// Trace duration (time of last row); playback wraps modulo this.
+  [[nodiscard]] Seconds duration() const { return duration_; }
+
+ private:
+  [[nodiscard]] double cell(std::size_t row, int col) const;
+
+  CsvData trace_;
+  std::string description_;
+  Seconds duration_{0.0};
+  int col_time_{-1}, col_solar_{-1}, col_lux_{-1}, col_wind_{-1}, col_dt_{-1},
+      col_vib_{-1}, col_vibf_{-1}, col_rf_{-1}, col_water_{-1};
+};
+
+}  // namespace msehsim::env

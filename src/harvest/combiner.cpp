@@ -1,0 +1,60 @@
+#include "harvest/combiner.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace msehsim::harvest {
+
+DiodeOrCombiner::DiodeOrCombiner(std::string name,
+                                 std::vector<std::unique_ptr<Harvester>> sources,
+                                 Volts diode_drop)
+    : name_(std::move(name)), sources_(std::move(sources)), diode_drop_(diode_drop) {
+  require_spec(!sources_.empty(), "DiodeOrCombiner needs at least one source");
+  for (const auto& s : sources_)
+    require_spec(s != nullptr, "DiodeOrCombiner: null source");
+  require_spec(diode_drop_.value() >= 0.0, "diode drop must be >= 0");
+}
+
+HarvesterKind DiodeOrCombiner::kind() const {
+  return sources_[dominant_source()]->kind();
+}
+
+void DiodeOrCombiner::set_conditions(const env::AmbientConditions& c) {
+  for (auto& s : sources_) s->set_conditions(c);
+}
+
+std::size_t DiodeOrCombiner::dominant_source() const {
+  std::size_t best = 0;
+  Volts best_voc{-1.0};
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    const Volts voc = sources_[i]->open_circuit_voltage();
+    if (voc > best_voc) {
+      best_voc = voc;
+      best = i;
+    }
+  }
+  return best;
+}
+
+Amps DiodeOrCombiner::current_at(Volts v) const {
+  if (v.value() < 0.0) return Amps{0.0};
+  // Each source sees the combiner terminal plus its diode's drop; reverse
+  // bias (source Voc below terminal + drop) conducts nothing. In practice
+  // only the strongest source contributes meaningful current, but summing
+  // is exact for ideal-diode OR-ing.
+  Amps total{0.0};
+  for (const auto& s : sources_) total += s->current_at(v + diode_drop_);
+  return total;
+}
+
+Volts DiodeOrCombiner::open_circuit_voltage() const {
+  Volts best{0.0};
+  for (const auto& s : sources_) {
+    const Volts voc = s->open_circuit_voltage();
+    if (voc > best) best = voc;
+  }
+  return Volts{std::max(0.0, best.value() - diode_drop_.value())};
+}
+
+}  // namespace msehsim::harvest

@@ -1,0 +1,33 @@
+#include "harvest/harvester.hpp"
+
+#include "core/solve.hpp"
+
+namespace msehsim::harvest {
+
+std::string_view to_string(HarvesterKind kind) {
+  switch (kind) {
+    case HarvesterKind::kPhotovoltaic: return "Light";
+    case HarvesterKind::kWind: return "Wind";
+    case HarvesterKind::kThermoelectric: return "Thermal";
+    case HarvesterKind::kPiezo: return "Vibration";
+    case HarvesterKind::kInductive: return "Inductive";
+    case HarvesterKind::kRf: return "Radio";
+    case HarvesterKind::kWaterFlow: return "Water Flow";
+    case HarvesterKind::kAcDc: return "AC/DC";
+  }
+  return "?";
+}
+
+OperatingPoint Harvester::maximum_power_point() const {
+  const Volts voc = open_circuit_voltage();
+  if (voc.value() <= 0.0) return OperatingPoint{};
+  const double v_star = golden_max(
+      [this](double v) { return power_at(Volts{v}).value(); }, 0.0, voc.value());
+  OperatingPoint mpp;
+  mpp.v = Volts{v_star};
+  mpp.i = current_at(mpp.v);
+  mpp.p = mpp.v * mpp.i;
+  return mpp;
+}
+
+}  // namespace msehsim::harvest

@@ -1,0 +1,81 @@
+// Harvester (transducer) interface.
+//
+// Every harvester exposes a DC-side I-V curve — current available at a given
+// terminal voltage under the present ambient conditions (any internal
+// AC rectification is folded into the curve). Input power conditioning
+// (src/power) picks the operating point on this curve: an MPPT controller
+// tracks the knee, a fixed-point circuit sits where it was told to
+// (the System A vs System B contrast in Sec. II.1 of the survey).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/units.hpp"
+#include "env/conditions.hpp"
+
+namespace msehsim::harvest {
+
+/// Energy source types appearing in Table I of the survey.
+enum class HarvesterKind {
+  kPhotovoltaic,   ///< "Light"
+  kWind,           ///< "Wind"
+  kThermoelectric, ///< "Thermal"
+  kPiezo,          ///< "Vibration" / "Piezo/Mech"
+  kInductive,      ///< electromagnetic vibration (EH-Link)
+  kRf,             ///< "Radio"
+  kWaterFlow,      ///< "Water Flow" (MPWiNode)
+  kAcDc,           ///< "General AC/DC > 5V" (EH-Link)
+};
+
+[[nodiscard]] std::string_view to_string(HarvesterKind kind);
+
+/// A point on an I-V curve.
+struct OperatingPoint {
+  Volts v{0.0};
+  Amps i{0.0};
+  Watts p{0.0};
+};
+
+/// Thevenin-equivalent DC source: the workhorse electrical abstraction for
+/// rectified transducers. Maximum power Voc^2/(4R) is reached at Voc/2.
+struct TheveninSource {
+  Volts voc{0.0};
+  Ohms r{1.0};
+
+  [[nodiscard]] Amps current_at(Volts v) const {
+    if (v >= voc || r.value() <= 0.0) return Amps{0.0};
+    return (voc - v) / r;
+  }
+  [[nodiscard]] Watts max_power() const {
+    return Watts{voc.value() * voc.value() / (4.0 * r.value())};
+  }
+};
+
+class Harvester {
+ public:
+  virtual ~Harvester() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual HarvesterKind kind() const = 0;
+
+  /// Latches the ambient conditions for the current timestep.
+  virtual void set_conditions(const env::AmbientConditions& c) = 0;
+
+  /// DC current the harvester sources into terminal voltage @p v under the
+  /// latched conditions. Non-negative (input conditioning always includes
+  /// reverse-blocking, Sec. II.1); zero at or above open-circuit voltage.
+  [[nodiscard]] virtual Amps current_at(Volts v) const = 0;
+
+  /// Open-circuit voltage under the latched conditions.
+  [[nodiscard]] virtual Volts open_circuit_voltage() const = 0;
+
+  /// Power delivered into terminal voltage @p v.
+  [[nodiscard]] Watts power_at(Volts v) const { return v * current_at(v); }
+
+  /// True maximum power point under the latched conditions (numeric oracle;
+  /// MPPT controllers in src/power approximate this online).
+  [[nodiscard]] OperatingPoint maximum_power_point() const;
+};
+
+}  // namespace msehsim::harvest

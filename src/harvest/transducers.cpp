@@ -1,0 +1,261 @@
+#include "harvest/transducers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "core/error.hpp"
+
+namespace msehsim::harvest {
+
+// ---------------------------------------------------------------------------
+// PvPanel
+// ---------------------------------------------------------------------------
+
+PvPanel::PvPanel(std::string name, Params params)
+    : name_(std::move(name)), params_(params) {
+  require_spec(params_.voc_stc.value() > 0.0, "PV Voc must be > 0");
+  require_spec(params_.isc_stc.value() > 0.0, "PV Isc must be > 0");
+  require_spec(params_.diode_ideality >= 1.0 && params_.diode_ideality <= 2.5,
+               "PV diode ideality out of physical range [1, 2.5]");
+  require_spec(params_.series_cells >= 1, "PV needs at least one cell");
+  require_spec(params_.lux_per_wm2 > 0.0, "PV lux conversion must be > 0");
+  // Dark saturation current pinned so that I(Voc_stc) = 0 at STC.
+  const double vt_total = thermal_voltage();
+  saturation_current_ =
+      Amps{params_.isc_stc.value() / std::expm1(params_.voc_stc.value() / vt_total)};
+}
+
+double PvPanel::thermal_voltage() const {
+  constexpr double kVtCell = 0.02585;  // kT/q at 300 K
+  return params_.diode_ideality * kVtCell * params_.series_cells;
+}
+
+void PvPanel::set_conditions(const env::AmbientConditions& c) {
+  double g = c.solar_irradiance.value();
+  if (params_.indoor) {
+    g = c.illuminance.value() / params_.lux_per_wm2 * params_.indoor_derating;
+  }
+  photo_current_ = Amps{params_.isc_stc.value() * std::max(0.0, g) / 1000.0};
+}
+
+Amps PvPanel::current_at(Volts v) const {
+  if (v.value() < 0.0) return Amps{0.0};
+  const double diode =
+      saturation_current_.value() * std::expm1(v.value() / thermal_voltage());
+  return Amps{std::max(0.0, photo_current_.value() - diode)};
+}
+
+Volts PvPanel::open_circuit_voltage() const {
+  if (photo_current_.value() <= 0.0) return Volts{0.0};
+  return Volts{thermal_voltage() *
+               std::log1p(photo_current_.value() / saturation_current_.value())};
+}
+
+// ---------------------------------------------------------------------------
+// WindTurbine
+// ---------------------------------------------------------------------------
+
+WindTurbine::WindTurbine(std::string name, Params params)
+    : WindTurbine(std::move(name), params, HarvesterKind::kWind) {}
+
+WindTurbine::WindTurbine(std::string name, Params params, HarvesterKind kind)
+    : name_(std::move(name)), params_(params), kind_(kind) {
+  require_spec(params_.rotor_area_m2 > 0.0, "turbine rotor area must be > 0");
+  require_spec(params_.power_coefficient > 0.0 && params_.power_coefficient < 0.593,
+               "turbine Cp must be in (0, Betz limit)");
+  require_spec(params_.cut_in.value() >= 0.0, "turbine cut-in must be >= 0");
+  require_spec(params_.rated > params_.cut_in, "turbine rated speed must exceed cut-in");
+  require_spec(params_.internal_resistance.value() > 0.0,
+               "turbine internal resistance must be > 0");
+  require_spec(params_.fluid_density > 0.0, "fluid density must be > 0");
+}
+
+WindTurbine WindTurbine::water_turbine(std::string name) {
+  Params p;
+  p.rotor_area_m2 = 0.002;       // small in-pipe rotor
+  p.power_coefficient = 0.30;
+  p.cut_in = MetersPerSecond{0.3};
+  p.rated = MetersPerSecond{3.0};
+  p.voc_per_ms = Volts{3.0};
+  p.internal_resistance = Ohms{25.0};
+  p.fluid_density = 1000.0;      // water
+  return WindTurbine(std::move(name), p, HarvesterKind::kWaterFlow);
+}
+
+void WindTurbine::set_conditions(const env::AmbientConditions& c) {
+  latch_speed(kind_ == HarvesterKind::kWaterFlow ? c.water_flow : c.wind_speed);
+}
+
+void WindTurbine::latch_speed(MetersPerSecond speed) {
+  const double v = std::min(speed.value(), params_.rated.value());
+  if (speed < params_.cut_in) {
+    available_ = Watts{0.0};
+    source_ = TheveninSource{Volts{0.0}, params_.internal_resistance};
+    return;
+  }
+  available_ = Watts{0.5 * params_.fluid_density * params_.rotor_area_m2 *
+                     params_.power_coefficient * v * v * v};
+  source_ = TheveninSource{params_.voc_per_ms * v, params_.internal_resistance};
+}
+
+Amps WindTurbine::current_at(Volts v) const {
+  if (available_.value() <= 0.0 || v.value() < 0.0) return Amps{0.0};
+  const Amps thevenin = source_.current_at(v);
+  if (v.value() <= 0.0) return thevenin;
+  // The generator cannot exceed the aerodynamically available power.
+  const Amps power_cap = available_ / v;
+  return std::min(thevenin, power_cap);
+}
+
+Volts WindTurbine::open_circuit_voltage() const {
+  return available_.value() > 0.0 ? source_.voc : Volts{0.0};
+}
+
+// ---------------------------------------------------------------------------
+// Teg
+// ---------------------------------------------------------------------------
+
+Teg::Teg(std::string name, Params params) : name_(std::move(name)), params_(params) {
+  require_spec(params_.seebeck_per_kelvin.value() > 0.0, "TEG Seebeck must be > 0");
+  require_spec(params_.internal_resistance.value() > 0.0,
+               "TEG internal resistance must be > 0");
+}
+
+void Teg::set_conditions(const env::AmbientConditions& c) {
+  const double dt = std::max(0.0, c.thermal_gradient.value());
+  source_ = TheveninSource{params_.seebeck_per_kelvin * dt, params_.internal_resistance};
+}
+
+Amps Teg::current_at(Volts v) const {
+  if (v.value() < 0.0) return Amps{0.0};
+  return source_.current_at(v);
+}
+
+Volts Teg::open_circuit_voltage() const { return source_.voc; }
+
+// ---------------------------------------------------------------------------
+// VibrationHarvester
+// ---------------------------------------------------------------------------
+
+VibrationHarvester::VibrationHarvester(std::string name, Params params,
+                                       HarvesterKind kind)
+    : name_(std::move(name)), params_(params), kind_(kind) {
+  require_spec(kind == HarvesterKind::kPiezo || kind == HarvesterKind::kInductive,
+               "VibrationHarvester kind must be piezo or inductive");
+  require_spec(params_.proof_mass_kg > 0.0, "proof mass must be > 0");
+  require_spec(params_.damping_ratio > 0.0 && params_.damping_ratio < 1.0,
+               "damping ratio must be in (0,1)");
+  require_spec(params_.resonant_frequency.value() > 0.0, "resonance must be > 0");
+  require_spec(params_.optimal_voltage.value() > 0.0, "optimal voltage must be > 0");
+  require_spec(params_.transduction_efficiency > 0.0 &&
+                   params_.transduction_efficiency <= 1.0,
+               "transduction efficiency must be in (0,1]");
+}
+
+VibrationHarvester VibrationHarvester::piezo(std::string name, Params params) {
+  return VibrationHarvester(std::move(name), params, HarvesterKind::kPiezo);
+}
+
+VibrationHarvester VibrationHarvester::electromagnetic(std::string name, Params params) {
+  params.optimal_voltage = Volts{1.2};  // EM transducers are low-voltage
+  params.transduction_efficiency = 0.5;
+  return VibrationHarvester(std::move(name), params, HarvesterKind::kInductive);
+}
+
+void VibrationHarvester::set_conditions(const env::AmbientConditions& c) {
+  const double a = c.vibration_rms.value();
+  const double f = c.vibration_freq.value();
+  if (a <= 0.0 || f <= 0.0) {
+    source_ = TheveninSource{Volts{0.0}, Ohms{1.0}};
+    return;
+  }
+  const double omega = 2.0 * std::numbers::pi * params_.resonant_frequency.value();
+  // Williams-Yates resonant bound, derated by transduction efficiency.
+  const double p_res = params_.proof_mass_kg * a * a /
+                       (8.0 * params_.damping_ratio * omega) *
+                       params_.transduction_efficiency;
+  // Lorentzian roll-off when the excitation is detuned from resonance.
+  const double half_bw =
+      0.5 * params_.bandwidth_fraction * params_.resonant_frequency.value();
+  const double detune = (f - params_.resonant_frequency.value()) / half_bw;
+  const double p_max = p_res / (1.0 + detune * detune);
+  if (p_max <= 0.0) {
+    source_ = TheveninSource{Volts{0.0}, Ohms{1.0}};
+    return;
+  }
+  // Thevenin source whose MPP sits at (optimal_voltage, p_max).
+  const Volts voc = params_.optimal_voltage * 2.0;
+  const Ohms r = Ohms{voc.value() * voc.value() / (4.0 * p_max)};
+  source_ = TheveninSource{voc, r};
+}
+
+Amps VibrationHarvester::current_at(Volts v) const {
+  if (v.value() < 0.0) return Amps{0.0};
+  return source_.current_at(v);
+}
+
+Volts VibrationHarvester::open_circuit_voltage() const { return source_.voc; }
+
+// ---------------------------------------------------------------------------
+// RfHarvester
+// ---------------------------------------------------------------------------
+
+RfHarvester::RfHarvester(std::string name, Params params)
+    : name_(std::move(name)), params_(params) {
+  require_spec(params_.aperture_m2 > 0.0, "RF aperture must be > 0");
+  require_spec(params_.peak_efficiency > 0.0 && params_.peak_efficiency <= 1.0,
+               "RF efficiency must be in (0,1]");
+  require_spec(params_.efficiency_knee.value() > 0.0, "RF efficiency knee must be > 0");
+  require_spec(params_.optimal_voltage.value() > 0.0, "RF optimal voltage must be > 0");
+}
+
+void RfHarvester::set_conditions(const env::AmbientConditions& c) {
+  const Watts incident =
+      Watts{c.rf_power_density.value() * params_.aperture_m2};
+  if (incident < params_.sensitivity) {
+    source_ = TheveninSource{Volts{0.0}, Ohms{1.0}};
+    return;
+  }
+  // Efficiency rises with input power and saturates past the knee
+  // (rectifier diodes need forward bias) — standard rectenna behaviour.
+  const double x = incident.value() / params_.efficiency_knee.value();
+  const double eff = params_.peak_efficiency * (x / (1.0 + x));
+  const double p_out = incident.value() * eff;
+  const Volts voc = params_.optimal_voltage * 2.0;
+  source_ = TheveninSource{voc, Ohms{voc.value() * voc.value() / (4.0 * p_out)}};
+}
+
+Amps RfHarvester::current_at(Volts v) const {
+  if (v.value() < 0.0) return Amps{0.0};
+  return source_.current_at(v);
+}
+
+Volts RfHarvester::open_circuit_voltage() const { return source_.voc; }
+
+// ---------------------------------------------------------------------------
+// AcDcSource
+// ---------------------------------------------------------------------------
+
+AcDcSource::AcDcSource(std::string name, Params params)
+    : name_(std::move(name)), params_(params) {
+  require_spec(params_.rectified_voc.value() > 5.0,
+               "EH-Link class AC/DC input requires > 5 V");
+  require_spec(params_.internal_resistance.value() > 0.0,
+               "AC/DC internal resistance must be > 0");
+}
+
+void AcDcSource::set_conditions(const env::AmbientConditions& c) {
+  energized_ = c.vibration_rms >= params_.machinery_threshold;
+}
+
+Amps AcDcSource::current_at(Volts v) const {
+  if (!energized_ || v.value() < 0.0) return Amps{0.0};
+  return TheveninSource{params_.rectified_voc, params_.internal_resistance}.current_at(v);
+}
+
+Volts AcDcSource::open_circuit_voltage() const {
+  return energized_ ? params_.rectified_voc : Volts{0.0};
+}
+
+}  // namespace msehsim::harvest

@@ -1,0 +1,166 @@
+// Energy monitors — one per capability level of the survey's Axis 3.
+//
+// The crucial semantic (Sec. III.2): monitors estimate energy through an
+// *assumed* hardware model. Analog monitors bake the assumption in at build
+// time, so swapping the storage device silently corrupts their estimates;
+// the digital monitor re-reads electronic datasheets and stays correct —
+// exactly the System B property the survey singles out.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bus/i2c.hpp"
+#include "bus/module_port.hpp"
+#include "bus/sense.hpp"
+#include "core/units.hpp"
+#include "storage/storage.hpp"
+#include "taxonomy/taxonomy.hpp"
+
+namespace msehsim::manager {
+
+/// What a monitor believes about the energy subsystem.
+struct EnergyEstimate {
+  bool valid{false};
+  Joules stored{0.0};
+  Joules capacity{0.0};
+  Watts incoming{0.0};
+  bool incoming_known{false};
+
+  [[nodiscard]] double soc() const {
+    return capacity.value() > 0.0 ? stored.value() / capacity.value() : 0.0;
+  }
+};
+
+class EnergyMonitor {
+ public:
+  virtual ~EnergyMonitor() = default;
+
+  [[nodiscard]] virtual taxonomy::MonitoringCapability capability() const = 0;
+
+  /// Performs one monitoring action (costs sensing/bus energy) and returns
+  /// the belief. Invalid estimate = the system is blind.
+  virtual EnergyEstimate estimate() = 0;
+
+  /// Total energy spent on monitoring so far.
+  [[nodiscard]] virtual Joules monitoring_energy() const = 0;
+
+  /// Invoked by the platform after an energy-device change. Monitors that
+  /// can re-recognize hardware refresh their model here; the others ignore
+  /// it (and drift, per survey Sec. III.2).
+  virtual void notify_hardware_change() {}
+};
+
+/// No monitoring at all (AmbiMax, MAX17710 Eval, EH-Link).
+class NullMonitor final : public EnergyMonitor {
+ public:
+  [[nodiscard]] taxonomy::MonitoringCapability capability() const override {
+    return taxonomy::MonitoringCapability::kNone;
+  }
+  EnergyEstimate estimate() override { return EnergyEstimate{}; }
+  [[nodiscard]] Joules monitoring_energy() const override { return Joules{0.0}; }
+};
+
+/// Analog store-voltage line + ADC (MPWiNode's "Limited" monitoring).
+/// Converts voltage to energy through a frozen assumed device model.
+class AnalogVoltageMonitor final : public EnergyMonitor {
+ public:
+  /// The voltage-to-energy model assumed by the firmware.
+  struct AssumedDevice {
+    enum class Model { kCapacitor, kBattery } model{Model::kCapacitor};
+    Farads capacitance{10.0};   ///< kCapacitor
+    Joules capacity{0.0};       ///< kBattery: energy between vmin and vmax
+    Volts min_voltage{0.0};
+    Volts max_voltage{5.0};
+
+    [[nodiscard]] Joules energy_at(Volts v) const;
+    [[nodiscard]] Joules full_energy() const;
+  };
+
+  /// @p voltage_source reads the monitored terminal. It models the analog
+  /// line soldered to the storage *slot*: after a hardware swap it reads
+  /// the new device, while the assumed model stays frozen (claim C5).
+  AnalogVoltageMonitor(std::function<Volts()> voltage_source, AssumedDevice assumed,
+                       bus::AdcLine::Params adc, std::uint64_t seed);
+
+  [[nodiscard]] taxonomy::MonitoringCapability capability() const override {
+    return taxonomy::MonitoringCapability::kStoreVoltageOnly;
+  }
+  EnergyEstimate estimate() override;
+  [[nodiscard]] Joules monitoring_energy() const override;
+
+  /// Firmware update: tell the monitor about new hardware explicitly
+  /// (what a *person* must do on non-plug-and-play systems).
+  void reconfigure(AssumedDevice assumed) { assumed_ = assumed; }
+
+  [[nodiscard]] const AssumedDevice& assumed() const { return assumed_; }
+
+ private:
+  std::function<Volts()> voltage_source_;
+  AssumedDevice assumed_;
+  bus::AdcLine adc_;
+};
+
+/// Digital monitor reading electronic datasheets + live telemetry over the
+/// bus (System A on-power-unit MCU; System B node-side driver).
+class DigitalBusMonitor final : public EnergyMonitor {
+ public:
+  struct ModuleRecord {
+    std::uint8_t address{0};
+    bus::ElectronicDatasheet datasheet;
+  };
+
+  /// @p addresses the module sockets to scan.
+  DigitalBusMonitor(bus::I2cBus& bus, std::vector<std::uint8_t> addresses);
+
+  [[nodiscard]] taxonomy::MonitoringCapability capability() const override {
+    return taxonomy::MonitoringCapability::kFull;
+  }
+  EnergyEstimate estimate() override;
+  [[nodiscard]] Joules monitoring_energy() const override;
+
+  /// Re-enumerates the bus: hot-swapped modules are recognized from their
+  /// datasheets (the System B property).
+  void notify_hardware_change() override { enumerate(); }
+
+  void enumerate();
+  [[nodiscard]] const std::vector<ModuleRecord>& inventory() const {
+    return inventory_;
+  }
+
+ private:
+  bus::I2cBus* bus_;
+  std::vector<std::uint8_t> addresses_;
+  std::vector<ModuleRecord> inventory_;
+};
+
+/// Activity-flag monitor (Cymbet EVAL-09): "allows the system to see which
+/// devices are active" — boolean flags only, no energy quantification.
+class ActivityFlagMonitor final : public EnergyMonitor {
+ public:
+  /// @p probes one callback per input, true when that source is producing.
+  /// @p energy_per_poll MCU cost of reading the flag register.
+  ActivityFlagMonitor(std::vector<std::function<bool()>> probes,
+                      Joules energy_per_poll);
+
+  [[nodiscard]] taxonomy::MonitoringCapability capability() const override {
+    return taxonomy::MonitoringCapability::kActivityFlags;
+  }
+  EnergyEstimate estimate() override;
+  [[nodiscard]] Joules monitoring_energy() const override { return spent_; }
+
+  /// Flags from the most recent estimate() call.
+  [[nodiscard]] const std::vector<bool>& flags() const { return flags_; }
+
+ private:
+  std::vector<std::function<bool()>> probes_;
+  Joules energy_per_poll_;
+  Joules spent_{0.0};
+  std::vector<bool> flags_;
+};
+
+}  // namespace msehsim::manager

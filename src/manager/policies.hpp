@@ -1,0 +1,90 @@
+// Energy-management policies.
+//
+// Survey Sec. II.3: "Intelligent features allow the system to ... respond
+// by, for example, adjusting its duty cycle to conserve energy when
+// resources are limited, or selecting auxiliary storage such as the fuel
+// cell." These policies are the executable version of that sentence.
+#pragma once
+
+#include "core/units.hpp"
+#include "manager/monitor.hpp"
+#include "node/sensor_node.hpp"
+#include "storage/fuel_cell.hpp"
+
+namespace msehsim::manager {
+
+/// Duty-cycle adaptation toward a state-of-charge target (energy-neutral
+/// operation): below target, slow down; above target, speed up.
+/// Multiplicative update with clamped step keeps the loop stable.
+class DutyCycleController {
+ public:
+  struct Params {
+    double target_soc{0.6};
+    double gain{1.5};          ///< aggressiveness of the multiplicative step
+    double deadband{0.05};     ///< no action within +-deadband of the target
+  };
+
+  explicit DutyCycleController(Params params);
+  DutyCycleController() : DutyCycleController(Params{}) {}
+
+  /// One control step: adjusts @p node's task period from the monitor's
+  /// belief. A blind system (invalid estimate) cannot adapt — the node
+  /// keeps whatever period it was deployed with.
+  void update(const EnergyEstimate& estimate, node::SensorNode& node);
+
+  [[nodiscard]] std::uint64_t adjustments() const { return adjustments_; }
+
+ private:
+  Params params_;
+  std::uint64_t adjustments_{0};
+};
+
+/// Energy-neutral-operation controller driven by *incoming power* (needs a
+/// monitor that can observe it — digital monitoring only): sets the task
+/// period so consumption matches a fraction of the measured harvest rate,
+/// the textbook ENO law. Converges in one step when the estimate is good,
+/// unlike the SoC controller's gradual walk.
+class EnoPowerController {
+ public:
+  struct Params {
+    double utilization{0.8};   ///< spend this fraction of incoming power
+    Watts base_load{3e-6};     ///< node floor (sleep + wake-up radio)
+    Volts rail{3.0};           ///< rail at which cycle energy is computed
+  };
+
+  explicit EnoPowerController(Params params);
+  EnoPowerController() : EnoPowerController(Params{}) {}
+
+  /// One control step. No-op unless the estimate carries incoming power.
+  void update(const EnergyEstimate& estimate, node::SensorNode& node);
+
+  [[nodiscard]] std::uint64_t adjustments() const { return adjustments_; }
+
+ private:
+  Params params_;
+  std::uint64_t adjustments_{0};
+};
+
+/// Fuel-cell fallback with hysteresis (System A): switch the stack in when
+/// ambient-fed storage runs low, back out once it recovers.
+class FuelCellPolicy {
+ public:
+  struct Params {
+    double enable_below_soc{0.25};
+    double disable_above_soc{0.50};
+  };
+
+  explicit FuelCellPolicy(Params params);
+  FuelCellPolicy() : FuelCellPolicy(Params{}) {}
+
+  /// @p ambient_soc state of charge of the environmentally charged stores.
+  void update(double ambient_soc, storage::FuelCell& cell);
+
+  [[nodiscard]] std::uint64_t switch_ins() const { return switch_ins_; }
+
+ private:
+  Params params_;
+  std::uint64_t switch_ins_{0};
+};
+
+}  // namespace msehsim::manager

@@ -1,0 +1,92 @@
+#include "manager/predictor.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace msehsim::manager {
+
+namespace {
+constexpr double kSecondsPerDay = 86400.0;
+}
+
+EwmaHarvestPredictor::EwmaHarvestPredictor(Params params)
+    : params_(params),
+      slot_watts_(static_cast<std::size_t>(params.slots_per_day), 0.0),
+      seen_(static_cast<std::size_t>(params.slots_per_day), false) {
+  require_spec(params_.slots_per_day >= 1 && params_.slots_per_day <= 1440,
+               "predictor slots per day out of range [1, 1440]");
+  require_spec(params_.alpha > 0.0 && params_.alpha <= 1.0,
+               "predictor alpha must be in (0, 1]");
+}
+
+std::size_t EwmaHarvestPredictor::slot_of(Seconds t) const {
+  double day_time = std::fmod(t.value(), kSecondsPerDay);
+  if (day_time < 0.0) day_time += kSecondsPerDay;
+  const auto slot = static_cast<std::size_t>(
+      day_time / kSecondsPerDay * params_.slots_per_day);
+  return std::min(slot, slot_watts_.size() - 1);
+}
+
+void EwmaHarvestPredictor::observe(Seconds now, Watts incoming) {
+  const std::size_t slot = slot_of(now);
+  const double x = std::max(0.0, incoming.value());
+  if (!seen_[slot]) {
+    slot_watts_[slot] = x;
+    seen_[slot] = true;
+  } else {
+    slot_watts_[slot] =
+        params_.alpha * x + (1.0 - params_.alpha) * slot_watts_[slot];
+  }
+  ++observations_;
+}
+
+Watts EwmaHarvestPredictor::predict(Seconds when) const {
+  const std::size_t slot = slot_of(when);
+  return seen_[slot] ? Watts{slot_watts_[slot]} : Watts{0.0};
+}
+
+Watts EwmaHarvestPredictor::predict_mean(Seconds now, Seconds horizon) const {
+  require_spec(horizon.value() > 0.0, "prediction horizon must be > 0");
+  const double slot_len = kSecondsPerDay / params_.slots_per_day;
+  const int n = std::max(1, static_cast<int>(horizon.value() / slot_len));
+  double sum = 0.0;
+  for (int k = 0; k < n; ++k)
+    sum += predict(now + Seconds{(k + 0.5) * slot_len}).value();
+  return Watts{sum / n};
+}
+
+PredictiveDutyController::PredictiveDutyController(Params params)
+    : params_(params) {
+  require_spec(params_.utilization > 0.0 && params_.utilization <= 1.0,
+               "predictive utilization must be in (0, 1]");
+  require_spec(params_.horizon.value() > 0.0, "predictive horizon must be > 0");
+  require_spec(params_.rail.value() > 0.0, "predictive rail must be > 0");
+}
+
+void PredictiveDutyController::update(Seconds now, const EnergyEstimate& estimate,
+                                      node::SensorNode& node) {
+  if (!estimate.valid || !estimate.incoming_known) return;
+  predictor_.observe(now, estimate.incoming);
+
+  const double budget =
+      params_.utilization *
+      predictor_.predict_mean(now, params_.horizon).value();
+  // Invert the consumption law P(T) = P_base + E_cycle/T from two samples,
+  // as in EnoPowerController.
+  const double p_now = node.average_power(params_.rail).value();
+  const double t_now = node.task_period().value();
+  const double t_max = node.workload().max_period.value();
+  const double p_floor = node.floor_power(params_.rail).value();
+  const double denom = 1.0 / t_now - 1.0 / t_max;
+  if (denom <= 0.0) return;
+  const double cycle_energy = (p_now - p_floor) / denom;
+  const double p_base = p_floor - cycle_energy / t_max;
+  if (budget <= p_base + 1e-12 || cycle_energy <= 0.0) {
+    node.set_task_period(node.workload().max_period);
+    return;
+  }
+  node.set_task_period(Seconds{cycle_energy / (budget - p_base)});
+}
+
+}  // namespace msehsim::manager

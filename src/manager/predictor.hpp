@@ -1,0 +1,84 @@
+// Harvest prediction for proactive energy management.
+//
+// The survey closes on the need for systems to "adapt [their] activity to
+// [their] energy status"; reactive SoC control (policies.hpp) is the basic
+// form. The stronger form used by energy-neutral schedulers is *prediction*:
+// harvest is strongly diurnal, so an exponentially weighted moving average
+// kept per time-of-day slot (the classic EWMA predictor of solar-harvesting
+// schedulers) forecasts the next slots well. PredictiveDutyController uses
+// the forecast to set a duty cycle the node can sustain through the coming
+// lean hours instead of reacting after the buffer sags.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/units.hpp"
+#include "manager/monitor.hpp"
+#include "node/sensor_node.hpp"
+
+namespace msehsim::manager {
+
+/// Per-time-slot EWMA of observed harvest power.
+class EwmaHarvestPredictor {
+ public:
+  struct Params {
+    int slots_per_day{48};   ///< 30 min slots
+    double alpha{0.3};       ///< weight of the newest observation
+  };
+
+  explicit EwmaHarvestPredictor(Params params);
+  EwmaHarvestPredictor() : EwmaHarvestPredictor(Params{}) {}
+
+  /// Records an observation of harvest power at simulation time @p now.
+  void observe(Seconds now, Watts incoming);
+
+  /// Predicted harvest power for the slot containing @p when. Slots never
+  /// observed predict zero (pessimistic, which is the safe direction).
+  [[nodiscard]] Watts predict(Seconds when) const;
+
+  /// Mean predicted power over the next @p horizon starting at @p now.
+  [[nodiscard]] Watts predict_mean(Seconds now, Seconds horizon) const;
+
+  [[nodiscard]] int slots_per_day() const { return params_.slots_per_day; }
+  [[nodiscard]] std::uint64_t observations() const { return observations_; }
+
+ private:
+  [[nodiscard]] std::size_t slot_of(Seconds t) const;
+
+  Params params_;
+  std::vector<double> slot_watts_;
+  std::vector<bool> seen_;
+  std::uint64_t observations_{0};
+};
+
+/// Duty-cycle control from a day-ahead forecast: pick the period whose
+/// consumption the *predicted* mean harvest can sustain, applying the ENO
+/// utilization margin. Proactive where DutyCycleController is reactive.
+class PredictiveDutyController {
+ public:
+  struct Params {
+    double utilization{0.7};       ///< spend this fraction of the forecast
+    Seconds horizon{24.0 * 3600.0};
+    Volts rail{3.0};
+  };
+
+  explicit PredictiveDutyController(Params params);
+  PredictiveDutyController() : PredictiveDutyController(Params{}) {}
+
+  /// One control step at time @p now: feeds the monitor's incoming-power
+  /// estimate to the predictor and re-plans the node period. No-op for
+  /// estimates that cannot observe incoming power.
+  void update(Seconds now, const EnergyEstimate& estimate,
+              node::SensorNode& node);
+
+  [[nodiscard]] const EwmaHarvestPredictor& predictor() const {
+    return predictor_;
+  }
+
+ private:
+  Params params_;
+  EwmaHarvestPredictor predictor_;
+};
+
+}  // namespace msehsim::manager

@@ -1,0 +1,86 @@
+#include "power/chain.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace msehsim::power {
+
+InputChain::InputChain(std::unique_ptr<harvest::Harvester> harvester,
+                       std::unique_ptr<MpptController> mppt, Converter converter,
+                       Seconds mppt_period)
+    : harvester_(std::move(harvester)),
+      mppt_(std::move(mppt)),
+      converter_(std::move(converter)),
+      mppt_period_(mppt_period) {
+  require_spec(harvester_ != nullptr, "InputChain requires a harvester");
+  require_spec(mppt_ != nullptr, "InputChain requires an operating-point controller");
+  require_spec(mppt_period_.value() > 0.0, "MPPT period must be > 0");
+}
+
+Watts InputChain::step(const env::AmbientConditions& conditions, Volts bus_voltage,
+                       Seconds now, Seconds dt) {
+  harvester_->set_conditions(conditions);
+
+  Seconds interruption{0.0};
+  if (now >= next_update_) {
+    operating_voltage_ = mppt_->update(*harvester_, operating_voltage_);
+    overhead_ += mppt_->overhead_per_update();
+    interruption = mppt_->harvest_interruption();
+    next_update_ = now + mppt_period_;
+  }
+
+  transducer_power_ = harvester_->power_at(operating_voltage_);
+
+  // Cold start: the converter cannot run until its input has once reached
+  // the startup threshold; it stops (and must restart) if the input
+  // collapses below its operating window.
+  const Volts startup = converter_.params().startup_voltage;
+  if (startup.value() > 0.0) {
+    const Volts vin = operating_voltage_;
+    if (!started_ && vin >= startup) started_ = true;
+    if (started_ && vin < converter_.params().min_input) started_ = false;
+    if (!started_) {
+      harvestable_at_mpp_ += harvester_->maximum_power_point().p * dt;
+      return Watts{0.0};
+    }
+  } else {
+    started_ = true;
+  }
+  // Fraction of the step lost to a Voc sample (fractional-Voc trackers).
+  const double duty =
+      std::clamp(1.0 - interruption.value() / dt.value(), 0.0, 1.0);
+  const Watts effective = transducer_power_ * duty;
+
+  const Watts out = converter_.transfer(effective, operating_voltage_, bus_voltage);
+  // Tracker overhead is paid from the bus, amortized over this step.
+  const double overhead_now =
+      mppt_->overhead_per_update().value() / mppt_period_.value();
+  const Watts net{std::max(0.0, out.value() - overhead_now)};
+
+  delivered_ += net * dt;
+  harvested_at_setpoint_ += effective * dt;
+  harvestable_at_mpp_ += harvester_->maximum_power_point().p * dt;
+  return net;
+}
+
+double InputChain::tracking_efficiency() const {
+  if (harvestable_at_mpp_.value() <= 0.0) return 1.0;
+  return harvested_at_setpoint_.value() / harvestable_at_mpp_.value();
+}
+
+OutputChain::OutputChain(Converter converter, Volts rail_voltage)
+    : converter_(std::move(converter)), rail_voltage_(rail_voltage) {
+  require_spec(rail_voltage_.value() > 0.0, "rail voltage must be > 0");
+}
+
+Watts OutputChain::required_bus_power(Watts load_power, Volts bus_voltage) const {
+  if (!rail_available(bus_voltage)) return Watts{0.0};
+  return converter_.required_input(load_power, bus_voltage, rail_voltage_);
+}
+
+bool OutputChain::rail_available(Volts bus_voltage) const {
+  return converter_.can_convert(bus_voltage, rail_voltage_);
+}
+
+}  // namespace msehsim::power

@@ -1,0 +1,90 @@
+// Input and output conditioning chains.
+//
+// An InputChain is the survey's "input power conditioning circuit":
+// harvester -> operating-point control (MPPT or fixed) -> converter ->
+// storage bus. An OutputChain is the "output conditioning circuit":
+// storage bus -> converter -> regulated rail feeding the embedded device.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/stats.hpp"
+#include "core/units.hpp"
+#include "env/conditions.hpp"
+#include "harvest/harvester.hpp"
+#include "power/converter.hpp"
+#include "power/mppt.hpp"
+
+namespace msehsim::power {
+
+class InputChain {
+ public:
+  /// @p mppt_period how often the controller re-evaluates the setpoint.
+  InputChain(std::unique_ptr<harvest::Harvester> harvester,
+             std::unique_ptr<MpptController> mppt, Converter converter,
+             Seconds mppt_period);
+
+  /// Advances one step: latches @p conditions, runs the tracker if due, and
+  /// returns the power delivered into the storage bus at @p bus_voltage
+  /// (net of converter losses and amortized tracker overhead).
+  Watts step(const env::AmbientConditions& conditions, Volts bus_voltage,
+             Seconds now, Seconds dt);
+
+  [[nodiscard]] const harvest::Harvester& harvester() const { return *harvester_; }
+  [[nodiscard]] harvest::Harvester& harvester() { return *harvester_; }
+  [[nodiscard]] const MpptController& mppt() const { return *mppt_; }
+  [[nodiscard]] const Converter& converter() const { return converter_; }
+  [[nodiscard]] Volts operating_voltage() const { return operating_voltage_; }
+
+  /// Raw transducer power at the present operating point (pre-conversion).
+  [[nodiscard]] Watts transducer_power() const { return transducer_power_; }
+
+  /// Accumulated energy delivered to the bus since construction.
+  [[nodiscard]] Joules delivered_energy() const { return delivered_; }
+  /// Accumulated tracker overhead energy.
+  [[nodiscard]] Joules tracker_overhead_energy() const { return overhead_; }
+  /// Tracking efficiency vs the true MPP, over time (1.0 = perfect).
+  [[nodiscard]] double tracking_efficiency() const;
+
+  /// True once the converter has bootstrapped (always true when the
+  /// converter has no cold-start threshold).
+  [[nodiscard]] bool started() const { return started_; }
+
+ private:
+  std::unique_ptr<harvest::Harvester> harvester_;
+  std::unique_ptr<MpptController> mppt_;
+  Converter converter_;
+  Seconds mppt_period_;
+  Seconds next_update_{0.0};
+  Volts operating_voltage_{0.5};
+  Watts transducer_power_{0.0};
+  Joules delivered_{0.0};
+  Joules overhead_{0.0};
+  Joules harvested_at_setpoint_{0.0};
+  Joules harvestable_at_mpp_{0.0};
+  bool started_{false};
+};
+
+class OutputChain {
+ public:
+  OutputChain(Converter converter, Volts rail_voltage);
+
+  /// Power that must be drawn from the store at @p bus_voltage so the rail
+  /// delivers @p load_power. Returns 0 if conversion is infeasible
+  /// (e.g. bus collapsed below the LDO dropout) — the caller treats that as
+  /// a brownout.
+  [[nodiscard]] Watts required_bus_power(Watts load_power, Volts bus_voltage) const;
+
+  /// True if the rail can be produced from @p bus_voltage at all.
+  [[nodiscard]] bool rail_available(Volts bus_voltage) const;
+
+  [[nodiscard]] Volts rail_voltage() const { return rail_voltage_; }
+  [[nodiscard]] const Converter& converter() const { return converter_; }
+
+ private:
+  Converter converter_;
+  Volts rail_voltage_;
+};
+
+}  // namespace msehsim::power

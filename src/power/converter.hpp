@@ -1,0 +1,92 @@
+// Power converter models.
+//
+// Survey Sec. II.1: every harvester needs input conditioning (reverse
+// blocking, rectification, voltage conversion) and most systems add output
+// conditioning between store and load. The recurring trade-off is
+// efficiency versus quiescent current: a synchronous buck-boost converts at
+// ~90 % but idles at microamps (System A); a linear regulator wastes
+// headroom voltage but idles at nanoamps (System B).
+//
+// Converters here are efficiency-map models: transferred power is reduced
+// by a fixed quiescent draw, a proportional conversion loss, and a
+// conduction term that grows with load — the three loss mechanisms that
+// shape every real converter's efficiency-vs-load curve.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/units.hpp"
+
+namespace msehsim::power {
+
+enum class Topology {
+  kDiode,      ///< series Schottky: Vout = Vin - drop, no quiescent
+  kLdo,        ///< linear regulator: efficiency = Vout/Vin, tiny quiescent
+  kBuck,       ///< step-down switcher
+  kBoost,      ///< step-up switcher
+  kBuckBoost,  ///< step-up/down switcher (System A output stage)
+};
+
+[[nodiscard]] std::string_view to_string(Topology t);
+
+class Converter {
+ public:
+  struct Params {
+    Topology topology{Topology::kBuckBoost};
+    double peak_efficiency{0.90};
+    Watts rated_power{100e-3};
+    Amps quiescent_current{2e-6};  ///< drawn from the input at all times
+    Volts min_input{0.5};
+    Volts max_input{20.0};
+    Volts diode_drop{0.3};         ///< kDiode only
+    double conduction_loss_fraction{0.05};  ///< extra loss at rated power
+    /// Cold-start threshold: a switcher cannot begin operating until its
+    /// input reaches this voltage, though once running it works down to
+    /// min_input (bootstrap supplies). Zero = no cold-start constraint.
+    Volts startup_voltage{0.0};
+  };
+
+  Converter(std::string name, Params params);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Params& params() const { return params_; }
+  [[nodiscard]] Topology topology() const { return params_.topology; }
+
+  /// True if the topology can produce @p vout from @p vin at all.
+  [[nodiscard]] bool can_convert(Volts vin, Volts vout) const;
+
+  /// Power always drawn from the input side, even with no load.
+  [[nodiscard]] Watts quiescent_power(Volts vin) const;
+
+  /// Forward transfer: output power produced when @p input power is
+  /// available at @p vin, converting to @p vout. Includes quiescent and
+  /// conversion losses; returns 0 if the conversion is infeasible.
+  [[nodiscard]] Watts transfer(Watts input, Volts vin, Volts vout) const;
+
+  /// Inverse transfer: input power that must be supplied to deliver
+  /// @p output at the load. Returns the matching input power, or the
+  /// quiescent floor when output is zero.
+  [[nodiscard]] Watts required_input(Watts output, Volts vin, Volts vout) const;
+
+  /// Conversion efficiency (output/input) at the given operating point —
+  /// includes the quiescent penalty, so it collapses at light load.
+  [[nodiscard]] double efficiency(Watts input, Volts vin, Volts vout) const;
+
+  // -- Catalog presets matched to the surveyed systems ---------------------
+
+  /// System A style synchronous buck-boost (high efficiency, uA quiescent).
+  static Converter smart_buck_boost(std::string name);
+  /// System B style nano-power LDO (low quiescent, headroom-limited).
+  static Converter nano_ldo(std::string name);
+  /// Bare Schottky input stage of minimal commercial boards.
+  static Converter schottky_diode(std::string name);
+  /// MPPT-capable boost front-end for sub-volt sources (TEG/PV single cell).
+  static Converter boost_frontend(std::string name);
+
+ private:
+  std::string name_;
+  Params params_;
+};
+
+}  // namespace msehsim::power

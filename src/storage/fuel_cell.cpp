@@ -1,0 +1,58 @@
+#include "storage/fuel_cell.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace msehsim::storage {
+
+FuelCell::FuelCell(std::string name, Params params)
+    : name_(std::move(name)), params_(params), remaining_(params.reserve) {
+  require_spec(params_.reserve.value() > 0.0, "fuel cell reserve must be > 0");
+  require_spec(params_.output_voltage.value() > 0.0,
+               "fuel cell output voltage must be > 0");
+  require_spec(params_.max_power.value() > 0.0, "fuel cell max power must be > 0");
+  require_spec(params_.conversion_efficiency > 0.0 &&
+                   params_.conversion_efficiency <= 1.0,
+               "fuel cell efficiency must be in (0,1]");
+  require_spec(params_.standby_power.value() >= 0.0,
+               "fuel cell standby power must be >= 0");
+}
+
+Volts FuelCell::voltage() const {
+  return (enabled_ && remaining_.value() > 0.0) ? params_.output_voltage : Volts{0.0};
+}
+
+Joules FuelCell::stored_energy() const {
+  // Electrical energy still extractable from the reserve.
+  return Joules{remaining_.value() * params_.conversion_efficiency};
+}
+
+Watts FuelCell::charge(Watts /*power*/, Seconds /*dt*/) {
+  return Watts{0.0};  // hydrogen cartridges are replaced, not recharged
+}
+
+Watts FuelCell::discharge(Watts power, Seconds dt) {
+  if (!enabled_ || power.value() <= 0.0 || remaining_.value() <= 0.0)
+    return Watts{0.0};
+  const double requested = std::min(power.value(), params_.max_power.value());
+  // Fuel consumed = delivered / efficiency; cap by remaining reserve.
+  const double fuel_needed = requested * dt.value() / params_.conversion_efficiency;
+  const double fuel_used = std::min(fuel_needed, remaining_.value());
+  remaining_ -= Joules{fuel_used};
+  return Watts{fuel_used * params_.conversion_efficiency / dt.value()};
+}
+
+void FuelCell::apply_leakage(Seconds dt) {
+  if (!enabled_ || params_.standby_power.value() <= 0.0) return;
+  const double fuel = params_.standby_power.value() * dt.value() /
+                      params_.conversion_efficiency;
+  remaining_ = Joules{std::max(0.0, remaining_.value() - fuel)};
+}
+
+Watts FuelCell::max_discharge_power() const {
+  if (!enabled_ || remaining_.value() <= 0.0) return Watts{0.0};
+  return params_.max_power;
+}
+
+}  // namespace msehsim::storage

@@ -1,0 +1,56 @@
+// Hydrogen fuel cell backup (System A, survey Sec. II.1).
+//
+// Modelled as a finite-reserve, on-demand DC source: very high energy
+// density compared with batteries, not rechargeable in the field, and only
+// consumed when explicitly enabled by the energy manager (System A switches
+// it in "when the stored energy coming from the environmental sources is
+// running out").
+#pragma once
+
+#include <string>
+
+#include "storage/storage.hpp"
+
+namespace msehsim::storage {
+
+class FuelCell final : public StorageDevice {
+ public:
+  struct Params {
+    Joules reserve{20e3};          ///< usable energy in the H2 cartridge
+    Volts output_voltage{3.6};     ///< regulated stack output
+    Watts max_power{0.5};
+    double conversion_efficiency{0.45};
+    Watts standby_power{0.0};      ///< draw while enabled but unloaded
+  };
+
+  FuelCell(std::string name, Params params);
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] StorageKind kind() const override { return StorageKind::kFuelCell; }
+  [[nodiscard]] bool rechargeable() const override { return false; }
+  [[nodiscard]] Volts voltage() const override;
+  [[nodiscard]] Joules stored_energy() const override;
+  [[nodiscard]] Joules capacity() const override { return params_.reserve; }
+  Watts charge(Watts power, Seconds dt) override;
+  Watts discharge(Watts power, Seconds dt) override;
+  void apply_leakage(Seconds dt) override;
+  [[nodiscard]] Watts max_discharge_power() const override;
+
+  /// The manager switches the stack in/out; a disabled cell delivers nothing
+  /// and consumes nothing.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Fraction of the original reserve already consumed.
+  [[nodiscard]] double depletion() const {
+    return 1.0 - remaining_.value() / params_.reserve.value();
+  }
+
+ private:
+  std::string name_;
+  Params params_;
+  Joules remaining_;
+  bool enabled_{false};
+};
+
+}  // namespace msehsim::storage

@@ -1,0 +1,67 @@
+// Energy storage device interface.
+//
+// Storage is the buffer between intermittent harvesters and bursty loads
+// (survey Sec. II.1). The interface is an energy-packet contract: the
+// platform offers charge power or requests discharge power for one timestep
+// and the device reports how much it actually accepted/delivered, with
+// conversion and internal-resistance losses applied inside the model.
+#pragma once
+
+#include <string_view>
+
+#include "core/units.hpp"
+
+namespace msehsim::storage {
+
+/// Storage technologies appearing in Table I of the survey.
+enum class StorageKind {
+  kSupercapacitor,
+  kLiIon,            ///< Li-ion / Li-polymer rechargeable
+  kNiMH,             ///< NiMH rechargeable (single cell or AA pack)
+  kThinFilm,         ///< EnerChip / MAX17710-class thin-film battery
+  kPrimaryLithium,   ///< non-rechargeable lithium cell
+  kFuelCell,         ///< hydrogen fuel cell backup (System A)
+  kLithiumIonCapacitor,
+};
+
+[[nodiscard]] std::string_view to_string(StorageKind kind);
+
+class StorageDevice {
+ public:
+  virtual ~StorageDevice() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual StorageKind kind() const = 0;
+  [[nodiscard]] virtual bool rechargeable() const = 0;
+
+  /// Present open-circuit terminal voltage.
+  [[nodiscard]] virtual Volts voltage() const = 0;
+
+  /// Energy currently stored (relative to empty).
+  [[nodiscard]] virtual Joules stored_energy() const = 0;
+
+  /// Energy at full charge.
+  [[nodiscard]] virtual Joules capacity() const = 0;
+
+  /// State of charge in [0, 1].
+  [[nodiscard]] double soc() const {
+    const double cap = capacity().value();
+    return cap > 0.0 ? stored_energy().value() / cap : 0.0;
+  }
+
+  /// Offers @p power for @p dt; returns the electrical power actually drawn
+  /// from the bus (0 for full or non-rechargeable devices).
+  virtual Watts charge(Watts power, Seconds dt) = 0;
+
+  /// Requests @p power for @p dt; returns the power actually delivered
+  /// (limited by state of charge and maximum current).
+  virtual Watts discharge(Watts power, Seconds dt) = 0;
+
+  /// Applies self-discharge / leakage over @p dt. Called once per step.
+  virtual void apply_leakage(Seconds dt) = 0;
+
+  /// Highest sustained discharge power at the present state of charge.
+  [[nodiscard]] virtual Watts max_discharge_power() const = 0;
+};
+
+}  // namespace msehsim::storage

@@ -1,0 +1,177 @@
+#include "storage/supercapacitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace msehsim::storage {
+
+Supercapacitor::Supercapacitor(std::string name, Params params)
+    : Supercapacitor(std::move(name), params, StorageKind::kSupercapacitor,
+                     Volts{0.0}) {}
+
+Supercapacitor::Supercapacitor(std::string name, Params params, StorageKind kind,
+                               Volts min_voltage)
+    : name_(std::move(name)),
+      params_(params),
+      kind_(kind),
+      min_voltage_(min_voltage),
+      v_main_(params.initial_voltage),
+      v_slow_(params.initial_voltage) {
+  require_spec(params_.main_capacitance.value() > 0.0, "supercap C1 must be > 0");
+  require_spec(params_.slow_capacitance.value() >= 0.0, "supercap C2 must be >= 0");
+  require_spec(params_.redistribution_resistance.value() > 0.0,
+               "supercap R2 must be > 0");
+  require_spec(params_.esr.value() >= 0.0, "supercap ESR must be >= 0");
+  require_spec(params_.leakage_resistance.value() > 0.0,
+               "supercap leakage resistance must be > 0");
+  require_spec(params_.voltage_capacitance_slope >= 0.0,
+               "supercap C(V) slope must be >= 0");
+  require_spec(params_.max_voltage.value() > 0.0, "supercap Vmax must be > 0");
+  require_spec(params_.initial_voltage.value() >= 0.0 &&
+                   params_.initial_voltage <= params_.max_voltage,
+               "supercap initial voltage out of range");
+  require_spec(min_voltage_ < params_.max_voltage, "supercap Vmin must be < Vmax");
+}
+
+Supercapacitor Supercapacitor::lithium_ion_capacitor(std::string name,
+                                                     Farads capacitance) {
+  Params p;
+  p.main_capacitance = capacitance;
+  p.slow_capacitance = capacitance * 0.05;
+  p.redistribution_resistance = Ohms{100.0};
+  p.esr = Ohms{0.05};
+  p.leakage_resistance = Ohms{200e3};  // LICs leak far less than EDLCs
+  p.max_voltage = Volts{3.8};
+  p.initial_voltage = Volts{2.2};
+  return Supercapacitor(std::move(name), p, StorageKind::kLithiumIonCapacitor,
+                        Volts{2.2});
+}
+
+double Supercapacitor::capacitance_at(double v) const {
+  return params_.main_capacitance.value() +
+         params_.voltage_capacitance_slope * std::max(0.0, v);
+}
+
+double Supercapacitor::charge_at(double v) const {
+  const double c0 = params_.main_capacitance.value();
+  const double k = params_.voltage_capacitance_slope;
+  return c0 * v + 0.5 * k * v * v;
+}
+
+double Supercapacitor::voltage_at_charge(double q) const {
+  const double c0 = params_.main_capacitance.value();
+  const double k = params_.voltage_capacitance_slope;
+  if (k <= 0.0) return std::max(0.0, q / c0);
+  return std::max(0.0, (-c0 + std::sqrt(c0 * c0 + 2.0 * k * std::max(0.0, q))) / k);
+}
+
+double Supercapacitor::energy_between(double v_lo, double v_hi) const {
+  if (v_hi <= v_lo) return 0.0;
+  // E = integral v dq = integral v C(v) dv = C0 v^2/2 + k v^3/3.
+  const double c0 = params_.main_capacitance.value();
+  const double k = params_.voltage_capacitance_slope;
+  auto e = [&](double v) { return 0.5 * c0 * v * v + k * v * v * v / 3.0; };
+  return e(v_hi) - e(v_lo);
+}
+
+Joules Supercapacitor::stored_energy() const {
+  // Usable energy above the discharge floor.
+  const double main = energy_between(min_voltage_.value(), v_main_.value());
+  const Joules slow =
+      capacitor_energy(params_.slow_capacitance, v_slow_) -
+      capacitor_energy(params_.slow_capacitance,
+                       std::min(v_slow_, min_voltage_));
+  return Joules{std::max(0.0, main) + std::max(0.0, slow.value())};
+}
+
+Joules Supercapacitor::capacity() const {
+  const double main = energy_between(min_voltage_.value(), params_.max_voltage.value());
+  const Joules slow = capacitor_energy(params_.slow_capacitance, params_.max_voltage) -
+                      capacitor_energy(params_.slow_capacitance, min_voltage_);
+  return Joules{main + std::max(0.0, slow.value())};
+}
+
+void Supercapacitor::redistribute(Seconds dt) {
+  if (params_.slow_capacitance.value() <= 0.0) return;
+  // Charge flows between branches through R2; exact RC relaxation of the
+  // voltage difference keeps the update stable for any dt.
+  const double c1 = capacitance_at(v_main_.value());
+  const double c2 = params_.slow_capacitance.value();
+  const double r2 = params_.redistribution_resistance.value();
+  const double c_series = c1 * c2 / (c1 + c2);
+  const double alpha = 1.0 - std::exp(-dt.value() / (r2 * c_series));
+  const double dv = (v_main_.value() - v_slow_.value()) * alpha;
+  const double dq = dv * c_series;
+  v_main_ -= Volts{dq / c1};
+  v_slow_ += Volts{dq / c2};
+}
+
+Watts Supercapacitor::charge(Watts power, Seconds dt) {
+  if (power.value() <= 0.0) return Watts{0.0};
+  if (v_main_ >= params_.max_voltage) return Watts{0.0};
+  // Constant-power charging through the ESR. Using the mid-step capacitor
+  // voltage v_mid = v0 + I*dt/(2C) makes the update exactly energy
+  // conserving: solve P = I*v0 + I^2*(ESR + dt/(2C)).
+  const double v0 = std::max(0.0, v_main_.value());
+  const double c1 = capacitance_at(v0);
+  const double r_eff = params_.esr.value() + dt.value() / (2.0 * c1);
+  const double current =
+      (-v0 + std::sqrt(v0 * v0 + 4.0 * r_eff * power.value())) / (2.0 * r_eff);
+  if (current <= 0.0) return Watts{0.0};
+  double dq = current * dt.value();
+  const double dq_max = charge_at(params_.max_voltage.value()) - charge_at(v0);
+  const double fraction = dq > dq_max ? dq_max / dq : 1.0;
+  dq *= fraction;
+  v_main_ = Volts{voltage_at_charge(charge_at(v0) + dq)};
+  redistribute(dt);
+  return power * fraction;
+}
+
+Watts Supercapacitor::discharge(Watts power, Seconds dt) {
+  if (power.value() <= 0.0) return Watts{0.0};
+  const double vfloor = min_voltage_.value();
+  const double v0 = v_main_.value();
+  if (v0 <= vfloor + 1e-6) return Watts{0.0};
+  // Constant-power discharge with mid-step voltage v_mid = v0 - I*dt/(2C):
+  // P = I*v0 - I^2*(ESR + dt/(2C)), capped at the matched-load bound.
+  const double c1 = capacitance_at(v0);
+  const double r_eff = params_.esr.value() + dt.value() / (2.0 * c1);
+  const double p_max = v0 * v0 / (4.0 * r_eff);
+  const double deliverable = std::min(power.value(), p_max);
+  const double current =
+      (v0 - std::sqrt(std::max(0.0, v0 * v0 - 4.0 * r_eff * deliverable))) /
+      (2.0 * r_eff);
+  if (current <= 0.0) return Watts{0.0};
+  double dq = current * dt.value();
+  const double dq_max = charge_at(v0) - charge_at(vfloor);
+  const double fraction = dq > dq_max ? dq_max / dq : 1.0;
+  dq *= fraction;
+  v_main_ = Volts{voltage_at_charge(charge_at(v0) - dq)};
+  if (v_main_.value() < vfloor) v_main_ = Volts{vfloor};
+  redistribute(dt);
+  return Watts{deliverable * fraction};
+}
+
+void Supercapacitor::apply_leakage(Seconds dt) {
+  const double tau =
+      params_.leakage_resistance.value() * capacitance_at(v_main_.value());
+  v_main_ *= std::exp(-dt.value() / tau);
+  if (params_.slow_capacitance.value() > 0.0) {
+    const double tau2 =
+        params_.leakage_resistance.value() * params_.slow_capacitance.value();
+    v_slow_ *= std::exp(-dt.value() / tau2);
+  }
+  redistribute(dt);
+}
+
+Watts Supercapacitor::max_discharge_power() const {
+  if (v_main_ <= min_voltage_) return Watts{0.0};
+  if (params_.esr.value() <= 0.0) return Watts{1e6};
+  // Matched-load bound through the ESR.
+  const double v = v_main_.value();
+  return Watts{v * v / (4.0 * params_.esr.value())};
+}
+
+}  // namespace msehsim::storage

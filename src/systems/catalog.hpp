@@ -1,0 +1,73 @@
+// Catalog of the surveyed platforms.
+//
+// One builder per column of Table I, each assembling the common substrate
+// into that system's architecture (harvester set, storage bank, conditioning
+// style, monitoring capability, intelligence location, quiescent draw), plus
+// the Sec.-IV "smart harvester" proposal. Builders return unique_ptr because
+// Platform is address-stable by design.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "systems/platform.hpp"
+
+namespace msehsim::systems {
+
+enum class SystemId {
+  kSmartPowerUnit,   ///< A — Magno et al. [6]
+  kPlugAndPlay,      ///< B — Weddell et al. [5]
+  kAmbiMax,          ///< C — Park et al. [3]
+  kMpWiNode,         ///< D — Morais et al. [4]
+  kMax17710Eval,     ///< E — Maxim [11]
+  kCymbetEval09,     ///< F — Cymbet [12]
+  kEhLink,           ///< G — Microstrain [13]
+  kSmartHarvester,   ///< Sec. IV proposed scheme (not in Table I)
+};
+
+[[nodiscard]] std::string_view to_string(SystemId id);
+
+/// System A: outdoor, 2x PV + wind, MPPT on the power-unit MCU, supercap +
+/// Li-ion + hydrogen fuel-cell backup, buck-boost output, full digital
+/// monitoring and control, wake-up-radio sensor node.
+std::unique_ptr<Platform> build_system_a(std::uint64_t seed);
+
+/// System B: indoor, six shared plug-and-play module ports (4 harvesters +
+/// 2 stores in the demo config), per-module fixed-point interface circuits
+/// and electronic datasheets, nano-LDO output, intelligence on the node.
+std::unique_ptr<Platform> build_system_b(std::uint64_t seed);
+
+/// System C: AmbiMax — autonomous hardware MPPT per source, supercap
+/// reservoir + Li-poly battery, no monitoring, no intelligence.
+std::unique_ptr<Platform> build_system_c(std::uint64_t seed);
+
+/// System D: MPWiNode — sun/wind/water-flow agricultural node, 2xAA NiMH,
+/// analog store-voltage monitoring only, node on the power unit.
+std::unique_ptr<Platform> build_system_d(std::uint64_t seed);
+
+/// System E: MAX17710 eval — piezo/light into a thin-film cell, ultra-low
+/// quiescent, no monitoring.
+std::unique_ptr<Platform> build_system_e(std::uint64_t seed);
+
+/// System F: Cymbet EVAL-09 — light/RF/thermal/vibration into EnerChips,
+/// activity flags + digital interface, controller on the power unit.
+std::unique_ptr<Platform> build_system_f(std::uint64_t seed);
+
+/// System G: EH-Link — piezo/inductive/AC-DC into a thin-film cell, node
+/// soldered to the power unit, no monitoring.
+std::unique_ptr<Platform> build_system_g(std::uint64_t seed);
+
+/// Sec. IV proposal: every energy device carries its own low-power
+/// intelligence (local MPPT + datasheet + live telemetry) behind a common
+/// interface; node-side manager gets full awareness with hot-swap support.
+std::unique_ptr<Platform> build_smart_harvester(std::uint64_t seed);
+
+/// Builds one system by id.
+std::unique_ptr<Platform> build(SystemId id, std::uint64_t seed);
+
+/// All seven Table I systems, in column order A..G.
+std::vector<std::unique_ptr<Platform>> build_all_surveyed(std::uint64_t seed);
+
+}  // namespace msehsim::systems

@@ -1,0 +1,294 @@
+#include "systems/platform.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace msehsim::systems {
+
+Platform::Platform(PlatformSpec spec) : spec_(std::move(spec)) {
+  require_spec(!spec_.name.empty(), "Platform needs a name");
+  require_spec(spec_.quiescent_current.value() >= 0.0,
+               "Platform quiescent current must be >= 0");
+}
+
+std::size_t Platform::add_input(std::unique_ptr<power::InputChain> chain) {
+  require_spec(chain != nullptr, "add_input: null chain");
+  inputs_.push_back(std::move(chain));
+  return inputs_.size() - 1;
+}
+
+std::size_t Platform::add_storage(std::unique_ptr<storage::StorageDevice> device,
+                                  int priority) {
+  require_spec(device != nullptr, "add_storage: null device");
+  stores_.push_back(StorageSlot{std::move(device), priority});
+  return stores_.size() - 1;
+}
+
+void Platform::set_output(power::OutputChain output) { output_.emplace(std::move(output)); }
+
+void Platform::set_node(std::unique_ptr<node::SensorNode> node) {
+  node_ = std::move(node);
+}
+
+void Platform::set_monitor(std::unique_ptr<manager::EnergyMonitor> monitor) {
+  monitor_ = std::move(monitor);
+}
+
+void Platform::set_duty_cycle_controller(manager::DutyCycleController controller) {
+  duty_controller_.emplace(controller);
+}
+
+void Platform::set_eno_controller(manager::EnoPowerController controller) {
+  eno_controller_.emplace(controller);
+}
+
+void Platform::set_predictive_controller(
+    manager::PredictiveDutyController controller) {
+  predictive_controller_.emplace(std::move(controller));
+}
+
+void Platform::set_fuel_cell_policy(manager::FuelCellPolicy policy,
+                                    std::size_t fuel_cell_slot) {
+  require_spec(fuel_cell_slot < stores_.size(), "fuel cell slot out of range");
+  require_spec(stores_[fuel_cell_slot].device->kind() ==
+                   storage::StorageKind::kFuelCell,
+               "fuel cell slot does not hold a fuel cell");
+  fuel_cell_policy_.emplace(policy);
+  fuel_cell_slot_ = fuel_cell_slot;
+}
+
+void Platform::add_module_port(std::unique_ptr<bus::ModulePort> port) {
+  require_spec(port != nullptr, "add_module_port: null port");
+  i2c_.attach(*port);
+  ports_.push_back(std::move(port));
+}
+
+std::vector<Platform::StorageSlot*> Platform::by_priority() {
+  std::vector<StorageSlot*> order;
+  order.reserve(stores_.size());
+  for (auto& slot : stores_) order.push_back(&slot);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const StorageSlot* a, const StorageSlot* b) {
+                     return a->priority < b->priority;
+                   });
+  return order;
+}
+
+Volts Platform::bus_voltage() const {
+  // The bus rides on the highest-priority store that holds any charge;
+  // an empty bank leaves the bus collapsed.
+  const StorageSlot* best = nullptr;
+  for (const auto& slot : stores_) {
+    if (slot.device->kind() == storage::StorageKind::kFuelCell) continue;
+    if (best == nullptr || slot.priority < best->priority) best = &slot;
+  }
+  if (best == nullptr) return Volts{0.0};
+  return best->device->voltage();
+}
+
+Volts Platform::rail_voltage() const {
+  return output_.has_value() ? output_->rail_voltage() : Volts{0.0};
+}
+
+double Platform::ambient_soc() const {
+  double stored = 0.0;
+  double capacity = 0.0;
+  for (const auto& slot : stores_) {
+    if (!slot.device->rechargeable()) continue;
+    stored += slot.device->stored_energy().value();
+    capacity += slot.device->capacity().value();
+  }
+  return capacity > 0.0 ? stored / capacity : 0.0;
+}
+
+Joules Platform::total_stored() const {
+  Joules total{0.0};
+  for (const auto& slot : stores_) total += slot.device->stored_energy();
+  return total;
+}
+
+Joules Platform::harvested_energy() const {
+  Joules total{0.0};
+  for (const auto& chain : inputs_) total += chain->delivered_energy();
+  return total;
+}
+
+void Platform::step(const env::AmbientConditions& conditions, Seconds now,
+                    Seconds dt) {
+  const Volts bus_v = bus_voltage();
+
+  // 1. Input chains deliver into the bus.
+  Watts p_in{0.0};
+  for (auto& chain : inputs_) p_in += chain->step(conditions, bus_v, now, dt);
+  last_input_power_ = p_in;
+
+  // 2. Power-unit overhead (monitoring MCU, gating logic — the Table I
+  //    quiescent row).
+  const Watts p_q = bus_v * spec_.quiescent_current;
+  quiescent_energy_ += p_q * dt;
+
+  // 3. Load: decide whether the rail is up, then let the node draw.
+  Watts p_bus_load{0.0};
+  if (node_ != nullptr && output_.has_value()) {
+    const bool rail_feasible = output_->rail_available(bus_v) && !brownout_latch_;
+    Watts supply_cap = p_in;
+    for (const auto& slot : stores_)
+      supply_cap += slot.device->max_discharge_power();
+    const Watts demand_estimate = rail_feasible
+        ? output_->required_bus_power(node_->average_power(output_->rail_voltage()),
+                                      bus_v)
+        : Watts{0.0};
+    const bool rail_on =
+        rail_feasible && demand_estimate.value() > 0.0 &&
+        demand_estimate + p_q <= supply_cap;
+    const Watts p_rail = node_->step(rail_on, output_->rail_voltage(), dt);
+    if (rail_on) {
+      p_bus_load = output_->required_bus_power(p_rail, bus_v);
+      load_energy_ += p_rail * dt;
+    }
+  }
+
+  // 4. Energy balance against the storage bank.
+  brownout_latch_ = false;
+  const double net = p_in.value() - p_q.value() - p_bus_load.value();
+  if (net >= 0.0) {
+    Watts surplus{net};
+    for (auto* slot : by_priority()) {
+      if (surplus.value() <= 0.0) break;
+      surplus -= slot->device->charge(surplus, dt);
+    }
+    wasted_energy_ += surplus * dt;  // nothing could absorb it
+  } else {
+    Watts deficit{-net};
+    for (auto* slot : by_priority()) {
+      if (deficit.value() <= 1e-12) break;
+      deficit -= slot->device->discharge(deficit, dt);
+    }
+    if (deficit.value() > 1e-9) {
+      unmet_energy_ += deficit * dt;
+      brownout_latch_ = true;  // rail drops next step
+      ++brownouts_;
+    }
+  }
+
+  // 5. Enabled fuel cells refill the ambient-fed stores (System A: the
+  //    stack "starts to work when the stored energy coming from the
+  //    environmental sources is running out" — it feeds the buffer, not
+  //    the load directly).
+  for (auto& slot : stores_) {
+    auto* cell = dynamic_cast<storage::FuelCell*>(slot.device.get());
+    if (cell == nullptr || !cell->enabled()) continue;
+    Watts offer = cell->max_discharge_power();
+    if (offer.value() <= 0.0) continue;
+    const Watts drawn = cell->discharge(offer, dt);
+    Watts remaining = drawn;
+    for (auto* target : by_priority()) {
+      if (target->device.get() == slot.device.get()) continue;
+      if (remaining.value() <= 0.0) break;
+      remaining -= target->device->charge(remaining, dt);
+    }
+    wasted_energy_ += remaining * dt;
+  }
+
+  // 6. Leakage.
+  for (auto& slot : stores_) slot.device->apply_leakage(dt);
+}
+
+void Platform::management_tick(Seconds now) {
+  if (monitor_ != nullptr) last_estimate_ = monitor_->estimate();
+  if (node_ != nullptr) {
+    // Most capable controller wins: forecast > ENO > reactive SoC.
+    if (predictive_controller_.has_value()) {
+      predictive_controller_->update(now, last_estimate_, *node_);
+    } else if (eno_controller_.has_value()) {
+      eno_controller_->update(last_estimate_, *node_);
+    } else if (duty_controller_.has_value()) {
+      duty_controller_->update(last_estimate_, *node_);
+    }
+  }
+  if (fuel_cell_policy_.has_value()) {
+    auto* cell = dynamic_cast<storage::FuelCell*>(stores_[fuel_cell_slot_].device.get());
+    if (cell != nullptr) fuel_cell_policy_->update(ambient_soc(), *cell);
+  }
+}
+
+std::unique_ptr<storage::StorageDevice> Platform::swap_storage(
+    std::size_t slot, std::unique_ptr<storage::StorageDevice> replacement,
+    std::unique_ptr<bus::ModulePort> new_port, std::uint8_t old_port_address) {
+  require_spec(slot < stores_.size(), "swap_storage: slot out of range");
+  require_spec(replacement != nullptr, "swap_storage: null replacement");
+  std::swap(stores_[slot].device, replacement);
+  if (old_port_address != 0) {
+    i2c_.detach(old_port_address);
+    std::erase_if(ports_, [old_port_address](const auto& p) {
+      return p->address() == old_port_address;
+    });
+  }
+  if (new_port != nullptr) {
+    add_module_port(std::move(new_port));
+    // A self-announcing module lets capable monitors re-recognize hardware.
+    if (monitor_ != nullptr) monitor_->notify_hardware_change();
+  }
+  return replacement;
+}
+
+taxonomy::Classification Platform::classify() const {
+  taxonomy::Classification c;
+  c.device_name = spec_.name;
+  c.reference = spec_.reference;
+  c.commercial = spec_.commercial;
+  c.conditioning = spec_.conditioning;
+  c.swappability = spec_.swappability;
+  c.intelligence = spec_.intelligence;
+  c.digital_interface = spec_.digital_interface;
+  c.swappable_sensor_node = spec_.swappable_sensor_node;
+  c.swappable_storage = spec_.swappable_storage_desc;
+  c.swappable_harvesters = spec_.swappable_harvesters_desc;
+  c.quiescent_current = spec_.quiescent_current;
+  c.quiescent_is_bound = spec_.quiescent_is_bound;
+  c.shared_ports = spec_.shared_ports;
+  c.harvester_count = static_cast<int>(inputs_.size());
+  c.storage_count = static_cast<int>(stores_.size());
+
+  for (const auto& chain : inputs_) {
+    const auto kind = chain->harvester().kind();
+    if (std::find(c.harvester_kinds.begin(), c.harvester_kinds.end(), kind) ==
+        c.harvester_kinds.end()) {
+      c.harvester_kinds.push_back(kind);
+      c.harvester_types.emplace_back(harvest::to_string(kind));
+    }
+    if (chain->mppt().adaptive()) c.uses_mppt = true;
+  }
+  for (const auto& slot : stores_) {
+    const auto kind = slot.device->kind();
+    if (std::find(c.storage_kinds.begin(), c.storage_kinds.end(), kind) ==
+        c.storage_kinds.end()) {
+      c.storage_kinds.push_back(kind);
+      c.storage_types.emplace_back(storage::to_string(kind));
+    }
+  }
+
+  switch (monitor_ != nullptr ? monitor_->capability()
+                              : taxonomy::MonitoringCapability::kNone) {
+    case taxonomy::MonitoringCapability::kNone:
+      c.monitoring = taxonomy::MonitoringCapability::kNone;
+      c.energy_monitoring = "No";
+      break;
+    case taxonomy::MonitoringCapability::kStoreVoltageOnly:
+      c.monitoring = taxonomy::MonitoringCapability::kStoreVoltageOnly;
+      c.energy_monitoring = "Limited";
+      break;
+    case taxonomy::MonitoringCapability::kActivityFlags:
+      c.monitoring = taxonomy::MonitoringCapability::kActivityFlags;
+      c.energy_monitoring = "Yes";
+      break;
+    case taxonomy::MonitoringCapability::kFull:
+      c.monitoring = taxonomy::MonitoringCapability::kFull;
+      c.energy_monitoring = "Yes";
+      break;
+  }
+  return c;
+}
+
+}  // namespace msehsim::systems

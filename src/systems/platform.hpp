@@ -1,0 +1,201 @@
+// Platform — a complete multi-source energy harvesting system.
+//
+// A Platform assembles the substrate layers exactly the way Figs. 1 and 2
+// of the survey wire their block diagrams: input chains (harvester +
+// operating-point control + converter) feed a storage bank over an energy
+// bus; an output chain regulates a rail for the sensor node; managers
+// (monitor, duty-cycle controller, fuel-cell policy) observe and steer.
+//
+// The per-step power flow is quasi-static: the storage bank's front store
+// sets the bus voltage; surplus bus power charges stores in priority
+// order, deficits discharge them in priority order, and an unserviceable
+// deficit latches a brownout that drops the rail on the next step.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bus/i2c.hpp"
+#include "bus/module_port.hpp"
+#include "core/stats.hpp"
+#include "core/units.hpp"
+#include "env/conditions.hpp"
+#include "manager/monitor.hpp"
+#include "manager/policies.hpp"
+#include "manager/predictor.hpp"
+#include "node/sensor_node.hpp"
+#include "power/chain.hpp"
+#include "storage/fuel_cell.hpp"
+#include "storage/storage.hpp"
+#include "taxonomy/taxonomy.hpp"
+
+namespace msehsim::systems {
+
+/// Structural facts that describe a platform's position in the taxonomy —
+/// things that are properties of the *board*, not of the running model.
+struct PlatformSpec {
+  std::string name;
+  std::string reference;
+  bool commercial{false};
+  taxonomy::ConditioningLocation conditioning{
+      taxonomy::ConditioningLocation::kPowerUnit};
+  taxonomy::Swappability swappability{taxonomy::Swappability::kFixed};
+  taxonomy::IntelligenceLocation intelligence{taxonomy::IntelligenceLocation::kNone};
+  bool digital_interface{false};
+  bool swappable_sensor_node{false};
+  bool shared_ports{false};
+  std::string swappable_storage_desc{"No"};
+  std::string swappable_harvesters_desc{"No"};
+  /// Power-unit overhead current (Table I row), drawn from the bus always.
+  Amps quiescent_current{0.0};
+  bool quiescent_is_bound{false};
+};
+
+class Platform {
+ public:
+  explicit Platform(PlatformSpec spec);
+
+  // Monitors and module ports hold pointers into this object (the I2C bus
+  // lives by value), so a Platform must stay put: build it behind a
+  // unique_ptr, as the catalog builders do.
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+  Platform(Platform&&) = delete;
+  Platform& operator=(Platform&&) = delete;
+
+  // ---- Assembly -----------------------------------------------------------
+
+  /// Adds an input conditioning chain; returns its index.
+  std::size_t add_input(std::unique_ptr<power::InputChain> chain);
+
+  /// Adds a storage device; lower @p priority discharges (and charges)
+  /// first. Returns the slot index.
+  std::size_t add_storage(std::unique_ptr<storage::StorageDevice> device,
+                          int priority);
+
+  void set_output(power::OutputChain output);
+  void set_node(std::unique_ptr<node::SensorNode> node);
+  void set_monitor(std::unique_ptr<manager::EnergyMonitor> monitor);
+  void set_duty_cycle_controller(manager::DutyCycleController controller);
+  /// Incoming-power ENO control (digital monitoring only; replaces any
+  /// reactive SoC controller for period decisions).
+  void set_eno_controller(manager::EnoPowerController controller);
+  /// Forecast-driven control (digital monitoring only; takes precedence
+  /// over both other controllers).
+  void set_predictive_controller(manager::PredictiveDutyController controller);
+  /// @p fuel_cell_slot index of the FuelCell in the storage bank.
+  void set_fuel_cell_policy(manager::FuelCellPolicy policy,
+                            std::size_t fuel_cell_slot);
+
+  /// The platform's module bus (System B sockets, System A telemetry).
+  [[nodiscard]] bus::I2cBus& i2c() { return i2c_; }
+
+  /// Registers a plug-and-play port on the bus; the platform owns it.
+  void add_module_port(std::unique_ptr<bus::ModulePort> port);
+
+  // ---- Simulation ---------------------------------------------------------
+
+  /// Advances the electrical state one step under @p conditions.
+  void step(const env::AmbientConditions& conditions, Seconds now, Seconds dt);
+
+  /// One management tick: monitor poll + policies. Schedule at the
+  /// platform's management period (slower than step()).
+  void management_tick(Seconds now);
+
+  // ---- Hot swap (survey Sec. III.2) --------------------------------------
+
+  /// Replaces the storage device in @p slot. If @p new_port is non-null the
+  /// replacement announces itself on the bus (plug-and-play modules);
+  /// otherwise the swap is electrically silent and only monitors that are
+  /// explicitly reconfigured will notice. Returns the old device.
+  std::unique_ptr<storage::StorageDevice> swap_storage(
+      std::size_t slot, std::unique_ptr<storage::StorageDevice> replacement,
+      std::unique_ptr<bus::ModulePort> new_port = nullptr,
+      std::uint8_t old_port_address = 0);
+
+  // ---- Introspection ------------------------------------------------------
+
+  [[nodiscard]] const PlatformSpec& spec() const { return spec_; }
+  [[nodiscard]] taxonomy::Classification classify() const;
+
+  [[nodiscard]] std::size_t input_count() const { return inputs_.size(); }
+  [[nodiscard]] std::size_t storage_count() const { return stores_.size(); }
+  [[nodiscard]] power::InputChain& input(std::size_t i) { return *inputs_.at(i); }
+  [[nodiscard]] const power::InputChain& input(std::size_t i) const {
+    return *inputs_.at(i);
+  }
+  [[nodiscard]] storage::StorageDevice& store(std::size_t i) {
+    return *stores_.at(i).device;
+  }
+  [[nodiscard]] const storage::StorageDevice& store(std::size_t i) const {
+    return *stores_.at(i).device;
+  }
+  [[nodiscard]] node::SensorNode* node() { return node_.get(); }
+  [[nodiscard]] const node::SensorNode* node() const { return node_.get(); }
+  [[nodiscard]] manager::EnergyMonitor* monitor() { return monitor_.get(); }
+
+  /// Bus voltage (front store's terminal voltage).
+  [[nodiscard]] Volts bus_voltage() const;
+
+  /// Regulated rail voltage (zero when no output chain is fitted).
+  [[nodiscard]] Volts rail_voltage() const;
+
+  /// SoC across rechargeable, environmentally charged stores (0..1).
+  [[nodiscard]] double ambient_soc() const;
+
+  /// Total usable energy in all stores.
+  [[nodiscard]] Joules total_stored() const;
+
+  /// Power delivered into the bus by all chains on the last step.
+  [[nodiscard]] Watts last_input_power() const { return last_input_power_; }
+
+  /// Last monitor belief (after the most recent management tick).
+  [[nodiscard]] const manager::EnergyEstimate& last_estimate() const {
+    return last_estimate_;
+  }
+
+  // ---- Accumulated accounting --------------------------------------------
+
+  [[nodiscard]] Joules harvested_energy() const;     ///< delivered to the bus
+  [[nodiscard]] Joules quiescent_energy() const { return quiescent_energy_; }
+  [[nodiscard]] Joules load_energy() const { return load_energy_; }
+  [[nodiscard]] Joules wasted_energy() const { return wasted_energy_; }
+  [[nodiscard]] Joules unmet_energy() const { return unmet_energy_; }
+  [[nodiscard]] std::uint64_t brownouts() const { return brownouts_; }
+
+ private:
+  struct StorageSlot {
+    std::unique_ptr<storage::StorageDevice> device;
+    int priority{0};
+  };
+
+  [[nodiscard]] std::vector<StorageSlot*> by_priority();
+
+  PlatformSpec spec_;
+  std::vector<std::unique_ptr<power::InputChain>> inputs_;
+  std::vector<StorageSlot> stores_;
+  std::optional<power::OutputChain> output_;
+  std::unique_ptr<node::SensorNode> node_;
+  std::unique_ptr<manager::EnergyMonitor> monitor_;
+  std::optional<manager::DutyCycleController> duty_controller_;
+  std::optional<manager::EnoPowerController> eno_controller_;
+  std::optional<manager::PredictiveDutyController> predictive_controller_;
+  std::optional<manager::FuelCellPolicy> fuel_cell_policy_;
+  std::size_t fuel_cell_slot_{0};
+  bus::I2cBus i2c_;
+  std::vector<std::unique_ptr<bus::ModulePort>> ports_;
+
+  bool brownout_latch_{false};
+  Watts last_input_power_{0.0};
+  manager::EnergyEstimate last_estimate_;
+  Joules quiescent_energy_{0.0};
+  Joules load_energy_{0.0};
+  Joules wasted_energy_{0.0};
+  Joules unmet_energy_{0.0};
+  std::uint64_t brownouts_{0};
+};
+
+}  // namespace msehsim::systems

@@ -1,0 +1,61 @@
+#include "systems/runner.hpp"
+
+#include <algorithm>
+
+#include "core/random.hpp"
+
+namespace msehsim::systems {
+
+RunResult run_platform(Platform& platform, env::EnvironmentModel& environment,
+                       Seconds duration, const RunOptions& options) {
+  Simulation sim(options.dt);
+
+  sim.on_step([&](Seconds now, Seconds dt) {
+    const auto conditions = environment.advance(now, dt);
+    platform.step(conditions, now, dt);
+  });
+  sim.every(options.management_period,
+            [&](Seconds now) { platform.management_tick(now); });
+  Pcg32 query_rng(options.query_seed, stream_key("queries"));
+  if (options.mean_query_interval.value() > 0.0 && platform.node() != nullptr) {
+    sim.on_step([&](Seconds, Seconds dt) {
+      // Poisson arrivals discretized per step.
+      const double p_arrival =
+          std::min(1.0, dt.value() / options.mean_query_interval.value());
+      if (query_rng.bernoulli(p_arrival))
+        platform.node()->deliver_query(platform.rail_voltage());
+    });
+  }
+  if (options.recorder != nullptr) {
+    auto* rec = options.recorder;
+    sim.every(rec->period, [&platform, rec](Seconds now) {
+      rec->soc.push(now, platform.ambient_soc());
+      rec->input_power.push(now, platform.last_input_power().value());
+      rec->bus_voltage.push(now, platform.bus_voltage().value());
+      rec->stored.push(now, platform.total_stored().value());
+    });
+  }
+
+  sim.run_for(duration);
+
+  RunResult r;
+  r.duration = duration;
+  r.harvested = platform.harvested_energy();
+  r.load = platform.load_energy();
+  r.quiescent = platform.quiescent_energy();
+  r.wasted = platform.wasted_energy();
+  r.unmet = platform.unmet_energy();
+  r.brownouts = platform.brownouts();
+  if (const auto* node = platform.node()) {
+    r.packets = node->packets_sent();
+    r.reboots = node->reboots();
+    r.availability = node->availability();
+    r.queries_received = node->queries_received();
+    r.queries_answered = node->queries_answered();
+  }
+  r.final_ambient_soc = platform.ambient_soc();
+  r.final_stored = platform.total_stored();
+  return r;
+}
+
+}  // namespace msehsim::systems

@@ -1,0 +1,65 @@
+// Convenience harness: drive one Platform in one Environment.
+//
+// Wires the environment, platform power flow, and management ticks into a
+// core::Simulation and runs it, returning the summary numbers every bench
+// and example reports.
+#pragma once
+
+#include <optional>
+
+#include "core/simulation.hpp"
+#include "core/stats.hpp"
+#include "env/environment.hpp"
+#include "systems/platform.hpp"
+
+namespace msehsim::systems {
+
+struct RunResult {
+  Seconds duration{0.0};
+  Joules harvested{0.0};       ///< delivered into the bus by all chains
+  Joules load{0.0};            ///< consumed by the sensor node at the rail
+  Joules quiescent{0.0};       ///< platform overhead
+  Joules wasted{0.0};          ///< surplus nothing could absorb
+  Joules unmet{0.0};           ///< demanded but unserviceable
+  std::uint64_t packets{0};
+  std::uint64_t queries_received{0};
+  std::uint64_t queries_answered{0};
+  std::uint64_t reboots{0};
+  std::uint64_t brownouts{0};
+  double availability{0.0};    ///< node uptime fraction
+  double final_ambient_soc{0.0};
+  Joules final_stored{0.0};
+};
+
+/// Optional time-series capture during a run.
+struct TraceRecorder {
+  explicit TraceRecorder(Seconds sample_period = Seconds{60.0})
+      : period(sample_period),
+        soc("ambient_soc"),
+        input_power("input_power_w"),
+        bus_voltage("bus_voltage_v"),
+        stored("stored_j") {}
+
+  Seconds period;
+  Series soc;
+  Series input_power;
+  Series bus_voltage;
+  Series stored;
+};
+
+struct RunOptions {
+  Seconds dt{1.0};
+  Seconds management_period{60.0};
+  TraceRecorder* recorder{nullptr};
+  /// When positive, asynchronous over-the-air queries arrive as a Poisson
+  /// process with this mean interval and are delivered to the node (the
+  /// wake-up-radio use case). Zero disables query traffic.
+  Seconds mean_query_interval{0.0};
+  std::uint64_t query_seed{0x5eed};
+};
+
+/// Runs @p platform in @p environment for @p duration and summarizes.
+RunResult run_platform(Platform& platform, env::EnvironmentModel& environment,
+                       Seconds duration, const RunOptions& options = RunOptions{});
+
+}  // namespace msehsim::systems

@@ -1,0 +1,299 @@
+#include "taxonomy/taxonomy.hpp"
+
+#include <sstream>
+
+namespace msehsim::taxonomy {
+
+std::string_view to_string(ConditioningLocation v) {
+  switch (v) {
+    case ConditioningLocation::kPowerUnit: return "power unit";
+    case ConditioningLocation::kPerModule: return "per module";
+  }
+  return "?";
+}
+
+std::string_view to_string(Swappability v) {
+  switch (v) {
+    case Swappability::kFixed: return "fixed";
+    case Swappability::kHarvestersOnly: return "harvesters only";
+    case Swappability::kHarvestersAndStorage: return "harvesters + storage";
+    case Swappability::kCompletelyFlexible: return "completely flexible";
+  }
+  return "?";
+}
+
+std::string_view to_string(MonitoringCapability v) {
+  switch (v) {
+    case MonitoringCapability::kNone: return "none";
+    case MonitoringCapability::kStoreVoltageOnly: return "store voltage only";
+    case MonitoringCapability::kActivityFlags: return "activity flags";
+    case MonitoringCapability::kFull: return "full";
+  }
+  return "?";
+}
+
+std::string_view to_string(IntelligenceLocation v) {
+  switch (v) {
+    case IntelligenceLocation::kNone: return "none";
+    case IntelligenceLocation::kEmbeddedDevice: return "embedded device";
+    case IntelligenceLocation::kPowerUnit: return "power unit";
+    case IntelligenceLocation::kEnergyDevices: return "energy devices";
+  }
+  return "?";
+}
+
+std::string join(const std::vector<std::string>& items) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i) out << ", ";
+    out << items[i];
+  }
+  return out.str();
+}
+
+namespace {
+std::string yes_no(bool v) { return v ? "Yes" : "No"; }
+
+std::string quiescent_cell(const Classification& c) {
+  std::ostringstream out;
+  if (c.quiescent_is_bound) out << "< ";
+  out << format_current(c.quiescent_current.value());
+  return out.str();
+}
+
+std::string counts_cell(const Classification& c) {
+  std::ostringstream out;
+  if (c.shared_ports) {
+    out << c.harvester_count + c.storage_count << " (shared)";
+  } else {
+    out << c.harvester_count << "/" << c.storage_count;
+  }
+  return out.str();
+}
+}  // namespace
+
+TextTable render_table1(const std::vector<Classification>& systems) {
+  std::vector<std::string> headers{"Device"};
+  for (std::size_t i = 0; i < systems.size(); ++i)
+    headers.push_back(std::string(1, static_cast<char>('A' + i)) + ": " +
+                      systems[i].device_name);
+  TextTable table(std::move(headers));
+
+  auto row = [&](const std::string& label, auto&& cell) {
+    std::vector<std::string> cells{label};
+    for (const auto& s : systems) cells.push_back(cell(s));
+    table.add_row(std::move(cells));
+  };
+
+  row("No. Harvesters/Stores", [](const Classification& c) { return counts_cell(c); });
+  row("Swappable Sensor Node",
+      [](const Classification& c) { return yes_no(c.swappable_sensor_node); });
+  row("Swappable Storage",
+      [](const Classification& c) { return c.swappable_storage; });
+  row("Swappable Harvesters",
+      [](const Classification& c) { return c.swappable_harvesters; });
+  row("Energy Monitoring",
+      [](const Classification& c) { return c.energy_monitoring; });
+  row("Digital Interface",
+      [](const Classification& c) { return yes_no(c.digital_interface); });
+  row("Quiescent Current Draw",
+      [](const Classification& c) { return quiescent_cell(c); });
+  row("Harvesters", [](const Classification& c) { return join(c.harvester_types); });
+  row("Storage", [](const Classification& c) { return join(c.storage_types); });
+  row("Commercial Product",
+      [](const Classification& c) { return yes_no(c.commercial); });
+  return table;
+}
+
+std::vector<Classification> paper_table1() {
+  std::vector<Classification> t(7);
+
+  {  // A — Smart Power Unit [6]
+    auto& c = t[0];
+    c.device_name = "Smart Power Unit";
+    c.reference = "[6]";
+    c.harvester_count = 3;
+    c.storage_count = 3;
+    c.swappable_sensor_node = true;
+    c.swappable_storage = "No";
+    c.swappable_harvesters = "No";
+    c.energy_monitoring = "Yes";
+    c.digital_interface = true;
+    c.quiescent_current = Amps{5e-6};
+    c.harvester_types = {"Light", "Wind"};
+    c.storage_types = {"Fuel cell", "Li-ion rech. batt.", "Supercap."};
+    c.harvester_kinds = {harvest::HarvesterKind::kPhotovoltaic,
+                         harvest::HarvesterKind::kWind};
+    c.storage_kinds = {storage::StorageKind::kFuelCell, storage::StorageKind::kLiIon,
+                       storage::StorageKind::kSupercapacitor};
+    c.commercial = false;
+    c.conditioning = ConditioningLocation::kPowerUnit;
+    c.swappability = Swappability::kFixed;
+    c.monitoring = MonitoringCapability::kFull;
+    c.intelligence = IntelligenceLocation::kPowerUnit;
+    c.uses_mppt = true;
+  }
+  {  // B — Plug-and-Play [5]
+    auto& c = t[1];
+    c.device_name = "Plug-and-Play";
+    c.reference = "[5]";
+    c.harvester_count = 6;  // Table I reports "6 (shared)" total ports
+    c.storage_count = 0;
+    c.shared_ports = true;
+    c.swappable_sensor_node = true;
+    c.swappable_storage = "Yes, 6";
+    c.swappable_harvesters = "Yes, 6";
+    c.energy_monitoring = "Yes";
+    c.digital_interface = false;
+    c.quiescent_current = Amps{7e-6};
+    c.harvester_types = {"Light", "Wind", "Thermal", "Vibration"};
+    c.storage_types = {"Supercap", "NiMH rech. batt.", "Li non-rech. batt."};
+    c.harvester_kinds = {harvest::HarvesterKind::kPhotovoltaic,
+                         harvest::HarvesterKind::kWind,
+                         harvest::HarvesterKind::kThermoelectric,
+                         harvest::HarvesterKind::kPiezo};
+    c.storage_kinds = {storage::StorageKind::kSupercapacitor,
+                       storage::StorageKind::kNiMH,
+                       storage::StorageKind::kPrimaryLithium};
+    c.commercial = false;
+    c.conditioning = ConditioningLocation::kPerModule;
+    c.swappability = Swappability::kCompletelyFlexible;
+    c.monitoring = MonitoringCapability::kFull;
+    c.intelligence = IntelligenceLocation::kEmbeddedDevice;
+    c.uses_mppt = false;  // fixed-point modules
+  }
+  {  // C — AmbiMax [3]
+    auto& c = t[2];
+    c.device_name = "AmbiMax";
+    c.reference = "[3]";
+    c.harvester_count = 3;
+    c.storage_count = 2;
+    c.swappable_sensor_node = true;
+    c.swappable_storage = "Yes, battery";
+    c.swappable_harvesters = "Yes, 3";
+    c.energy_monitoring = "No";
+    c.digital_interface = false;
+    c.quiescent_current = Amps{5e-6};
+    c.quiescent_is_bound = true;
+    c.harvester_types = {"Light", "Wind"};
+    c.storage_types = {"Supercaps", "Li-ion/poly"};
+    c.harvester_kinds = {harvest::HarvesterKind::kPhotovoltaic,
+                         harvest::HarvesterKind::kWind};
+    c.storage_kinds = {storage::StorageKind::kSupercapacitor,
+                       storage::StorageKind::kLiIon};
+    c.commercial = false;
+    c.conditioning = ConditioningLocation::kPowerUnit;
+    c.swappability = Swappability::kHarvestersAndStorage;
+    c.monitoring = MonitoringCapability::kNone;
+    c.intelligence = IntelligenceLocation::kNone;
+    c.uses_mppt = true;
+  }
+  {  // D — MPWiNode [4]
+    auto& c = t[3];
+    c.device_name = "MPWiNode";
+    c.reference = "[4]";
+    c.harvester_count = 3;
+    c.storage_count = 1;
+    c.swappable_sensor_node = false;
+    c.swappable_storage = "Yes, battery";
+    c.swappable_harvesters = "Yes";
+    c.energy_monitoring = "Limited";
+    c.digital_interface = false;
+    c.quiescent_current = Amps{75e-6};
+    c.harvester_types = {"Light", "Wind", "Water Flow"};
+    c.storage_types = {"2xAA rech. batts."};
+    c.harvester_kinds = {harvest::HarvesterKind::kPhotovoltaic,
+                         harvest::HarvesterKind::kWind,
+                         harvest::HarvesterKind::kWaterFlow};
+    c.storage_kinds = {storage::StorageKind::kNiMH};
+    c.commercial = false;
+    c.conditioning = ConditioningLocation::kPowerUnit;
+    c.swappability = Swappability::kHarvestersAndStorage;
+    c.monitoring = MonitoringCapability::kStoreVoltageOnly;
+    c.intelligence = IntelligenceLocation::kNone;
+    c.uses_mppt = true;
+  }
+  {  // E — Maxim MAX17710 Eval [11]
+    auto& c = t[4];
+    c.device_name = "Maxim MAX17710 Eval";
+    c.reference = "[11]";
+    c.harvester_count = 2;
+    c.storage_count = 1;
+    c.swappable_sensor_node = true;
+    c.swappable_storage = "No";
+    c.swappable_harvesters = "Yes, 1 of 2";
+    c.energy_monitoring = "No";
+    c.digital_interface = false;
+    c.quiescent_current = Amps{1e-6};
+    c.quiescent_is_bound = true;
+    c.harvester_types = {"Piezo/Mech", "Light", "Radio"};
+    c.storage_types = {"Thin-film battery"};
+    c.harvester_kinds = {harvest::HarvesterKind::kPiezo,
+                         harvest::HarvesterKind::kPhotovoltaic,
+                         harvest::HarvesterKind::kRf};
+    c.storage_kinds = {storage::StorageKind::kThinFilm};
+    c.commercial = true;
+    c.conditioning = ConditioningLocation::kPowerUnit;
+    c.swappability = Swappability::kHarvestersOnly;
+    c.monitoring = MonitoringCapability::kNone;
+    c.intelligence = IntelligenceLocation::kNone;
+    c.uses_mppt = false;
+  }
+  {  // F — Cymbet EVAL-09 [12]
+    auto& c = t[5];
+    c.device_name = "Cymbet EVAL-09";
+    c.reference = "[12]";
+    c.harvester_count = 4;
+    c.storage_count = 2;
+    c.swappable_sensor_node = true;
+    c.swappable_storage = "Yes, battery";
+    c.swappable_harvesters = "Yes, 4";
+    c.energy_monitoring = "Yes";
+    c.digital_interface = true;
+    c.quiescent_current = Amps{20e-6};
+    c.harvester_types = {"Light", "Radio", "Thermal", "Vibration"};
+    c.storage_types = {"Thin-film batt.", "optional ext. Li batt."};
+    c.harvester_kinds = {harvest::HarvesterKind::kPhotovoltaic,
+                         harvest::HarvesterKind::kRf,
+                         harvest::HarvesterKind::kThermoelectric,
+                         harvest::HarvesterKind::kPiezo};
+    c.storage_kinds = {storage::StorageKind::kThinFilm, storage::StorageKind::kLiIon};
+    c.commercial = true;
+    c.conditioning = ConditioningLocation::kPowerUnit;
+    c.swappability = Swappability::kHarvestersAndStorage;
+    c.monitoring = MonitoringCapability::kActivityFlags;
+    c.intelligence = IntelligenceLocation::kPowerUnit;
+    c.uses_mppt = false;
+  }
+  {  // G — Microstrain EH-Link [13]
+    auto& c = t[6];
+    c.device_name = "Microstrain EH-Link";
+    c.reference = "[13]";
+    c.harvester_count = 3;
+    c.storage_count = 1;
+    c.swappable_sensor_node = false;
+    c.swappable_storage = "Yes";
+    c.swappable_harvesters = "Yes, 3";
+    c.energy_monitoring = "No";
+    c.digital_interface = false;
+    c.quiescent_current = Amps{32e-6};
+    c.quiescent_is_bound = true;
+    c.harvester_types = {"Piezo", "Inductive", "Radio", "General AC/DC > 5 V"};
+    c.storage_types = {"Thin-film batt.", "Aux: supercap/thin-film"};
+    c.harvester_kinds = {harvest::HarvesterKind::kPiezo,
+                         harvest::HarvesterKind::kInductive,
+                         harvest::HarvesterKind::kRf,
+                         harvest::HarvesterKind::kAcDc};
+    c.storage_kinds = {storage::StorageKind::kThinFilm,
+                       storage::StorageKind::kSupercapacitor};
+    c.commercial = true;
+    c.conditioning = ConditioningLocation::kPowerUnit;
+    c.swappability = Swappability::kHarvestersAndStorage;
+    c.monitoring = MonitoringCapability::kNone;
+    c.intelligence = IntelligenceLocation::kNone;
+    c.uses_mppt = false;
+  }
+  return t;
+}
+
+}  // namespace msehsim::taxonomy

@@ -1,0 +1,102 @@
+// The survey's system-design taxonomy (Sec. II) as first-class data.
+//
+// Four axes:
+//   1. Power conditioning functionality — where conditioning lives and
+//      whether the operating point adapts (MPPT) or is fixed.
+//   2. Exchangeable hardware — which energy devices can be swapped.
+//   3. Energy monitoring/control capability — what the system can observe
+//      and command about its energy state.
+//   4. Location of interfacing/energy awareness — which processor (if any)
+//      performs the energy-awareness computation.
+//
+// A Classification bundles one system's position on all axes plus the
+// Table I bookkeeping columns; classify() derives it from a live Platform
+// so the bench regenerates Table I instead of transcribing it.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "harvest/harvester.hpp"
+#include "storage/storage.hpp"
+
+namespace msehsim::taxonomy {
+
+/// Axis 1: where the input power conditioning circuitry lives.
+enum class ConditioningLocation {
+  kPowerUnit,   ///< central circuits on the power unit (A, C-G)
+  kPerModule,   ///< one interface circuit per energy device (B)
+};
+
+/// Axis 2: what hardware can be exchanged (Sec. II.2's three levels plus
+/// the fixed baseline).
+enum class Swappability {
+  kFixed,                 ///< devices soldered to the board
+  kHarvestersOnly,        ///< harvesters attach to terminals
+  kHarvestersAndStorage,  ///< both attach, within conditioning constraints
+  kCompletelyFlexible,    ///< any device with a conforming interface circuit
+};
+
+/// Axis 3: energy monitoring/control capability.
+enum class MonitoringCapability {
+  kNone,              ///< blind power path
+  kStoreVoltageOnly,  ///< analog line to the store (Table I "Limited")
+  kActivityFlags,     ///< can see which devices are active (System F)
+  kFull,              ///< stored energy + incoming power, possibly control
+};
+
+/// Axis 4: where the energy-awareness intelligence runs.
+enum class IntelligenceLocation {
+  kNone,            ///< no intelligence on board
+  kEmbeddedDevice,  ///< sensor node's own MCU does the work (B)
+  kPowerUnit,       ///< dedicated MCU on the power unit (A, F)
+  kEnergyDevices,   ///< devolved to each device (Sec. IV "smart harvester")
+};
+
+[[nodiscard]] std::string_view to_string(ConditioningLocation v);
+[[nodiscard]] std::string_view to_string(Swappability v);
+[[nodiscard]] std::string_view to_string(MonitoringCapability v);
+[[nodiscard]] std::string_view to_string(IntelligenceLocation v);
+
+/// One system's position on every axis + the Table I columns.
+struct Classification {
+  std::string device_name;
+  std::string reference;      ///< citation / product id
+  int harvester_count{0};
+  int storage_count{0};
+  bool shared_ports{false};   ///< System B counts "6 (shared)" ports
+  bool swappable_sensor_node{false};
+  std::string swappable_storage;    ///< Table I free-text ("Yes, 6", "No", ...)
+  std::string swappable_harvesters;
+  std::string energy_monitoring;    ///< "Yes" / "No" / "Limited"
+  bool digital_interface{false};
+  Amps quiescent_current{0.0};
+  bool quiescent_is_bound{false};  ///< Table I reports "< x uA"
+  std::vector<std::string> harvester_types;
+  std::vector<std::string> storage_types;
+  /// Machine-comparable forms of the two rows above (order-insensitive).
+  std::vector<harvest::HarvesterKind> harvester_kinds;
+  std::vector<storage::StorageKind> storage_kinds;
+  bool commercial{false};
+
+  ConditioningLocation conditioning{ConditioningLocation::kPowerUnit};
+  Swappability swappability{Swappability::kFixed};
+  MonitoringCapability monitoring{MonitoringCapability::kNone};
+  IntelligenceLocation intelligence{IntelligenceLocation::kNone};
+  bool uses_mppt{false};
+};
+
+/// Renders classifications in the Table I layout (systems as columns).
+[[nodiscard]] TextTable render_table1(const std::vector<Classification>& systems);
+
+/// The paper's published Table I, cell by cell — ground truth the generated
+/// table is validated against in tests.
+[[nodiscard]] std::vector<Classification> paper_table1();
+
+/// Joins a list for table cells: "Light, Wind".
+[[nodiscard]] std::string join(const std::vector<std::string>& items);
+
+}  // namespace msehsim::taxonomy

@@ -1,0 +1,190 @@
+// I2C emulation and ADC sense lines.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "bus/i2c.hpp"
+#include "bus/sense.hpp"
+#include "core/error.hpp"
+
+namespace msehsim::bus {
+namespace {
+
+/// Simple RAM-backed slave for protocol tests.
+class RamSlave final : public I2cSlave {
+ public:
+  explicit RamSlave(std::uint8_t address) : address_(address) {}
+
+  [[nodiscard]] std::uint8_t address() const override { return address_; }
+  std::optional<std::uint8_t> read_register(std::uint8_t reg) override {
+    if (reg >= 16) return std::nullopt;
+    return ram_[reg];
+  }
+  bool write_register(std::uint8_t reg, std::uint8_t value) override {
+    if (reg >= 16) return false;
+    ram_[reg] = value;
+    return true;
+  }
+
+ private:
+  std::uint8_t address_;
+  std::uint8_t ram_[16] = {};
+};
+
+TEST(I2cBus, ReadWriteRoundTrip) {
+  I2cBus bus;
+  RamSlave dev(0x42);
+  bus.attach(dev);
+  EXPECT_TRUE(bus.write(0x42, 0, {1, 2, 3}));
+  const auto got = bus.read(0x42, 0, 3);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ((*got)[0], 1);
+  EXPECT_EQ((*got)[2], 3);
+}
+
+TEST(I2cBus, AbsentAddressNaks) {
+  I2cBus bus;
+  EXPECT_FALSE(bus.read(0x50, 0, 1).has_value());
+  EXPECT_FALSE(bus.write(0x50, 0, {1}));
+  EXPECT_EQ(bus.nak_count(), 2u);
+}
+
+TEST(I2cBus, InvalidRegisterNaksMidBurst) {
+  I2cBus bus;
+  RamSlave dev(0x42);
+  bus.attach(dev);
+  EXPECT_FALSE(bus.read(0x42, 14, 4).has_value());  // runs past register 15
+  EXPECT_FALSE(bus.write(0x42, 15, {1, 2}));
+}
+
+TEST(I2cBus, AddressCollisionRejected) {
+  I2cBus bus;
+  RamSlave a(0x42);
+  RamSlave b(0x42);
+  bus.attach(a);
+  EXPECT_THROW(bus.attach(b), msehsim::SpecError);
+}
+
+TEST(I2cBus, DetachMakesAddressNak) {
+  I2cBus bus;
+  RamSlave dev(0x42);
+  bus.attach(dev);
+  EXPECT_TRUE(bus.present(0x42));
+  bus.detach(0x42);
+  EXPECT_FALSE(bus.present(0x42));
+  EXPECT_FALSE(bus.read(0x42, 0, 1).has_value());
+}
+
+TEST(I2cBus, DetachAbsentIsNoOp) {
+  I2cBus bus;
+  bus.detach(0x01);  // hot-unplug of an empty socket
+  EXPECT_FALSE(bus.present(0x01));
+}
+
+TEST(I2cBus, ScanListsAddressesAscending) {
+  I2cBus bus;
+  RamSlave a(0x30);
+  RamSlave b(0x10);
+  RamSlave c(0x20);
+  bus.attach(a);
+  bus.attach(b);
+  bus.attach(c);
+  const auto found = bus.scan();
+  ASSERT_EQ(found.size(), 3u);
+  EXPECT_EQ(found[0], 0x10);
+  EXPECT_EQ(found[1], 0x20);
+  EXPECT_EQ(found[2], 0x30);
+}
+
+TEST(I2cBus, EnergyBilledPerByte) {
+  I2cBus::Params params;
+  params.energy_per_byte = Joules{100e-9};
+  I2cBus bus(params);
+  RamSlave dev(0x42);
+  bus.attach(dev);
+  bus.read(0x42, 0, 8);
+  // 8 payload + address + register = 10 bytes.
+  EXPECT_NEAR(bus.energy_consumed().value(), 10 * 100e-9, 1e-15);
+  EXPECT_EQ(bus.transactions(), 1u);
+}
+
+TEST(I2cBus, EnergyScalesWithTraffic) {
+  I2cBus bus;
+  RamSlave dev(0x42);
+  bus.attach(dev);
+  bus.read(0x42, 0, 1);
+  const double one = bus.energy_consumed().value();
+  for (int i = 0; i < 9; ++i) bus.read(0x42, 0, 1);
+  EXPECT_NEAR(bus.energy_consumed().value(), 10 * one, 1e-15);
+}
+
+TEST(AdcLine, QuantizesToLsb) {
+  AdcLine::Params p;
+  p.bits = 10;
+  p.full_scale = Volts{3.3};
+  p.noise_lsb = 0.0;
+  AdcLine adc(p, 1);
+  const double lsb = adc.lsb().value();
+  const Volts got = adc.sample(Volts{1.234});
+  EXPECT_NEAR(got.value(), 1.234, lsb);
+  // Quantized output is an integer multiple of the LSB.
+  const double code = got.value() / lsb;
+  EXPECT_NEAR(code, std::round(code), 1e-9);
+}
+
+TEST(AdcLine, ClampsToFullScale) {
+  AdcLine::Params p;
+  p.noise_lsb = 0.0;
+  AdcLine adc(p, 2);
+  EXPECT_LE(adc.sample(Volts{10.0}).value(), p.full_scale.value());
+  EXPECT_GE(adc.sample(Volts{-2.0}).value(), 0.0);
+}
+
+TEST(AdcLine, EnergyAccrualPerSample) {
+  AdcLine::Params p;
+  p.energy_per_sample = Joules{2e-6};
+  AdcLine adc(p, 3);
+  for (int i = 0; i < 5; ++i) adc.sample(Volts{1.0});
+  EXPECT_EQ(adc.samples_taken(), 5u);
+  EXPECT_NEAR(adc.energy_consumed().value(), 10e-6, 1e-15);
+}
+
+TEST(AdcLine, NoiseBoundedByConfiguredLsbs) {
+  AdcLine::Params p;
+  p.bits = 12;
+  p.noise_lsb = 1.0;
+  AdcLine adc(p, 4);
+  const double lsb = adc.lsb().value();
+  double worst = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double err = std::fabs(adc.sample(Volts{1.65}).value() - 1.65);
+    worst = std::max(worst, err);
+  }
+  EXPECT_LT(worst, 6.0 * lsb);  // 5-sigma plus quantization
+}
+
+TEST(AdcLine, HigherResolutionSmallerError) {
+  AdcLine::Params coarse;
+  coarse.bits = 6;
+  coarse.noise_lsb = 0.0;
+  AdcLine::Params fine;
+  fine.bits = 14;
+  fine.noise_lsb = 0.0;
+  AdcLine a(coarse, 5);
+  AdcLine b(fine, 5);
+  const double err_a = std::fabs(a.sample(Volts{1.111}).value() - 1.111);
+  const double err_b = std::fabs(b.sample(Volts{1.111}).value() - 1.111);
+  EXPECT_LT(err_b, err_a);
+}
+
+TEST(AdcLine, RejectsBadSpecs) {
+  AdcLine::Params p;
+  p.bits = 0;
+  EXPECT_THROW(AdcLine(p, 1), msehsim::SpecError);
+  AdcLine::Params q;
+  q.full_scale = Volts{0.0};
+  EXPECT_THROW(AdcLine(q, 1), msehsim::SpecError);
+}
+
+}  // namespace
+}  // namespace msehsim::bus

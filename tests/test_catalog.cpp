@@ -1,0 +1,143 @@
+// Catalog: the seven Table I systems must classify to the paper's table.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "systems/catalog.hpp"
+#include "taxonomy/taxonomy.hpp"
+
+namespace msehsim::systems {
+namespace {
+
+constexpr std::uint64_t kSeed = 2013;
+
+TEST(Catalog, BuildsAllSeven) {
+  const auto all = build_all_surveyed(kSeed);
+  ASSERT_EQ(all.size(), 7u);
+  for (const auto& p : all) EXPECT_NE(p, nullptr);
+}
+
+TEST(Catalog, BuildByIdMatchesDirectBuilders) {
+  EXPECT_EQ(build(SystemId::kSmartPowerUnit, kSeed)->spec().name,
+            "Smart Power Unit");
+  EXPECT_EQ(build(SystemId::kPlugAndPlay, kSeed)->spec().name, "Plug-and-Play");
+  EXPECT_EQ(build(SystemId::kSmartHarvester, kSeed)->spec().name,
+            "Smart Harvester (proposed)");
+}
+
+TEST(Catalog, NamesCoverAllIds) {
+  EXPECT_EQ(to_string(SystemId::kAmbiMax), "AmbiMax");
+  EXPECT_EQ(to_string(SystemId::kMpWiNode), "MPWiNode");
+  EXPECT_EQ(to_string(SystemId::kMax17710Eval), "Maxim MAX17710 Eval");
+  EXPECT_EQ(to_string(SystemId::kCymbetEval09), "Cymbet EVAL-09");
+  EXPECT_EQ(to_string(SystemId::kEhLink), "Microstrain EH-Link");
+}
+
+/// The generated classification must agree with the paper's Table I on
+/// every structural cell. Harvester/storage kind sets are compared as
+/// subsets: the builders instantiate a demo configuration, and the paper
+/// lists the supported types.
+class TableOneAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(TableOneAgreement, MatchesPaperColumn) {
+  const auto idx = static_cast<std::size_t>(GetParam());
+  const auto paper = taxonomy::paper_table1().at(idx);
+  const auto platform = build_all_surveyed(kSeed).at(idx)->classify();
+
+  EXPECT_EQ(platform.device_name, paper.device_name);
+  EXPECT_EQ(platform.swappable_sensor_node, paper.swappable_sensor_node);
+  EXPECT_EQ(platform.swappable_storage, paper.swappable_storage);
+  EXPECT_EQ(platform.swappable_harvesters, paper.swappable_harvesters);
+  EXPECT_EQ(platform.energy_monitoring, paper.energy_monitoring);
+  EXPECT_EQ(platform.digital_interface, paper.digital_interface);
+  EXPECT_DOUBLE_EQ(platform.quiescent_current.value(),
+                   paper.quiescent_current.value());
+  EXPECT_EQ(platform.quiescent_is_bound, paper.quiescent_is_bound);
+  EXPECT_EQ(platform.commercial, paper.commercial);
+  EXPECT_EQ(platform.conditioning, paper.conditioning);
+  EXPECT_EQ(platform.swappability, paper.swappability);
+  EXPECT_EQ(platform.monitoring, paper.monitoring);
+  EXPECT_EQ(platform.intelligence, paper.intelligence);
+  EXPECT_EQ(platform.uses_mppt, paper.uses_mppt);
+  EXPECT_EQ(platform.shared_ports, paper.shared_ports);
+
+  // Harvester/storage kinds: generated demo config subset of paper's list.
+  for (const auto kind : platform.harvester_kinds)
+    EXPECT_NE(std::find(paper.harvester_kinds.begin(), paper.harvester_kinds.end(),
+                        kind),
+              paper.harvester_kinds.end())
+        << "unexpected harvester kind in " << platform.device_name;
+  for (const auto kind : platform.storage_kinds)
+    EXPECT_NE(
+        std::find(paper.storage_kinds.begin(), paper.storage_kinds.end(), kind),
+        paper.storage_kinds.end())
+        << "unexpected storage kind in " << platform.device_name;
+}
+
+INSTANTIATE_TEST_SUITE_P(SystemsAtoG, TableOneAgreement, ::testing::Range(0, 7),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return std::string(1,
+                                              static_cast<char>('A' + info.param));
+                         });
+
+TEST(Catalog, CountsMatchTableOneCountsRow) {
+  const auto all = build_all_surveyed(kSeed);
+  // A: 3 harvesters / 3 stores.
+  EXPECT_EQ(all[0]->input_count(), 3u);
+  EXPECT_EQ(all[0]->storage_count(), 3u);
+  // B: 6 shared ports (4 + 2 in the demo config).
+  EXPECT_EQ(all[1]->input_count() + all[1]->storage_count(), 6u);
+  // C: 3/2, D: 3/1, E: 2/1, F: 4/2, G: 3/1.
+  EXPECT_EQ(all[2]->input_count(), 3u);
+  EXPECT_EQ(all[2]->storage_count(), 2u);
+  EXPECT_EQ(all[3]->input_count(), 3u);
+  EXPECT_EQ(all[3]->storage_count(), 1u);
+  EXPECT_EQ(all[4]->input_count(), 2u);
+  EXPECT_EQ(all[4]->storage_count(), 1u);
+  EXPECT_EQ(all[5]->input_count(), 4u);
+  EXPECT_EQ(all[5]->storage_count(), 2u);
+  EXPECT_EQ(all[6]->input_count(), 3u);
+  EXPECT_EQ(all[6]->storage_count(), 1u);
+}
+
+TEST(Catalog, SystemAHasFuelCell) {
+  auto a = build_system_a(kSeed);
+  bool found = false;
+  for (std::size_t i = 0; i < a->storage_count(); ++i)
+    if (a->store(i).kind() == storage::StorageKind::kFuelCell) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Catalog, SystemBModulesAnswerOnTheBus) {
+  auto b = build_system_b(kSeed);
+  const auto found = b->i2c().scan();
+  EXPECT_EQ(found.size(), 6u);  // 4 harvesters + 2 stores
+}
+
+TEST(Catalog, SystemBMonitorSeesAllModules) {
+  auto b = build_system_b(kSeed);
+  auto* monitor = dynamic_cast<manager::DigitalBusMonitor*>(b->monitor());
+  ASSERT_NE(monitor, nullptr);
+  EXPECT_EQ(monitor->inventory().size(), 6u);
+}
+
+TEST(Catalog, SmartHarvesterUsesLocalMppt) {
+  auto s = build_smart_harvester(kSeed);
+  const auto c = s->classify();
+  EXPECT_TRUE(c.uses_mppt);
+  EXPECT_EQ(c.intelligence, taxonomy::IntelligenceLocation::kEnergyDevices);
+  EXPECT_EQ(c.swappability, taxonomy::Swappability::kCompletelyFlexible);
+  EXPECT_TRUE(c.digital_interface);
+}
+
+TEST(Catalog, MpptRowMatchesSurveyDiscussion) {
+  // "Many of the systems implement some form of MPPT": A, C, D adapt;
+  // B (fixed modules), E, F, G do not.
+  const auto all = build_all_surveyed(kSeed);
+  const bool expected[] = {true, false, true, true, false, false, false};
+  for (std::size_t i = 0; i < all.size(); ++i)
+    EXPECT_EQ(all[i]->classify().uses_mppt, expected[i]) << "system " << i;
+}
+
+}  // namespace
+}  // namespace msehsim::systems

@@ -1,0 +1,113 @@
+// Diode-OR source combiner (the EH-Link single-input architecture).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/error.hpp"
+#include "harvest/combiner.hpp"
+#include "harvest/transducers.hpp"
+
+namespace msehsim::harvest {
+namespace {
+
+env::AmbientConditions shaking_and_hot(double rms, double dt_kelvin) {
+  env::AmbientConditions c;
+  c.vibration_rms = MetersPerSecondSquared{rms};
+  c.vibration_freq = Hertz{50.0};
+  c.thermal_gradient = Kelvin{dt_kelvin};
+  return c;
+}
+
+std::unique_ptr<DiodeOrCombiner> piezo_or_teg(double diode_drop = 0.3) {
+  std::vector<std::unique_ptr<Harvester>> sources;
+  sources.push_back(
+      std::make_unique<VibrationHarvester>(VibrationHarvester::piezo("pz")));
+  Teg::Params tp;
+  tp.seebeck_per_kelvin = Volts{0.05};
+  tp.internal_resistance = Ohms{5.0};
+  sources.push_back(std::make_unique<Teg>("teg", tp));
+  return std::make_unique<DiodeOrCombiner>("or", std::move(sources),
+                                           Volts{diode_drop});
+}
+
+TEST(DiodeOr, RequiresSources) {
+  EXPECT_THROW(
+      DiodeOrCombiner("x", std::vector<std::unique_ptr<Harvester>>{}),
+      SpecError);
+}
+
+TEST(DiodeOr, VocIsMaxSourceMinusDrop) {
+  auto combiner = piezo_or_teg(0.3);
+  // Piezo active (Voc = 6.6 V), TEG weak (Voc = 0.5 V): piezo dominates.
+  combiner->set_conditions(shaking_and_hot(3.0, 10.0));
+  const double piezo_voc = combiner->source(0).open_circuit_voltage().value();
+  EXPECT_NEAR(combiner->open_circuit_voltage().value(), piezo_voc - 0.3, 1e-9);
+  EXPECT_EQ(combiner->dominant_source(), 0u);
+}
+
+TEST(DiodeOr, DominantSourceFollowsConditions) {
+  auto combiner = piezo_or_teg();
+  // Machinery still, hot: TEG is the only source.
+  combiner->set_conditions(shaking_and_hot(0.0, 10.0));
+  EXPECT_EQ(combiner->dominant_source(), 1u);
+  EXPECT_EQ(combiner->kind(), HarvesterKind::kThermoelectric);
+  // Machinery shaking: piezo (higher voltage) takes over.
+  combiner->set_conditions(shaking_and_hot(3.0, 10.0));
+  EXPECT_EQ(combiner->dominant_source(), 0u);
+  EXPECT_EQ(combiner->kind(), HarvesterKind::kPiezo);
+}
+
+TEST(DiodeOr, WeakerSourceIsReverseBlocked) {
+  // At the combiner's MPP, the low-voltage TEG sees terminal + drop above
+  // its own Voc and contributes nothing: OR-ing wastes the weaker source.
+  auto combiner = piezo_or_teg();
+  combiner->set_conditions(shaking_and_hot(3.0, 10.0));
+  const auto mpp = combiner->maximum_power_point();
+  const Amps teg_alone =
+      combiner->source(1).current_at(mpp.v + Volts{0.3});
+  EXPECT_DOUBLE_EQ(teg_alone.value(), 0.0);
+}
+
+TEST(DiodeOr, CombinedPowerBelowSumOfIndividualMpps) {
+  auto combiner = piezo_or_teg();
+  combiner->set_conditions(shaking_and_hot(3.0, 10.0));
+  const double or_power = combiner->maximum_power_point().p.value();
+  const double sum_mpps = combiner->source(0).maximum_power_point().p.value() +
+                          combiner->source(1).maximum_power_point().p.value();
+  EXPECT_LT(or_power, sum_mpps);  // the per-chain architecture's advantage
+  EXPECT_GT(or_power, 0.0);
+}
+
+TEST(DiodeOr, DiodeDropCostsPower) {
+  auto lossless = piezo_or_teg(0.0);
+  auto lossy = piezo_or_teg(0.5);
+  lossless->set_conditions(shaking_and_hot(3.0, 0.0));
+  lossy->set_conditions(shaking_and_hot(3.0, 0.0));
+  EXPECT_GT(lossless->maximum_power_point().p.value(),
+            lossy->maximum_power_point().p.value());
+}
+
+TEST(DiodeOr, AllSourcesDeadMeansDeadCombiner) {
+  auto combiner = piezo_or_teg();
+  combiner->set_conditions(shaking_and_hot(0.0, 0.0));
+  EXPECT_DOUBLE_EQ(combiner->maximum_power_point().p.value(), 0.0);
+  EXPECT_DOUBLE_EQ(combiner->open_circuit_voltage().value(), 0.0);
+}
+
+TEST(DiodeOr, NegativeTerminalBlocked) {
+  auto combiner = piezo_or_teg();
+  combiner->set_conditions(shaking_and_hot(3.0, 10.0));
+  EXPECT_DOUBLE_EQ(combiner->current_at(Volts{-1.0}).value(), 0.0);
+}
+
+TEST(DiodeOr, PowerCurveNonNegativeUpToVoc) {
+  auto combiner = piezo_or_teg();
+  combiner->set_conditions(shaking_and_hot(2.0, 12.0));
+  const double voc = combiner->open_circuit_voltage().value();
+  for (double v = 0.0; v <= voc * 1.1; v += voc / 40.0)
+    EXPECT_GE(combiner->power_at(Volts{v}).value(), 0.0) << v;
+}
+
+}  // namespace
+}  // namespace msehsim::harvest

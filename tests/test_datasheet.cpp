@@ -1,0 +1,181 @@
+// Electronic datasheets: encode/decode round trips, corruption rejection,
+// module-port register map.
+#include <gtest/gtest.h>
+
+#include "bus/datasheet.hpp"
+#include "bus/i2c.hpp"
+#include "bus/module_port.hpp"
+
+namespace msehsim::bus {
+namespace {
+
+ElectronicDatasheet pv_sheet() {
+  ElectronicDatasheet ds;
+  ds.device_class = DeviceClass::kHarvester;
+  ds.model = "PNP-PV";
+  ds.harvester_kind = harvest::HarvesterKind::kPhotovoltaic;
+  ds.rated_power = Watts{1e-3};
+  ds.recommended_operating_voltage = Volts{2.0};
+  return ds;
+}
+
+ElectronicDatasheet cap_sheet() {
+  ElectronicDatasheet ds;
+  ds.device_class = DeviceClass::kStorage;
+  ds.model = "SC-10F";
+  ds.storage_kind = storage::StorageKind::kSupercapacitor;
+  ds.capacity = Joules{125.0};
+  ds.min_voltage = Volts{0.0};
+  ds.max_voltage = Volts{5.0};
+  return ds;
+}
+
+TEST(Datasheet, EncodeHasFixedSize) {
+  EXPECT_EQ(pv_sheet().encode().size(), ElectronicDatasheet::kEncodedSize);
+}
+
+TEST(Datasheet, RoundTripHarvester) {
+  const auto ds = pv_sheet();
+  const auto decoded = ElectronicDatasheet::decode(ds.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(*decoded == ds);
+}
+
+TEST(Datasheet, RoundTripStorage) {
+  const auto ds = cap_sheet();
+  const auto decoded = ElectronicDatasheet::decode(ds.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->device_class, DeviceClass::kStorage);
+  EXPECT_EQ(decoded->model, "SC-10F");
+  EXPECT_DOUBLE_EQ(decoded->capacity.value(), 125.0);
+  EXPECT_DOUBLE_EQ(decoded->max_voltage.value(), 5.0);
+}
+
+TEST(Datasheet, LongModelNameTruncatedTo15) {
+  auto ds = pv_sheet();
+  ds.model = "THIS-NAME-IS-FAR-TOO-LONG";
+  const auto decoded = ElectronicDatasheet::decode(ds.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->model.size(), 15u);
+  EXPECT_EQ(decoded->model, "THIS-NAME-IS-FA");
+}
+
+TEST(Datasheet, CorruptedByteRejectedByCrc) {
+  auto bytes = pv_sheet().encode();
+  bytes[25] ^= 0x01;
+  EXPECT_FALSE(ElectronicDatasheet::decode(bytes).has_value());
+}
+
+TEST(Datasheet, BadMagicRejected) {
+  auto bytes = pv_sheet().encode();
+  bytes[0] = 0x00;
+  EXPECT_FALSE(ElectronicDatasheet::decode(bytes).has_value());
+}
+
+TEST(Datasheet, WrongSizeRejected) {
+  auto bytes = pv_sheet().encode();
+  bytes.pop_back();
+  EXPECT_FALSE(ElectronicDatasheet::decode(bytes).has_value());
+  EXPECT_FALSE(ElectronicDatasheet::decode({}).has_value());
+}
+
+TEST(Datasheet, BadDeviceClassRejected) {
+  auto bytes = pv_sheet().encode();
+  bytes[3] = 99;
+  // Fix up the CRC so only the class is invalid.
+  const std::uint16_t crc = crc16_ccitt(bytes.data(), 62);
+  bytes[62] = static_cast<std::uint8_t>(crc & 0xFF);
+  bytes[63] = static_cast<std::uint8_t>(crc >> 8);
+  EXPECT_FALSE(ElectronicDatasheet::decode(bytes).has_value());
+}
+
+TEST(Crc16, KnownVector) {
+  // CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+  const std::uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc16_ccitt(data, sizeof data), 0x29B1);
+}
+
+TEST(ModulePort, ServesDatasheetOverBus) {
+  I2cBus bus;
+  ModulePort port(0x10, pv_sheet(), {});
+  bus.attach(port);
+  const auto ds = read_datasheet(bus, 0x10);
+  ASSERT_TRUE(ds.has_value());
+  EXPECT_TRUE(*ds == pv_sheet());
+}
+
+TEST(ModulePort, LiveTelemetryRegisters) {
+  I2cBus bus;
+  double power = 1.5e-3;
+  double energy = 42.0;
+  double voltage = 3.123;
+  ModulePort::Telemetry t;
+  t.active = [] { return true; };
+  t.output_power = [&] { return Watts{power}; };
+  t.stored_energy = [&] { return Joules{energy}; };
+  t.terminal_voltage = [&] { return Volts{voltage}; };
+  ModulePort port(0x11, cap_sheet(), std::move(t));
+  bus.attach(port);
+
+  const auto status = bus.read(0x11, ModulePort::kRegStatus, 1);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ((*status)[0], 1);
+
+  EXPECT_EQ(read_live_u32(bus, 0x11, ModulePort::kRegPowerUw).value(), 1500u);
+  EXPECT_EQ(read_live_u32(bus, 0x11, ModulePort::kRegEnergyMj).value(), 42000u);
+  EXPECT_EQ(read_live_u32(bus, 0x11, ModulePort::kRegVoltageMv).value(), 3123u);
+
+  // Telemetry is live: changing the source changes the registers.
+  energy = 10.0;
+  EXPECT_EQ(read_live_u32(bus, 0x11, ModulePort::kRegEnergyMj).value(), 10000u);
+}
+
+TEST(ModulePort, UnsetTelemetryReadsZero) {
+  I2cBus bus;
+  ModulePort port(0x12, pv_sheet(), {});
+  bus.attach(port);
+  EXPECT_EQ(read_live_u32(bus, 0x12, ModulePort::kRegPowerUw).value(), 0u);
+  const auto status = bus.read(0x12, ModulePort::kRegStatus, 1);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ((*status)[0], 0);
+}
+
+TEST(ModulePort, ControlRegisterInvokesCallback) {
+  I2cBus bus;
+  bool enabled = false;
+  ModulePort::Telemetry t;
+  t.set_enabled = [&](bool on) { enabled = on; };
+  ModulePort port(0x13, cap_sheet(), std::move(t));
+  bus.attach(port);
+  EXPECT_TRUE(bus.write(0x13, ModulePort::kRegControl, {1}));
+  EXPECT_TRUE(enabled);
+  EXPECT_TRUE(bus.write(0x13, ModulePort::kRegControl, {0}));
+  EXPECT_FALSE(enabled);
+}
+
+TEST(ModulePort, EepromIsReadOnly) {
+  I2cBus bus;
+  ModulePort port(0x14, pv_sheet(), {});
+  bus.attach(port);
+  EXPECT_FALSE(bus.write(0x14, 0x00, {0xFF}));
+  // Datasheet still intact.
+  const auto ds = read_datasheet(bus, 0x14);
+  ASSERT_TRUE(ds.has_value());
+  EXPECT_TRUE(*ds == pv_sheet());
+}
+
+TEST(ModulePort, UnknownRegisterNaks) {
+  I2cBus bus;
+  ModulePort port(0x15, pv_sheet(), {});
+  bus.attach(port);
+  EXPECT_FALSE(bus.read(0x15, 0x60, 1).has_value());
+}
+
+TEST(ReadDatasheet, AbsentModuleGivesNullopt) {
+  I2cBus bus;
+  EXPECT_FALSE(read_datasheet(bus, 0x77).has_value());
+  EXPECT_FALSE(read_live_u32(bus, 0x77, ModulePort::kRegPowerUw).has_value());
+}
+
+}  // namespace
+}  // namespace msehsim::bus

@@ -1,0 +1,261 @@
+// Environment generators: determinism, physical plausibility, presets,
+// trace playback.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "env/channels.hpp"
+#include "env/environment.hpp"
+
+namespace msehsim::env {
+namespace {
+
+constexpr Seconds kStep{60.0};
+constexpr double kDay = 86400.0;
+
+TEST(TimeHelpers, HourOfDayWraps) {
+  EXPECT_DOUBLE_EQ(hour_of_day(Seconds{0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(hour_of_day(Seconds{kDay / 2}), 12.0);
+  EXPECT_DOUBLE_EQ(hour_of_day(Seconds{kDay + 3600.0}), 1.0);
+}
+
+TEST(TimeHelpers, DayIndex) {
+  EXPECT_EQ(day_index(Seconds{0.0}), 0);
+  EXPECT_EQ(day_index(Seconds{kDay * 2.5}), 2);
+}
+
+TEST(SolarChannel, ClearSkyZeroAtNightPositiveAtNoon) {
+  SolarChannel solar({}, 1);
+  EXPECT_DOUBLE_EQ(solar.clear_sky(Seconds{0.0}).value(), 0.0);  // midnight
+  EXPECT_GT(solar.clear_sky(Seconds{kDay / 2}).value(), 400.0);  // noon, summer
+}
+
+TEST(SolarChannel, ClearSkyPeaksAtNoon) {
+  SolarChannel solar({}, 1);
+  const double at9 = solar.clear_sky(Seconds{9.0 * 3600}).value();
+  const double at12 = solar.clear_sky(Seconds{12.0 * 3600}).value();
+  const double at17 = solar.clear_sky(Seconds{17.0 * 3600}).value();
+  EXPECT_GT(at12, at9);
+  EXPECT_GT(at12, at17);
+}
+
+TEST(SolarChannel, CloudsOnlyAttenuate) {
+  SolarChannel cloudy({}, 7);
+  SolarChannel reference({}, 7);
+  for (double t = 0.0; t < kDay; t += kStep.value()) {
+    const auto got = cloudy.advance(Seconds{t}, kStep);
+    const auto clear = reference.clear_sky(Seconds{t});
+    EXPECT_LE(got.value(), clear.value() + 1e-9);
+    EXPECT_GE(got.value(), 0.0);
+  }
+}
+
+TEST(SolarChannel, DeterministicAcrossRuns) {
+  SolarChannel a({}, 99);
+  SolarChannel b({}, 99);
+  for (double t = 0.0; t < kDay; t += kStep.value())
+    EXPECT_EQ(a.advance(Seconds{t}, kStep).value(),
+              b.advance(Seconds{t}, kStep).value());
+}
+
+TEST(SolarChannel, RejectsBadSpec) {
+  SolarChannel::Params p;
+  p.cloud_attenuation = 1.5;
+  EXPECT_THROW(SolarChannel(p, 1), msehsim::SpecError);
+}
+
+TEST(IndoorLightChannel, FollowsOfficeSchedule) {
+  IndoorLightChannel light({}, 3);
+  // 3 AM on a weekday: off level.
+  const auto night = light.advance(Seconds{3.0 * 3600}, kStep);
+  EXPECT_LT(night.value(), 50.0);
+  // 11 AM on day 0 (weekday): on level.
+  const auto day = light.advance(Seconds{11.0 * 3600}, kStep);
+  EXPECT_GT(day.value(), 300.0);
+}
+
+TEST(IndoorLightChannel, NeverNegative) {
+  IndoorLightChannel::Params p;
+  p.noise_fraction = 0.8;  // absurd noise still must clamp
+  IndoorLightChannel light(p, 4);
+  for (double t = 0.0; t < kDay; t += kStep.value())
+    EXPECT_GE(light.advance(Seconds{t}, kStep).value(), 0.0);
+}
+
+TEST(WindChannel, MeanNearWeibullMean) {
+  WindChannel wind({}, 11);
+  double sum = 0.0;
+  int n = 0;
+  for (double t = 0.0; t < 30.0 * kDay; t += 300.0) {
+    sum += wind.advance(Seconds{t}, Seconds{300.0}).value();
+    ++n;
+  }
+  // Weibull(k=2, lambda=4.5) mean ~ 3.99 m/s; diurnal modulation averages out.
+  EXPECT_NEAR(sum / n, 4.0, 0.6);
+}
+
+TEST(WindChannel, TemporalCorrelation) {
+  // Adjacent 1-minute samples should be much closer than independent draws.
+  WindChannel wind({}, 12);
+  double prev = wind.advance(Seconds{0.0}, kStep).value();
+  double sum_abs_diff = 0.0;
+  int n = 0;
+  for (double t = kStep.value(); t < kDay; t += kStep.value()) {
+    const double cur = wind.advance(Seconds{t}, kStep).value();
+    sum_abs_diff += std::fabs(cur - prev);
+    prev = cur;
+    ++n;
+  }
+  EXPECT_LT(sum_abs_diff / n, 1.0);  // independent Weibull pairs differ by ~2
+}
+
+TEST(WindChannel, NonNegative) {
+  WindChannel wind({}, 13);
+  for (double t = 0.0; t < kDay; t += kStep.value())
+    EXPECT_GE(wind.advance(Seconds{t}, kStep).value(), 0.0);
+}
+
+TEST(HvacFlowChannel, OffOutsideSchedule) {
+  HvacFlowChannel hvac({}, 5);
+  EXPECT_DOUBLE_EQ(hvac.advance(Seconds{2.0 * 3600}, kStep).value(), 0.0);
+  EXPECT_GT(hvac.advance(Seconds{12.0 * 3600}, kStep).value(), 0.5);
+}
+
+TEST(ThermalChannel, GradientBoundedByTargets) {
+  ThermalChannel thermal({}, 21);
+  ThermalChannel::Params def;
+  for (double t = 0.0; t < 7.0 * kDay; t += kStep.value()) {
+    const double g = thermal.advance(Seconds{t}, kStep).value();
+    EXPECT_GE(g, 0.0);
+    EXPECT_LE(g, def.gradient_on.value() + 1e-9);
+  }
+}
+
+TEST(ThermalChannel, ReachesOnGradientEventually) {
+  ThermalChannel thermal({}, 22);
+  double peak = 0.0;
+  for (double t = 0.0; t < 7.0 * kDay; t += kStep.value())
+    peak = std::max(peak, thermal.advance(Seconds{t}, kStep).value());
+  EXPECT_GT(peak, 8.0);  // approaches gradient_on = 12 K
+}
+
+TEST(VibrationChannel, TogglesBetweenLevels) {
+  VibrationChannel vib({}, 31);
+  bool saw_on = false;
+  bool saw_off = false;
+  for (double t = 0.0; t < 7.0 * kDay; t += kStep.value()) {
+    const auto s = vib.advance(Seconds{t}, kStep);
+    EXPECT_GT(s.frequency.value(), 0.0);
+    if (s.rms.value() > 1.0) saw_on = true;
+    if (s.rms.value() < 0.2) saw_off = true;
+  }
+  EXPECT_TRUE(saw_on);
+  EXPECT_TRUE(saw_off);
+}
+
+TEST(RfChannel, BackgroundPlusBursts) {
+  RfChannel rf({}, 41);
+  RfChannel::Params def;
+  bool saw_burst = false;
+  for (double t = 0.0; t < 7.0 * kDay; t += kStep.value()) {
+    const double s = rf.advance(Seconds{t}, kStep).value();
+    EXPECT_GE(s, def.background.value() - 1e-12);
+    if (s > def.background.value() * 2) saw_burst = true;
+  }
+  EXPECT_TRUE(saw_burst);
+}
+
+TEST(WaterFlowChannel, FlowsOnlyInIrrigationWindows) {
+  WaterFlowChannel water({}, 51);
+  // 03:00 — outside both windows.
+  EXPECT_DOUBLE_EQ(water.advance(Seconds{3.0 * 3600}, kStep).value(), 0.0);
+  // 06:30 — inside the morning window.
+  EXPECT_GT(water.advance(Seconds{6.5 * 3600}, kStep).value(), 0.5);
+  // 17:30 — inside the evening window.
+  EXPECT_GT(water.advance(Seconds{17.5 * 3600}, kStep).value(), 0.5);
+}
+
+TEST(Environment, OutdoorPresetHasSunAndWind) {
+  auto e = Environment::outdoor(1);
+  bool saw_sun = false;
+  bool saw_wind = false;
+  for (double t = 0.0; t < kDay; t += kStep.value()) {
+    const auto c = e.advance(Seconds{t}, kStep);
+    if (c.solar_irradiance.value() > 100.0) saw_sun = true;
+    if (c.wind_speed.value() > 1.0) saw_wind = true;
+    EXPECT_DOUBLE_EQ(c.illuminance.value(), 0.0);
+    EXPECT_DOUBLE_EQ(c.water_flow.value(), 0.0);
+  }
+  EXPECT_TRUE(saw_sun);
+  EXPECT_TRUE(saw_wind);
+}
+
+TEST(Environment, IndoorIndustrialPresetChannels) {
+  auto e = Environment::indoor_industrial(2);
+  bool saw_lux = false;
+  bool saw_vib = false;
+  bool saw_dt = false;
+  for (double t = 0.0; t < 3.0 * kDay; t += kStep.value()) {
+    const auto c = e.advance(Seconds{t}, kStep);
+    EXPECT_DOUBLE_EQ(c.solar_irradiance.value(), 0.0);
+    if (c.illuminance.value() > 100.0) saw_lux = true;
+    if (c.vibration_rms.value() > 1.0) saw_vib = true;
+    if (c.thermal_gradient.value() > 5.0) saw_dt = true;
+  }
+  EXPECT_TRUE(saw_lux);
+  EXPECT_TRUE(saw_vib);
+  EXPECT_TRUE(saw_dt);
+}
+
+TEST(Environment, AgriculturalPresetHasWater) {
+  auto e = Environment::agricultural(3);
+  bool saw_water = false;
+  for (double t = 0.0; t < kDay; t += kStep.value())
+    if (e.advance(Seconds{t}, kStep).water_flow.value() > 0.5) saw_water = true;
+  EXPECT_TRUE(saw_water);
+}
+
+TEST(Environment, DeterministicWithSameSeed) {
+  auto a = Environment::indoor_industrial(77);
+  auto b = Environment::indoor_industrial(77);
+  for (double t = 0.0; t < kDay; t += kStep.value()) {
+    const auto ca = a.advance(Seconds{t}, kStep);
+    const auto cb = b.advance(Seconds{t}, kStep);
+    EXPECT_EQ(ca.illuminance.value(), cb.illuminance.value());
+    EXPECT_EQ(ca.vibration_rms.value(), cb.vibration_rms.value());
+    EXPECT_EQ(ca.rf_power_density.value(), cb.rf_power_density.value());
+  }
+}
+
+TEST(TraceEnvironment, PlaysBackAndLoops) {
+  const auto csv = msehsim::parse_csv(
+      "time,solar_irradiance,wind_speed\n0,100,2\n10,200,3\n20,300,4\n");
+  TraceEnvironment trace(csv);
+  EXPECT_DOUBLE_EQ(trace.duration().value(), 20.0);
+  EXPECT_DOUBLE_EQ(trace.advance(Seconds{0.0}, Seconds{1.0}).solar_irradiance.value(),
+                   100.0);
+  EXPECT_DOUBLE_EQ(trace.advance(Seconds{12.0}, Seconds{1.0}).solar_irradiance.value(),
+                   200.0);
+  // Wraps modulo duration: t = 25 -> trace time 5 -> still row 0.
+  EXPECT_DOUBLE_EQ(trace.advance(Seconds{25.0}, Seconds{1.0}).solar_irradiance.value(),
+                   100.0);
+  EXPECT_DOUBLE_EQ(trace.advance(Seconds{12.0}, Seconds{1.0}).wind_speed.value(), 3.0);
+}
+
+TEST(TraceEnvironment, MissingColumnsReadZero) {
+  const auto csv = msehsim::parse_csv("time,illuminance\n0,400\n100,500\n");
+  TraceEnvironment trace(csv);
+  const auto c = trace.advance(Seconds{0.0}, Seconds{1.0});
+  EXPECT_DOUBLE_EQ(c.illuminance.value(), 400.0);
+  EXPECT_DOUBLE_EQ(c.solar_irradiance.value(), 0.0);
+  EXPECT_DOUBLE_EQ(c.vibration_rms.value(), 0.0);
+}
+
+TEST(TraceEnvironment, RequiresTimeColumn) {
+  const auto csv = msehsim::parse_csv("x,y\n1,2\n3,4\n");
+  EXPECT_THROW(TraceEnvironment{csv}, msehsim::SpecError);
+}
+
+}  // namespace
+}  // namespace msehsim::env

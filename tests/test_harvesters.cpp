@@ -1,0 +1,439 @@
+// Transducer models: I-V curve properties, MPP behaviour, parameterized
+// physical-invariant sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/error.hpp"
+#include "harvest/transducers.hpp"
+
+namespace msehsim::harvest {
+namespace {
+
+env::AmbientConditions sunny(double irradiance = 800.0) {
+  env::AmbientConditions c;
+  c.solar_irradiance = WattsPerSquareMeter{irradiance};
+  return c;
+}
+
+env::AmbientConditions windy(double speed) {
+  env::AmbientConditions c;
+  c.wind_speed = MetersPerSecond{speed};
+  return c;
+}
+
+env::AmbientConditions hot(double dt) {
+  env::AmbientConditions c;
+  c.thermal_gradient = Kelvin{dt};
+  return c;
+}
+
+env::AmbientConditions shaking(double rms, double freq = 50.0) {
+  env::AmbientConditions c;
+  c.vibration_rms = MetersPerSecondSquared{rms};
+  c.vibration_freq = Hertz{freq};
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// TheveninSource
+// ---------------------------------------------------------------------------
+
+TEST(Thevenin, CurrentLinearInVoltage) {
+  TheveninSource s{Volts{4.0}, Ohms{2.0}};
+  EXPECT_DOUBLE_EQ(s.current_at(Volts{0.0}).value(), 2.0);
+  EXPECT_DOUBLE_EQ(s.current_at(Volts{2.0}).value(), 1.0);
+  EXPECT_DOUBLE_EQ(s.current_at(Volts{4.0}).value(), 0.0);
+  EXPECT_DOUBLE_EQ(s.current_at(Volts{5.0}).value(), 0.0);
+}
+
+TEST(Thevenin, MaxPowerAtHalfVoc) {
+  TheveninSource s{Volts{4.0}, Ohms{2.0}};
+  EXPECT_DOUBLE_EQ(s.max_power().value(), 2.0);
+  const Watts at_half = Volts{2.0} * s.current_at(Volts{2.0});
+  EXPECT_DOUBLE_EQ(at_half.value(), s.max_power().value());
+}
+
+// ---------------------------------------------------------------------------
+// PvPanel
+// ---------------------------------------------------------------------------
+
+TEST(PvPanel, DarkProducesNothing) {
+  PvPanel pv("pv", {});
+  pv.set_conditions(sunny(0.0));
+  EXPECT_DOUBLE_EQ(pv.open_circuit_voltage().value(), 0.0);
+  EXPECT_DOUBLE_EQ(pv.power_at(Volts{2.0}).value(), 0.0);
+}
+
+TEST(PvPanel, VocAtStcMatchesSpec) {
+  PvPanel pv("pv", {});
+  pv.set_conditions(sunny(1000.0));
+  EXPECT_NEAR(pv.open_circuit_voltage().value(), 4.2, 0.01);
+}
+
+TEST(PvPanel, ShortCircuitCurrentScalesWithIrradiance) {
+  PvPanel pv("pv", {});
+  pv.set_conditions(sunny(1000.0));
+  const double isc_full = pv.current_at(Volts{0.0}).value();
+  pv.set_conditions(sunny(500.0));
+  const double isc_half = pv.current_at(Volts{0.0}).value();
+  EXPECT_NEAR(isc_half, isc_full / 2.0, 1e-9);
+}
+
+TEST(PvPanel, CurrentMonotoneNonIncreasingInVoltage) {
+  PvPanel pv("pv", {});
+  pv.set_conditions(sunny(700.0));
+  double prev = pv.current_at(Volts{0.0}).value();
+  for (double v = 0.05; v < 4.5; v += 0.05) {
+    const double i = pv.current_at(Volts{v}).value();
+    EXPECT_LE(i, prev + 1e-12);
+    EXPECT_GE(i, 0.0);
+    prev = i;
+  }
+}
+
+TEST(PvPanel, MppNearFractionOfVoc) {
+  PvPanel pv("pv", {});
+  pv.set_conditions(sunny(800.0));
+  const auto mpp = pv.maximum_power_point();
+  const double k = mpp.v.value() / pv.open_circuit_voltage().value();
+  EXPECT_GT(k, 0.65);
+  EXPECT_LT(k, 0.92);
+  EXPECT_GT(mpp.p.value(), 0.0);
+}
+
+TEST(PvPanel, IndoorModeReadsIlluminance) {
+  PvPanel::Params p;
+  p.indoor = true;
+  PvPanel pv("pv", p);
+  env::AmbientConditions c;
+  c.illuminance = Lux{500.0};
+  pv.set_conditions(c);
+  EXPECT_GT(pv.maximum_power_point().p.value(), 0.0);
+  // Outdoor-mode irradiance must be ignored indoors.
+  env::AmbientConditions c2;
+  c2.solar_irradiance = WattsPerSquareMeter{1000.0};
+  pv.set_conditions(c2);
+  EXPECT_DOUBLE_EQ(pv.maximum_power_point().p.value(), 0.0);
+}
+
+TEST(PvPanel, IndoorPowerIsSubMilliwattAtOfficeLight) {
+  PvPanel::Params p;
+  p.indoor = true;
+  PvPanel pv("pv", p);
+  env::AmbientConditions c;
+  c.illuminance = Lux{500.0};
+  pv.set_conditions(c);
+  const double mpp = pv.maximum_power_point().p.value();
+  EXPECT_GT(mpp, 10e-6);
+  EXPECT_LT(mpp, 5e-3);
+}
+
+TEST(PvPanel, RejectsBadSpecs) {
+  PvPanel::Params p;
+  p.voc_stc = Volts{0.0};
+  EXPECT_THROW(PvPanel("x", p), SpecError);
+  PvPanel::Params q;
+  q.diode_ideality = 5.0;
+  EXPECT_THROW(PvPanel("x", q), SpecError);
+  PvPanel::Params r;
+  r.series_cells = 0;
+  EXPECT_THROW(PvPanel("x", r), SpecError);
+}
+
+// ---------------------------------------------------------------------------
+// WindTurbine
+// ---------------------------------------------------------------------------
+
+TEST(WindTurbine, BelowCutInNoPower) {
+  WindTurbine wt("wt", {});
+  wt.set_conditions(windy(1.0));
+  EXPECT_DOUBLE_EQ(wt.available_power().value(), 0.0);
+  EXPECT_DOUBLE_EQ(wt.maximum_power_point().p.value(), 0.0);
+}
+
+TEST(WindTurbine, PowerGrowsWithCube) {
+  WindTurbine wt("wt", {});
+  wt.set_conditions(windy(4.0));
+  const double p4 = wt.available_power().value();
+  wt.set_conditions(windy(8.0));
+  const double p8 = wt.available_power().value();
+  EXPECT_NEAR(p8 / p4, 8.0, 0.01);
+}
+
+TEST(WindTurbine, SaturatesAtRatedSpeed) {
+  WindTurbine wt("wt", {});
+  wt.set_conditions(windy(10.0));
+  const double rated = wt.available_power().value();
+  wt.set_conditions(windy(25.0));
+  EXPECT_DOUBLE_EQ(wt.available_power().value(), rated);
+}
+
+TEST(WindTurbine, ElectricalPowerNeverExceedsAerodynamic) {
+  WindTurbine wt("wt", {});
+  for (double v = 2.0; v <= 12.0; v += 1.0) {
+    wt.set_conditions(windy(v));
+    const auto mpp = wt.maximum_power_point();
+    EXPECT_LE(mpp.p.value(), wt.available_power().value() + 1e-9);
+  }
+}
+
+TEST(WindTurbine, WaterVariantReadsWaterChannel) {
+  auto turbine = WindTurbine::water_turbine("hydro");
+  EXPECT_EQ(turbine.kind(), HarvesterKind::kWaterFlow);
+  env::AmbientConditions c;
+  c.water_flow = MetersPerSecond{1.2};
+  turbine.set_conditions(c);
+  EXPECT_GT(turbine.available_power().value(), 0.0);
+  // Wind channel must be ignored.
+  turbine.set_conditions(windy(10.0));
+  EXPECT_DOUBLE_EQ(turbine.available_power().value(), 0.0);
+}
+
+TEST(WindTurbine, RejectsBadSpecs) {
+  WindTurbine::Params p;
+  p.power_coefficient = 0.7;  // beyond Betz
+  EXPECT_THROW(WindTurbine("x", p), SpecError);
+  WindTurbine::Params q;
+  q.rated = q.cut_in;
+  EXPECT_THROW(WindTurbine("x", q), SpecError);
+}
+
+// ---------------------------------------------------------------------------
+// Teg
+// ---------------------------------------------------------------------------
+
+TEST(Teg, VocProportionalToGradient) {
+  Teg teg("teg", {});
+  teg.set_conditions(hot(10.0));
+  const double v10 = teg.open_circuit_voltage().value();
+  teg.set_conditions(hot(5.0));
+  EXPECT_NEAR(teg.open_circuit_voltage().value(), v10 / 2.0, 1e-12);
+}
+
+TEST(Teg, PowerQuadraticInGradient) {
+  Teg teg("teg", {});
+  teg.set_conditions(hot(6.0));
+  const double p6 = teg.maximum_power_point().p.value();
+  teg.set_conditions(hot(12.0));
+  EXPECT_NEAR(teg.maximum_power_point().p.value() / p6, 4.0, 0.01);
+}
+
+TEST(Teg, NoGradientNoOutput) {
+  Teg teg("teg", {});
+  teg.set_conditions(hot(0.0));
+  EXPECT_DOUBLE_EQ(teg.maximum_power_point().p.value(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// VibrationHarvester
+// ---------------------------------------------------------------------------
+
+TEST(Vibration, SilentWhenStill) {
+  auto h = VibrationHarvester::piezo("pz");
+  h.set_conditions(shaking(0.0));
+  EXPECT_DOUBLE_EQ(h.maximum_power_point().p.value(), 0.0);
+}
+
+TEST(Vibration, PowerQuadraticInAcceleration) {
+  auto h = VibrationHarvester::piezo("pz");
+  h.set_conditions(shaking(1.0));
+  const double p1 = h.maximum_power_point().p.value();
+  h.set_conditions(shaking(2.0));
+  EXPECT_NEAR(h.maximum_power_point().p.value() / p1, 4.0, 0.02);
+}
+
+TEST(Vibration, DetuningReducesPower) {
+  auto h = VibrationHarvester::piezo("pz");
+  h.set_conditions(shaking(2.0, 50.0));
+  const double on_res = h.maximum_power_point().p.value();
+  h.set_conditions(shaking(2.0, 53.0));
+  const double off_res = h.maximum_power_point().p.value();
+  EXPECT_LT(off_res, on_res * 0.5);
+}
+
+TEST(Vibration, MppSitsNearOptimalVoltage) {
+  auto h = VibrationHarvester::piezo("pz");
+  h.set_conditions(shaking(3.0));
+  const auto mpp = h.maximum_power_point();
+  EXPECT_NEAR(mpp.v.value(), 3.3, 0.1);
+}
+
+TEST(Vibration, ElectromagneticVariantIsLowVoltage) {
+  auto h = VibrationHarvester::electromagnetic("em");
+  EXPECT_EQ(h.kind(), HarvesterKind::kInductive);
+  h.set_conditions(shaking(3.0));
+  EXPECT_NEAR(h.maximum_power_point().v.value(), 1.2, 0.1);
+}
+
+TEST(Vibration, RejectsBadDamping) {
+  VibrationHarvester::Params p;
+  p.damping_ratio = 0.0;
+  EXPECT_THROW(VibrationHarvester::piezo("x", p), SpecError);
+}
+
+// ---------------------------------------------------------------------------
+// RfHarvester
+// ---------------------------------------------------------------------------
+
+TEST(Rf, BelowSensitivityNoOutput) {
+  RfHarvester rf("rf", {});
+  env::AmbientConditions c;
+  c.rf_power_density = WattsPerSquareMeter{1e-5};  // 50 nW on 5 cm^2 aperture
+  rf.set_conditions(c);
+  EXPECT_DOUBLE_EQ(rf.maximum_power_point().p.value(), 0.0);
+}
+
+TEST(Rf, StrongFieldYieldsOutput) {
+  RfHarvester rf("rf", {});
+  env::AmbientConditions c;
+  c.rf_power_density = WattsPerSquareMeter{5e-3};
+  rf.set_conditions(c);
+  const double p = rf.maximum_power_point().p.value();
+  EXPECT_GT(p, 1e-6);
+  // Output power never exceeds incident power.
+  EXPECT_LT(p, 5e-3 * 0.005);
+}
+
+TEST(Rf, EfficiencyImprovesWithInputPower) {
+  RfHarvester rf("rf", {});
+  env::AmbientConditions weak;
+  weak.rf_power_density = WattsPerSquareMeter{1e-3};
+  env::AmbientConditions strong;
+  strong.rf_power_density = WattsPerSquareMeter{100e-3};
+  rf.set_conditions(weak);
+  const double eff_weak =
+      rf.maximum_power_point().p.value() / (1e-3 * 0.005);
+  rf.set_conditions(strong);
+  const double eff_strong =
+      rf.maximum_power_point().p.value() / (100e-3 * 0.005);
+  EXPECT_GT(eff_strong, eff_weak);
+}
+
+// ---------------------------------------------------------------------------
+// AcDcSource
+// ---------------------------------------------------------------------------
+
+TEST(AcDc, KeyedToMachineryVibration) {
+  AcDcSource src("acdc", {});
+  src.set_conditions(shaking(0.1));  // machinery off
+  EXPECT_DOUBLE_EQ(src.open_circuit_voltage().value(), 0.0);
+  src.set_conditions(shaking(2.0));  // machinery energized
+  EXPECT_GT(src.open_circuit_voltage().value(), 5.0);
+  EXPECT_GT(src.maximum_power_point().p.value(), 1e-3);
+}
+
+TEST(AcDc, RequiresAboveFiveVolts) {
+  AcDcSource::Params p;
+  p.rectified_voc = Volts{4.0};
+  EXPECT_THROW(AcDcSource("x", p), SpecError);
+}
+
+// ---------------------------------------------------------------------------
+// Generic harvester properties, parameterized across the whole zoo
+// ---------------------------------------------------------------------------
+
+struct Sample {
+  const char* name;
+  std::function<std::unique_ptr<Harvester>()> make;
+  env::AmbientConditions conditions;
+};
+
+class HarvesterInvariants : public ::testing::TestWithParam<int> {
+ public:
+  static std::vector<Sample> samples() {
+    std::vector<Sample> out;
+    out.push_back({"pv", [] { return std::make_unique<PvPanel>("pv", PvPanel::Params{}); },
+                   sunny(600.0)});
+    out.push_back(
+        {"wind",
+         [] { return std::make_unique<WindTurbine>("wt", WindTurbine::Params{}); },
+         windy(6.0)});
+    out.push_back({"teg", [] { return std::make_unique<Teg>("teg", Teg::Params{}); },
+                   hot(10.0)});
+    out.push_back({"piezo",
+                   [] {
+                     return std::make_unique<VibrationHarvester>(
+                         VibrationHarvester::piezo("pz"));
+                   },
+                   shaking(3.0)});
+    out.push_back({"rf",
+                   [] {
+                     return std::make_unique<RfHarvester>("rf",
+                                                          RfHarvester::Params{});
+                   },
+                   [] {
+                     env::AmbientConditions c;
+                     c.rf_power_density = WattsPerSquareMeter{5e-3};
+                     return c;
+                   }()});
+    out.push_back({"acdc",
+                   [] {
+                     return std::make_unique<AcDcSource>("ac", AcDcSource::Params{});
+                   },
+                   shaking(2.0)});
+    return out;
+  }
+};
+
+TEST_P(HarvesterInvariants, PowerNonNegativeEverywhere) {
+  const auto s = samples()[static_cast<std::size_t>(GetParam())];
+  auto h = s.make();
+  h->set_conditions(s.conditions);
+  const double voc = h->open_circuit_voltage().value();
+  for (double v = 0.0; v <= voc * 1.2 + 0.1; v += std::max(0.01, voc / 50.0))
+    EXPECT_GE(h->power_at(Volts{v}).value(), 0.0) << s.name << " at " << v;
+}
+
+TEST_P(HarvesterInvariants, ZeroCurrentAtOrAboveVoc) {
+  const auto s = samples()[static_cast<std::size_t>(GetParam())];
+  auto h = s.make();
+  h->set_conditions(s.conditions);
+  const double voc = h->open_circuit_voltage().value();
+  EXPECT_NEAR(h->current_at(Volts{voc}).value(), 0.0, 1e-6) << s.name;
+  EXPECT_DOUBLE_EQ(h->current_at(Volts{voc + 1.0}).value(), 0.0) << s.name;
+}
+
+TEST_P(HarvesterInvariants, MppDominatesSampledCurve) {
+  const auto s = samples()[static_cast<std::size_t>(GetParam())];
+  auto h = s.make();
+  h->set_conditions(s.conditions);
+  const auto mpp = h->maximum_power_point();
+  const double voc = h->open_circuit_voltage().value();
+  for (double v = 0.01; v < voc; v += voc / 37.0)
+    EXPECT_LE(h->power_at(Volts{v}).value(), mpp.p.value() * (1.0 + 1e-6))
+        << s.name << " at " << v;
+}
+
+TEST_P(HarvesterInvariants, NegativeTerminalVoltageBlocked) {
+  const auto s = samples()[static_cast<std::size_t>(GetParam())];
+  auto h = s.make();
+  h->set_conditions(s.conditions);
+  EXPECT_DOUBLE_EQ(h->current_at(Volts{-1.0}).value(), 0.0) << s.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllHarvesters, HarvesterInvariants,
+                         ::testing::Range(0, 6),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return std::string(
+                               HarvesterInvariants::samples()
+                                   [static_cast<std::size_t>(info.param)]
+                                       .name);
+                         });
+
+TEST(HarvesterKindNames, Coverage) {
+  EXPECT_EQ(to_string(HarvesterKind::kPhotovoltaic), "Light");
+  EXPECT_EQ(to_string(HarvesterKind::kWind), "Wind");
+  EXPECT_EQ(to_string(HarvesterKind::kThermoelectric), "Thermal");
+  EXPECT_EQ(to_string(HarvesterKind::kPiezo), "Vibration");
+  EXPECT_EQ(to_string(HarvesterKind::kInductive), "Inductive");
+  EXPECT_EQ(to_string(HarvesterKind::kRf), "Radio");
+  EXPECT_EQ(to_string(HarvesterKind::kWaterFlow), "Water Flow");
+  EXPECT_EQ(to_string(HarvesterKind::kAcDc), "AC/DC");
+}
+
+}  // namespace
+}  // namespace msehsim::harvest

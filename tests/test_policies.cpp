@@ -1,0 +1,213 @@
+// Management policies: duty-cycle adaptation and fuel-cell hysteresis.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "manager/policies.hpp"
+
+namespace msehsim::manager {
+namespace {
+
+node::SensorNode make_node(Seconds period = Seconds{60.0}) {
+  node::WorkloadParams w;
+  w.task_period = period;
+  return node::SensorNode("n", node::McuParams{}, node::RadioParams{}, w);
+}
+
+EnergyEstimate estimate_with_soc(double soc) {
+  EnergyEstimate e;
+  e.valid = true;
+  e.capacity = Joules{100.0};
+  e.stored = Joules{100.0 * soc};
+  return e;
+}
+
+TEST(DutyCycle, LowSocLengthensPeriod) {
+  DutyCycleController ctl;
+  auto n = make_node(Seconds{60.0});
+  ctl.update(estimate_with_soc(0.2), n);
+  EXPECT_GT(n.task_period().value(), 60.0);
+  EXPECT_EQ(ctl.adjustments(), 1u);
+}
+
+TEST(DutyCycle, HighSocShortensPeriod) {
+  DutyCycleController ctl;
+  auto n = make_node(Seconds{60.0});
+  ctl.update(estimate_with_soc(0.95), n);
+  EXPECT_LT(n.task_period().value(), 60.0);
+}
+
+TEST(DutyCycle, DeadbandHoldsSteady) {
+  DutyCycleController ctl;  // target 0.6, deadband 0.05
+  auto n = make_node(Seconds{60.0});
+  ctl.update(estimate_with_soc(0.62), n);
+  EXPECT_DOUBLE_EQ(n.task_period().value(), 60.0);
+  EXPECT_EQ(ctl.adjustments(), 0u);
+}
+
+TEST(DutyCycle, InvalidEstimateMeansNoAdaptation) {
+  // A blind system cannot adapt — the survey's central observation.
+  DutyCycleController ctl;
+  auto n = make_node(Seconds{60.0});
+  ctl.update(EnergyEstimate{}, n);
+  EXPECT_DOUBLE_EQ(n.task_period().value(), 60.0);
+  EXPECT_EQ(ctl.adjustments(), 0u);
+}
+
+TEST(DutyCycle, StepIsBounded) {
+  DutyCycleController::Params p;
+  p.gain = 100.0;  // absurd gain must still clamp to [0.5x, 2x]
+  DutyCycleController ctl(p);
+  auto n = make_node(Seconds{60.0});
+  ctl.update(estimate_with_soc(0.0), n);
+  EXPECT_LE(n.task_period().value(), 120.0 + 1e-9);
+  auto n2 = make_node(Seconds{60.0});
+  ctl.update(estimate_with_soc(1.0), n2);
+  EXPECT_GE(n2.task_period().value(), 30.0 - 1e-9);
+}
+
+TEST(DutyCycle, KeepsToyPlantAwayFromTheRails) {
+  // A proportional controller on a toy plant (long periods recharge, short
+  // periods deplete) need not settle exactly, but it must keep the store
+  // away from both empty and full — the survey's "adjust its duty cycle to
+  // conserve energy" behaviour.
+  DutyCycleController ctl;
+  auto n = make_node(Seconds{60.0});
+  double soc = 0.2;
+  double lo = 1.0;
+  double hi = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    ctl.update(estimate_with_soc(soc), n);
+    const double drain = 40.0 / n.task_period().value();
+    soc = std::clamp(soc + 0.02 * (1.0 - drain), 0.0, 1.0);
+    if (i >= 100) {  // after the initial recovery transient
+      lo = std::min(lo, soc);
+      hi = std::max(hi, soc);
+    }
+  }
+  EXPECT_GT(lo, 0.1);
+  EXPECT_LT(hi, 1.0 - 1e-9);
+  EXPECT_GT(ctl.adjustments(), 0u);
+}
+
+TEST(DutyCycle, RejectsBadParams) {
+  DutyCycleController::Params p;
+  p.target_soc = 1.5;
+  EXPECT_THROW(DutyCycleController{p}, SpecError);
+  DutyCycleController::Params q;
+  q.gain = 0.0;
+  EXPECT_THROW(DutyCycleController{q}, SpecError);
+}
+
+EnergyEstimate estimate_with_incoming(double watts) {
+  EnergyEstimate e;
+  e.valid = true;
+  e.incoming_known = true;
+  e.incoming = Watts{watts};
+  e.capacity = Joules{100.0};
+  e.stored = Joules{60.0};
+  return e;
+}
+
+TEST(EnoPower, MatchesConsumptionToHarvest) {
+  EnoPowerController ctl;
+  auto n = make_node(Seconds{60.0});
+  const double incoming = 20e-6;  // 20 uW harvest (inside the period window)
+  ctl.update(estimate_with_incoming(incoming), n);
+  // After the jump, node average power ~ utilization * incoming.
+  const double consumption = n.average_power(Volts{3.0}).value();
+  EXPECT_NEAR(consumption, 0.8 * incoming, 0.15 * incoming);
+}
+
+TEST(EnoPower, RichHarvestShortensPeriod) {
+  EnoPowerController ctl;
+  auto rich = make_node(Seconds{600.0});
+  auto poor = make_node(Seconds{600.0});
+  ctl.update(estimate_with_incoming(1e-3), rich);
+  EnoPowerController ctl2;
+  ctl2.update(estimate_with_incoming(10e-6), poor);
+  EXPECT_LT(rich.task_period().value(), poor.task_period().value());
+}
+
+TEST(EnoPower, StarvationParksAtMaxPeriod) {
+  EnoPowerController ctl;
+  auto n = make_node(Seconds{60.0});
+  ctl.update(estimate_with_incoming(0.0), n);
+  EXPECT_DOUBLE_EQ(n.task_period().value(), n.workload().max_period.value());
+}
+
+TEST(EnoPower, IgnoresEstimatesWithoutIncomingPower) {
+  // Analog monitoring cannot observe incoming power: the ENO law is only
+  // available to digitally monitored systems (survey Sec. II.3).
+  EnoPowerController ctl;
+  auto n = make_node(Seconds{60.0});
+  EnergyEstimate soc_only;
+  soc_only.valid = true;
+  soc_only.capacity = Joules{100.0};
+  soc_only.stored = Joules{20.0};
+  ctl.update(soc_only, n);
+  EXPECT_DOUBLE_EQ(n.task_period().value(), 60.0);
+  EXPECT_EQ(ctl.adjustments(), 0u);
+}
+
+TEST(EnoPower, RejectsBadParams) {
+  EnoPowerController::Params p;
+  p.utilization = 0.0;
+  EXPECT_THROW(EnoPowerController{p}, SpecError);
+  EnoPowerController::Params q;
+  q.rail = Volts{0.0};
+  EXPECT_THROW(EnoPowerController{q}, SpecError);
+}
+
+TEST(FuelCellPolicy, SwitchesInWhenLow) {
+  FuelCellPolicy policy;
+  storage::FuelCell cell("fc", {});
+  policy.update(0.1, cell);
+  EXPECT_TRUE(cell.enabled());
+  EXPECT_EQ(policy.switch_ins(), 1u);
+}
+
+TEST(FuelCellPolicy, StaysOffWhenHealthy) {
+  FuelCellPolicy policy;
+  storage::FuelCell cell("fc", {});
+  policy.update(0.8, cell);
+  EXPECT_FALSE(cell.enabled());
+}
+
+TEST(FuelCellPolicy, HysteresisPreventsChatter) {
+  FuelCellPolicy policy;  // enable < 0.25, disable > 0.50
+  storage::FuelCell cell("fc", {});
+  policy.update(0.2, cell);
+  EXPECT_TRUE(cell.enabled());
+  // Mid-band: stays enabled.
+  policy.update(0.4, cell);
+  EXPECT_TRUE(cell.enabled());
+  // Recovered: disables.
+  policy.update(0.6, cell);
+  EXPECT_FALSE(cell.enabled());
+  // Mid-band again: stays disabled.
+  policy.update(0.4, cell);
+  EXPECT_FALSE(cell.enabled());
+  EXPECT_EQ(policy.switch_ins(), 1u);
+}
+
+TEST(FuelCellPolicy, RepeatedCyclesCounted) {
+  FuelCellPolicy policy;
+  storage::FuelCell cell("fc", {});
+  for (int i = 0; i < 3; ++i) {
+    policy.update(0.1, cell);
+    policy.update(0.9, cell);
+  }
+  EXPECT_EQ(policy.switch_ins(), 3u);
+}
+
+TEST(FuelCellPolicy, RejectsInvertedThresholds) {
+  FuelCellPolicy::Params p;
+  p.enable_below_soc = 0.6;
+  p.disable_above_soc = 0.4;
+  EXPECT_THROW(FuelCellPolicy{p}, SpecError);
+}
+
+}  // namespace
+}  // namespace msehsim::manager

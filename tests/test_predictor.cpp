@@ -1,0 +1,139 @@
+// EWMA harvest predictor and predictive duty control.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "manager/predictor.hpp"
+
+namespace msehsim::manager {
+namespace {
+
+constexpr double kDay = 86400.0;
+
+/// Synthetic diurnal harvest: 10 mW from 08:00 to 16:00, else zero.
+Watts diurnal(double t) {
+  const double h = std::fmod(t, kDay) / 3600.0;
+  return (h >= 8.0 && h < 16.0) ? Watts{10e-3} : Watts{0.0};
+}
+
+TEST(Predictor, UnseenSlotsPredictZero) {
+  EwmaHarvestPredictor p;
+  EXPECT_DOUBLE_EQ(p.predict(Seconds{0.0}).value(), 0.0);
+  EXPECT_DOUBLE_EQ(p.predict(Seconds{kDay / 2}).value(), 0.0);
+}
+
+TEST(Predictor, LearnsDiurnalPattern) {
+  EwmaHarvestPredictor p;
+  // Three days of observations, one per 30 min slot.
+  for (double t = 0.0; t < 3 * kDay; t += 1800.0)
+    p.observe(Seconds{t}, diurnal(t));
+  // Noon slot predicts 10 mW; 3 AM slot predicts 0.
+  EXPECT_NEAR(p.predict(Seconds{12.0 * 3600}).value(), 10e-3, 1e-6);
+  EXPECT_NEAR(p.predict(Seconds{3.0 * 3600}).value(), 0.0, 1e-9);
+  // Predictions repeat across days (slot-of-day keyed).
+  EXPECT_DOUBLE_EQ(p.predict(Seconds{12.0 * 3600}).value(),
+                   p.predict(Seconds{kDay * 5 + 12.0 * 3600}).value());
+}
+
+TEST(Predictor, EwmaTracksLevelShift) {
+  EwmaHarvestPredictor::Params params;
+  params.alpha = 0.5;
+  EwmaHarvestPredictor p(params);
+  const Seconds noon{12.0 * 3600};
+  for (int d = 0; d < 10; ++d)
+    p.observe(noon + Seconds{d * kDay}, Watts{10e-3});
+  EXPECT_NEAR(p.predict(noon).value(), 10e-3, 1e-6);
+  // Weather changes: four cloudy days at 2 mW pull the EWMA down.
+  for (int d = 10; d < 14; ++d)
+    p.observe(noon + Seconds{d * kDay}, Watts{2e-3});
+  const double predicted = p.predict(noon).value();
+  EXPECT_LT(predicted, 4e-3);
+  EXPECT_GT(predicted, 2e-3 - 1e-9);
+}
+
+TEST(Predictor, MeanOverHorizonIsDutyWeighted) {
+  EwmaHarvestPredictor p;
+  for (double t = 0.0; t < 3 * kDay; t += 1800.0)
+    p.observe(Seconds{t}, diurnal(t));
+  // 8 of 24 hours at 10 mW -> mean ~ 3.33 mW over a day.
+  const double mean = p.predict_mean(Seconds{0.0}, Seconds{kDay}).value();
+  EXPECT_NEAR(mean, 10e-3 * 8.0 / 24.0, 0.4e-3);
+}
+
+TEST(Predictor, NegativeObservationsClampToZero) {
+  EwmaHarvestPredictor p;
+  p.observe(Seconds{0.0}, Watts{-5.0});
+  EXPECT_DOUBLE_EQ(p.predict(Seconds{0.0}).value(), 0.0);
+}
+
+TEST(Predictor, RejectsBadParams) {
+  EwmaHarvestPredictor::Params p;
+  p.slots_per_day = 0;
+  EXPECT_THROW(EwmaHarvestPredictor{p}, SpecError);
+  EwmaHarvestPredictor::Params q;
+  q.alpha = 0.0;
+  EXPECT_THROW(EwmaHarvestPredictor{q}, SpecError);
+}
+
+node::SensorNode make_node(Seconds period) {
+  node::WorkloadParams w;
+  w.task_period = period;
+  return node::SensorNode("n", node::McuParams{}, node::RadioParams{}, w);
+}
+
+EnergyEstimate with_incoming(double watts) {
+  EnergyEstimate e;
+  e.valid = true;
+  e.incoming_known = true;
+  e.incoming = Watts{watts};
+  e.capacity = Joules{100.0};
+  e.stored = Joules{50.0};
+  return e;
+}
+
+TEST(PredictiveDuty, PlansAgainstForecastNotInstant) {
+  // Harvest is 30 uW only during the day; after learning the pattern the
+  // planned consumption must fit the ~10 uW day-averaged forecast even when
+  // the *instantaneous* reading says 30 uW.
+  PredictiveDutyController ctl;
+  auto n = make_node(Seconds{60.0});
+  for (double t = 0.0; t < 2 * kDay; t += 1800.0) {
+    const double h = std::fmod(t, kDay) / 3600.0;
+    const double inc = (h >= 8.0 && h < 16.0) ? 30e-6 : 0.0;
+    ctl.update(Seconds{t}, with_incoming(inc), n);
+  }
+  const double planned = n.average_power(Volts{3.0}).value();
+  const double forecast_mean = 30e-6 * 8.0 / 24.0;
+  EXPECT_LT(planned, forecast_mean);  // utilization margin applied
+  EXPECT_GT(planned, 0.2 * forecast_mean);
+}
+
+TEST(PredictiveDuty, StarvationForecastParksAtMaxPeriod) {
+  PredictiveDutyController ctl;
+  auto n = make_node(Seconds{60.0});
+  for (int i = 0; i < 10; ++i)
+    ctl.update(Seconds{i * 1800.0}, with_incoming(0.0), n);
+  EXPECT_DOUBLE_EQ(n.task_period().value(), n.workload().max_period.value());
+}
+
+TEST(PredictiveDuty, IgnoresBlindEstimates) {
+  PredictiveDutyController ctl;
+  auto n = make_node(Seconds{60.0});
+  EnergyEstimate blind;
+  ctl.update(Seconds{0.0}, blind, n);
+  EXPECT_DOUBLE_EQ(n.task_period().value(), 60.0);
+  EXPECT_EQ(ctl.predictor().observations(), 0u);
+}
+
+TEST(PredictiveDuty, RejectsBadParams) {
+  PredictiveDutyController::Params p;
+  p.utilization = 1.5;
+  EXPECT_THROW(PredictiveDutyController{p}, SpecError);
+  PredictiveDutyController::Params q;
+  q.horizon = Seconds{0.0};
+  EXPECT_THROW(PredictiveDutyController{q}, SpecError);
+}
+
+}  // namespace
+}  // namespace msehsim::manager

@@ -1,0 +1,235 @@
+// Cross-cutting randomized property tests.
+//
+// Seeded PCG32 fuzzing of whole-stack invariants: energy conservation under
+// arbitrary workloads, converter transfer laws across every topology,
+// datasheet decoder robustness against corruption, and MPP laws for
+// randomized Thevenin sources. Every case is deterministic per seed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "bus/datasheet.hpp"
+#include "core/random.hpp"
+#include "env/environment.hpp"
+#include "harvest/harvester.hpp"
+#include "power/converter.hpp"
+#include "storage/battery.hpp"
+#include "storage/supercapacitor.hpp"
+#include "systems/catalog.hpp"
+#include "systems/runner.hpp"
+
+namespace msehsim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Converter transfer laws across every topology (parameterized)
+// ---------------------------------------------------------------------------
+
+struct TopologyCase {
+  const char* label;
+  power::Topology topology;
+  double vin;
+  double vout;
+};
+
+class ConverterLaws : public ::testing::TestWithParam<int> {
+ public:
+  static std::vector<TopologyCase> cases() {
+    return {
+        {"diode", power::Topology::kDiode, 4.0, 3.0},
+        {"ldo", power::Topology::kLdo, 4.0, 3.0},
+        {"buck", power::Topology::kBuck, 4.5, 3.0},
+        {"boost", power::Topology::kBoost, 1.5, 3.3},
+        {"buckboost_up", power::Topology::kBuckBoost, 2.0, 3.3},
+        {"buckboost_down", power::Topology::kBuckBoost, 4.8, 3.0},
+    };
+  }
+
+  static power::Converter make(const TopologyCase& c) {
+    power::Converter::Params p;
+    p.topology = c.topology;
+    p.peak_efficiency = c.topology == power::Topology::kLdo ||
+                                c.topology == power::Topology::kDiode
+                            ? 1.0
+                            : 0.88;
+    p.rated_power = Watts{50e-3};
+    p.quiescent_current = Amps{1e-6};
+    p.min_input = Volts{0.1};
+    p.max_input = Volts{20.0};
+    return power::Converter(c.label, p);
+  }
+};
+
+TEST_P(ConverterLaws, OutputNeverExceedsInput) {
+  const auto c = cases()[static_cast<std::size_t>(GetParam())];
+  const auto converter = make(c);
+  Pcg32 rng(99, stream_key(c.label));
+  for (int i = 0; i < 500; ++i) {
+    const double p_in = rng.uniform(0.0, 0.2);
+    const double out =
+        converter.transfer(Watts{p_in}, Volts{c.vin}, Volts{c.vout}).value();
+    EXPECT_LE(out, p_in + 1e-15) << c.label << " at " << p_in;
+    EXPECT_GE(out, 0.0);
+  }
+}
+
+TEST_P(ConverterLaws, TransferMonotoneInInput) {
+  const auto c = cases()[static_cast<std::size_t>(GetParam())];
+  const auto converter = make(c);
+  double prev = 0.0;
+  for (double p = 0.0; p <= 60e-3; p += 0.5e-3) {
+    const double out =
+        converter.transfer(Watts{p}, Volts{c.vin}, Volts{c.vout}).value();
+    EXPECT_GE(out, prev - 1e-12) << c.label;
+    prev = out;
+  }
+}
+
+TEST_P(ConverterLaws, RequiredInputIsRightInverse) {
+  const auto c = cases()[static_cast<std::size_t>(GetParam())];
+  const auto converter = make(c);
+  Pcg32 rng(7, stream_key(c.label));
+  for (int i = 0; i < 100; ++i) {
+    const double want = rng.uniform(1e-5, 30e-3);
+    const Watts in =
+        converter.required_input(Watts{want}, Volts{c.vin}, Volts{c.vout});
+    const double got =
+        converter.transfer(in, Volts{c.vin}, Volts{c.vout}).value();
+    EXPECT_NEAR(got, want, want * 1e-4 + 1e-9) << c.label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, ConverterLaws, ::testing::Range(0, 6),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return std::string(
+                               ConverterLaws::cases()
+                                   [static_cast<std::size_t>(info.param)]
+                                       .label);
+                         });
+
+// ---------------------------------------------------------------------------
+// Datasheet decoder robustness
+// ---------------------------------------------------------------------------
+
+TEST(DatasheetFuzz, RandomBlobsRejected) {
+  Pcg32 rng(12345);
+  int accepted = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> blob(bus::ElectronicDatasheet::kEncodedSize);
+    for (auto& b : blob) b = static_cast<std::uint8_t>(rng.next_below(256));
+    if (bus::ElectronicDatasheet::decode(blob).has_value()) ++accepted;
+  }
+  // Magic + version + CRC16 + class check: accidental acceptance is ~2^-40.
+  EXPECT_EQ(accepted, 0);
+}
+
+TEST(DatasheetFuzz, EverySingleByteFlipRejected) {
+  bus::ElectronicDatasheet ds;
+  ds.device_class = bus::DeviceClass::kStorage;
+  ds.model = "FUZZ";
+  ds.capacity = Joules{42.0};
+  const auto valid = ds.encode();
+  ASSERT_TRUE(bus::ElectronicDatasheet::decode(valid).has_value());
+  for (std::size_t i = 0; i < valid.size(); ++i) {
+    for (const std::uint8_t mask : {0x01, 0x80}) {
+      auto corrupted = valid;
+      corrupted[i] ^= mask;
+      EXPECT_FALSE(bus::ElectronicDatasheet::decode(corrupted).has_value())
+          << "byte " << i << " mask " << int(mask);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thevenin MPP law under randomized parameters
+// ---------------------------------------------------------------------------
+
+TEST(TheveninFuzz, MppAtHalfVocForRandomSources) {
+  Pcg32 rng(31337);
+  for (int trial = 0; trial < 300; ++trial) {
+    const double voc = rng.uniform(0.2, 12.0);
+    const double r = rng.uniform(0.5, 500.0);
+    harvest::TheveninSource s{Volts{voc}, Ohms{r}};
+    const double p_half = (Volts{voc / 2} * s.current_at(Volts{voc / 2})).value();
+    EXPECT_NEAR(p_half, s.max_power().value(), 1e-12);
+    // Sampled curve never beats the analytic maximum.
+    for (double f = 0.05; f < 1.0; f += 0.05) {
+      const double p = (Volts{voc * f} * s.current_at(Volts{voc * f})).value();
+      EXPECT_LE(p, s.max_power().value() + 1e-12);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Storage never creates energy under random packet sequences
+// ---------------------------------------------------------------------------
+
+TEST(StorageFuzz, RandomPacketSequencesConserveEnergy) {
+  Pcg32 rng(2718);
+  for (int device = 0; device < 3; ++device) {
+    std::unique_ptr<storage::StorageDevice> dev;
+    if (device == 0) {
+      storage::Supercapacitor::Params p;
+      p.main_capacitance = Farads{3.0};
+      p.voltage_capacitance_slope = 0.4;
+      p.initial_voltage = Volts{2.0};
+      dev = std::make_unique<storage::Supercapacitor>("sc", p);
+    } else if (device == 1) {
+      dev = std::make_unique<storage::Battery>(
+          storage::Battery::li_ion("li", AmpHours{0.02}, 0.5));
+    } else {
+      dev = std::make_unique<storage::Battery>(
+          storage::Battery::nimh("ni", AmpHours{0.02}, 0.5));
+    }
+    const double initial = dev->stored_energy().value();
+    double in = 0.0;
+    double out = 0.0;
+    for (int step = 0; step < 3000; ++step) {
+      const Seconds dt{rng.uniform(0.1, 20.0)};
+      if (rng.bernoulli(0.5)) {
+        in += dev->charge(Watts{rng.uniform(0.0, 1.0)}, dt).value() * dt.value();
+      } else {
+        out += dev->discharge(Watts{rng.uniform(0.0, 1.0)}, dt).value() *
+               dt.value();
+      }
+      if (rng.bernoulli(0.1)) dev->apply_leakage(Seconds{rng.uniform(1.0, 600.0)});
+      EXPECT_GE(dev->soc(), -1e-9);
+      EXPECT_LE(dev->soc(), 1.0 + 1e-9);
+    }
+    EXPECT_LE(out, in + initial + 1e-6) << "device " << device;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Whole platforms under random weather: invariants + determinism
+// ---------------------------------------------------------------------------
+
+class PlatformFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlatformFuzz, BooksStayConsistentUnderRandomSeeds) {
+  const auto seed = static_cast<std::uint64_t>(1000 + GetParam());
+  const auto id = static_cast<systems::SystemId>(GetParam() % 7);
+  auto platform = systems::build(id, seed);
+  auto environment = env::Environment::indoor_industrial(seed);
+  const double stored_before = platform->total_stored().value();
+  systems::RunOptions o;
+  o.dt = Seconds{10.0};
+  const auto r = run_platform(*platform, environment, Seconds{6 * 3600.0}, o);
+  EXPECT_GE(r.harvested.value(), 0.0);
+  EXPECT_GE(r.load.value(), 0.0);
+  EXPECT_GE(r.quiescent.value(), 0.0);
+  EXPECT_GE(r.wasted.value(), -1e-9);
+  EXPECT_GE(r.availability, 0.0);
+  EXPECT_LE(r.availability, 1.0 + 1e-12);
+  const double in = r.harvested.value() + stored_before;
+  const double out = r.load.value() + r.quiescent.value() +
+                     r.final_stored.value();
+  EXPECT_GE(in + 1.0, out) << "energy created from nothing";
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsAndSystems, PlatformFuzz, ::testing::Range(0, 14));
+
+}  // namespace
+}  // namespace msehsim

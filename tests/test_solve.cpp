@@ -1,0 +1,79 @@
+// Numeric helpers: bisection, golden-section max, interpolation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/solve.hpp"
+
+namespace msehsim {
+namespace {
+
+TEST(Bisect, FindsSimpleRoot) {
+  const double r = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_NEAR(r, std::sqrt(2.0), 1e-10);
+}
+
+TEST(Bisect, ExactEndpointRoots) {
+  EXPECT_DOUBLE_EQ(bisect([](double x) { return x; }, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(bisect([](double x) { return x - 1.0; }, 0.0, 1.0), 1.0);
+}
+
+TEST(Bisect, NoSignChangeReturnsBetterEndpoint) {
+  // f > 0 everywhere on [1,2]; f(1) is smaller.
+  const double r = bisect([](double x) { return x * x + 1.0; }, 1.0, 2.0);
+  EXPECT_DOUBLE_EQ(r, 1.0);
+}
+
+TEST(Bisect, DecreasingFunction) {
+  const double r = bisect([](double x) { return 5.0 - x; }, 0.0, 10.0);
+  EXPECT_NEAR(r, 5.0, 1e-10);
+}
+
+TEST(GoldenMax, FindsParabolaPeak) {
+  const double x = golden_max([](double v) { return -(v - 3.0) * (v - 3.0); },
+                              0.0, 10.0);
+  EXPECT_NEAR(x, 3.0, 1e-6);
+}
+
+TEST(GoldenMax, FindsPvStylePowerKnee) {
+  // P(v) = v * (1 - exp(v - 5)) has its max strictly inside (0, 5).
+  auto p = [](double v) { return v * (1.0 - std::exp(v - 5.0)); };
+  const double x = golden_max(p, 0.0, 5.0);
+  // Verify local optimality numerically.
+  EXPECT_GT(p(x), p(x - 0.01));
+  EXPECT_GT(p(x), p(x + 0.01));
+}
+
+TEST(GoldenMax, MonotoneIncreasingPicksUpperEnd) {
+  const double x = golden_max([](double v) { return v; }, 0.0, 1.0);
+  EXPECT_NEAR(x, 1.0, 1e-6);
+}
+
+TEST(InterpClamped, InteriorLinear) {
+  const double xs[] = {0.0, 1.0, 2.0};
+  const double ys[] = {0.0, 10.0, 40.0};
+  EXPECT_DOUBLE_EQ(interp_clamped(xs, ys, 3, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(interp_clamped(xs, ys, 3, 1.5), 25.0);
+}
+
+TEST(InterpClamped, ClampsOutside) {
+  const double xs[] = {0.0, 1.0};
+  const double ys[] = {2.0, 4.0};
+  EXPECT_DOUBLE_EQ(interp_clamped(xs, ys, 2, -5.0), 2.0);
+  EXPECT_DOUBLE_EQ(interp_clamped(xs, ys, 2, 5.0), 4.0);
+}
+
+TEST(InterpClamped, ExactBreakpoints) {
+  const double xs[] = {0.0, 1.0, 2.0};
+  const double ys[] = {1.0, 3.0, 9.0};
+  EXPECT_DOUBLE_EQ(interp_clamped(xs, ys, 3, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(interp_clamped(xs, ys, 3, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(interp_clamped(xs, ys, 3, 2.0), 9.0);
+}
+
+TEST(InterpClamped, EmptyTableIsZero) {
+  EXPECT_DOUBLE_EQ(interp_clamped(nullptr, nullptr, 0, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace msehsim

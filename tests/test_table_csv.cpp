@@ -1,0 +1,125 @@
+// TextTable rendering and CSV round-trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/csv.hpp"
+#include "core/error.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+
+namespace msehsim {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "10000"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| alpha "), std::string::npos);
+  EXPECT_NE(out.find("| 10000 "), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|--"), std::string::npos);
+}
+
+TEST(TextTable, RowArityEnforced) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), SpecError);
+}
+
+TEST(TextTable, EmptyHeadersRejected) {
+  EXPECT_THROW(TextTable({}), SpecError);
+}
+
+TEST(TextTable, RowAccess) {
+  TextTable t({"a"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.columns(), 1u);
+  EXPECT_EQ(t.row(0)[0], "x");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(1.0, 0), "1");
+}
+
+TEST(Format, PowerPrefixes) {
+  EXPECT_EQ(format_power(0.0), "0 W");
+  EXPECT_EQ(format_power(1.5), "1.5 W");
+  EXPECT_EQ(format_power(2e-3), "2 mW");
+  EXPECT_EQ(format_power(5e-6), "5 uW");
+  EXPECT_EQ(format_power(3e-9), "3 nW");
+  EXPECT_EQ(format_power(1200.0), "1.2 kW");
+}
+
+TEST(Format, CurrentPrefixes) {
+  EXPECT_EQ(format_current(5e-6), "5 uA");
+  EXPECT_EQ(format_current(75e-6), "75 uA");
+  EXPECT_EQ(format_current(0.25), "250 mA");
+}
+
+TEST(Format, EnergyPrefixes) {
+  EXPECT_EQ(format_energy(20e3), "20 kJ");
+  EXPECT_EQ(format_energy(0.5), "500 mJ");
+}
+
+TEST(Csv, ParseSimple) {
+  const auto data = parse_csv("time,x\n0,1\n1,2.5\n");
+  ASSERT_EQ(data.headers.size(), 2u);
+  EXPECT_EQ(data.headers[0], "time");
+  ASSERT_EQ(data.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(data.rows[1][1], 2.5);
+}
+
+TEST(Csv, ParseHandlesCrLf) {
+  const auto data = parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_EQ(data.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(data.rows[0][1], 2.0);
+}
+
+TEST(Csv, ColumnLookup) {
+  const auto data = parse_csv("a,b,c\n1,2,3\n");
+  EXPECT_EQ(data.column("b"), 1u);
+  EXPECT_THROW((void)data.column("zz"), SpecError);
+}
+
+TEST(Csv, RejectsArityMismatch) {
+  EXPECT_THROW(parse_csv("a,b\n1\n"), SpecError);
+}
+
+TEST(Csv, RejectsNonNumeric) {
+  EXPECT_THROW(parse_csv("a\nhello\n"), SpecError);
+}
+
+TEST(Csv, RejectsEmpty) { EXPECT_THROW(parse_csv(""), SpecError); }
+
+TEST(Csv, WriteAndReadBack) {
+  Series s1("p");
+  Series s2("q");
+  for (int i = 0; i < 5; ++i) {
+    s1.push(Seconds{static_cast<double>(i)}, i * 1.5);
+    s2.push(Seconds{static_cast<double>(i)}, i * -2.0);
+  }
+  const std::string path = testing::TempDir() + "/msehsim_csv_test.csv";
+  write_csv(path, {&s1, &s2});
+  const auto data = read_csv(path);
+  ASSERT_EQ(data.headers.size(), 3u);
+  EXPECT_EQ(data.headers[1], "p");
+  ASSERT_EQ(data.rows.size(), 5u);
+  EXPECT_DOUBLE_EQ(data.rows[4][1], 6.0);
+  EXPECT_DOUBLE_EQ(data.rows[4][2], -8.0);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, WriteRejectsMismatchedSeries) {
+  Series s1("a");
+  Series s2("b");
+  s1.push(Seconds{0.0}, 1.0);
+  EXPECT_THROW(write_csv(testing::TempDir() + "/x.csv", {&s1, &s2}), SpecError);
+}
+
+}  // namespace
+}  // namespace msehsim

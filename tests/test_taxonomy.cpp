@@ -1,0 +1,150 @@
+// Taxonomy: axis names, paper ground truth shape, Table I rendering.
+#include <gtest/gtest.h>
+
+#include "taxonomy/taxonomy.hpp"
+
+namespace msehsim::taxonomy {
+namespace {
+
+TEST(AxisNames, Coverage) {
+  EXPECT_EQ(to_string(ConditioningLocation::kPowerUnit), "power unit");
+  EXPECT_EQ(to_string(ConditioningLocation::kPerModule), "per module");
+  EXPECT_EQ(to_string(Swappability::kFixed), "fixed");
+  EXPECT_EQ(to_string(Swappability::kCompletelyFlexible), "completely flexible");
+  EXPECT_EQ(to_string(MonitoringCapability::kNone), "none");
+  EXPECT_EQ(to_string(MonitoringCapability::kFull), "full");
+  EXPECT_EQ(to_string(IntelligenceLocation::kEmbeddedDevice), "embedded device");
+  EXPECT_EQ(to_string(IntelligenceLocation::kEnergyDevices), "energy devices");
+}
+
+TEST(PaperTable, HasSevenSystems) {
+  const auto t = paper_table1();
+  ASSERT_EQ(t.size(), 7u);
+  EXPECT_EQ(t[0].device_name, "Smart Power Unit");
+  EXPECT_EQ(t[1].device_name, "Plug-and-Play");
+  EXPECT_EQ(t[2].device_name, "AmbiMax");
+  EXPECT_EQ(t[3].device_name, "MPWiNode");
+  EXPECT_EQ(t[4].device_name, "Maxim MAX17710 Eval");
+  EXPECT_EQ(t[5].device_name, "Cymbet EVAL-09");
+  EXPECT_EQ(t[6].device_name, "Microstrain EH-Link");
+}
+
+TEST(PaperTable, QuiescentCurrentsMatchPaperRow) {
+  const auto t = paper_table1();
+  EXPECT_DOUBLE_EQ(t[0].quiescent_current.value(), 5e-6);
+  EXPECT_DOUBLE_EQ(t[1].quiescent_current.value(), 7e-6);
+  EXPECT_DOUBLE_EQ(t[2].quiescent_current.value(), 5e-6);
+  EXPECT_TRUE(t[2].quiescent_is_bound);
+  EXPECT_DOUBLE_EQ(t[3].quiescent_current.value(), 75e-6);
+  EXPECT_DOUBLE_EQ(t[4].quiescent_current.value(), 1e-6);
+  EXPECT_TRUE(t[4].quiescent_is_bound);
+  EXPECT_DOUBLE_EQ(t[5].quiescent_current.value(), 20e-6);
+  EXPECT_DOUBLE_EQ(t[6].quiescent_current.value(), 32e-6);
+  EXPECT_TRUE(t[6].quiescent_is_bound);
+}
+
+TEST(PaperTable, DigitalInterfaceOnlyAandF) {
+  // Sec. IV: "Systems A and F are the only ones to provide an explicit
+  // digital interface to the embedded system."
+  const auto t = paper_table1();
+  for (std::size_t i = 0; i < t.size(); ++i)
+    EXPECT_EQ(t[i].digital_interface, i == 0 || i == 5) << "system " << i;
+}
+
+TEST(PaperTable, MonitoringRow) {
+  const auto t = paper_table1();
+  EXPECT_EQ(t[0].energy_monitoring, "Yes");
+  EXPECT_EQ(t[1].energy_monitoring, "Yes");
+  EXPECT_EQ(t[2].energy_monitoring, "No");
+  EXPECT_EQ(t[3].energy_monitoring, "Limited");
+  EXPECT_EQ(t[4].energy_monitoring, "No");
+  EXPECT_EQ(t[5].energy_monitoring, "Yes");
+  EXPECT_EQ(t[6].energy_monitoring, "No");
+}
+
+TEST(PaperTable, CommercialRow) {
+  const auto t = paper_table1();
+  EXPECT_FALSE(t[0].commercial);
+  EXPECT_FALSE(t[1].commercial);
+  EXPECT_FALSE(t[2].commercial);
+  EXPECT_FALSE(t[3].commercial);
+  EXPECT_TRUE(t[4].commercial);
+  EXPECT_TRUE(t[5].commercial);
+  EXPECT_TRUE(t[6].commercial);
+}
+
+TEST(PaperTable, OnlyBIsCompletelyFlexible) {
+  // Sec. III.2: "The only system ... which allows all sources and stores to
+  // be swapped dynamically without impacting on the software's
+  // energy-awareness is System B."
+  const auto t = paper_table1();
+  for (std::size_t i = 0; i < t.size(); ++i)
+    EXPECT_EQ(t[i].swappability == Swappability::kCompletelyFlexible, i == 1)
+        << "system " << i;
+}
+
+TEST(PaperTable, IntelligenceLocations) {
+  // Sec. III.4: A and F on the power unit, B on the embedded device, rest
+  // have none.
+  const auto t = paper_table1();
+  EXPECT_EQ(t[0].intelligence, IntelligenceLocation::kPowerUnit);
+  EXPECT_EQ(t[1].intelligence, IntelligenceLocation::kEmbeddedDevice);
+  EXPECT_EQ(t[2].intelligence, IntelligenceLocation::kNone);
+  EXPECT_EQ(t[3].intelligence, IntelligenceLocation::kNone);
+  EXPECT_EQ(t[4].intelligence, IntelligenceLocation::kNone);
+  EXPECT_EQ(t[5].intelligence, IntelligenceLocation::kPowerUnit);
+  EXPECT_EQ(t[6].intelligence, IntelligenceLocation::kNone);
+}
+
+TEST(PaperTable, PerModuleConditioningOnlyB) {
+  const auto t = paper_table1();
+  for (std::size_t i = 0; i < t.size(); ++i)
+    EXPECT_EQ(t[i].conditioning == ConditioningLocation::kPerModule, i == 1)
+        << "system " << i;
+}
+
+TEST(PaperTable, HarvesterAndStorageKindsNonEmpty) {
+  for (const auto& c : paper_table1()) {
+    EXPECT_FALSE(c.harvester_kinds.empty()) << c.device_name;
+    EXPECT_FALSE(c.storage_kinds.empty()) << c.device_name;
+    EXPECT_EQ(c.harvester_kinds.size(), c.harvester_types.size());
+    EXPECT_EQ(c.storage_kinds.size(), c.storage_types.size());
+  }
+}
+
+TEST(RenderTable, ProducesAllRowsAndColumns) {
+  const auto systems = paper_table1();
+  const auto table = render_table1(systems);
+  EXPECT_EQ(table.columns(), 8u);  // label + 7 systems
+  EXPECT_EQ(table.rows(), 10u);
+  const std::string out = table.render();
+  EXPECT_NE(out.find("Smart Power Unit"), std::string::npos);
+  EXPECT_NE(out.find("Quiescent Current Draw"), std::string::npos);
+  EXPECT_NE(out.find("6 (shared)"), std::string::npos);
+  EXPECT_NE(out.find("3/3"), std::string::npos);
+  EXPECT_NE(out.find("< 5 uA"), std::string::npos);
+  EXPECT_NE(out.find("75 uA"), std::string::npos);
+}
+
+TEST(RenderTable, CountsCellFormat) {
+  const auto systems = paper_table1();
+  const auto table = render_table1(systems);
+  // Row 0 is "No. Harvesters/Stores".
+  const auto& row = table.row(0);
+  EXPECT_EQ(row[1], "3/3");        // A
+  EXPECT_EQ(row[2], "6 (shared)"); // B
+  EXPECT_EQ(row[3], "3/2");        // C
+  EXPECT_EQ(row[4], "3/1");        // D
+  EXPECT_EQ(row[5], "2/1");        // E
+  EXPECT_EQ(row[6], "4/2");        // F
+  EXPECT_EQ(row[7], "3/1");        // G
+}
+
+TEST(Join, CommaSeparated) {
+  EXPECT_EQ(join({}), "");
+  EXPECT_EQ(join({"a"}), "a");
+  EXPECT_EQ(join({"a", "b", "c"}), "a, b, c");
+}
+
+}  // namespace
+}  // namespace msehsim::taxonomy
