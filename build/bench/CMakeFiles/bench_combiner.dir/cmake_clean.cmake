@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_combiner.dir/bench_combiner.cpp.o"
+  "CMakeFiles/bench_combiner.dir/bench_combiner.cpp.o.d"
+  "bench_combiner"
+  "bench_combiner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_combiner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_system_a.dir/bench_fig1_system_a.cpp.o"
+  "CMakeFiles/bench_fig1_system_a.dir/bench_fig1_system_a.cpp.o.d"
+  "bench_fig1_system_a"
+  "bench_fig1_system_a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_system_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

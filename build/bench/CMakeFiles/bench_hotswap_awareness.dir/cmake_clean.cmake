@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hotswap_awareness.dir/bench_hotswap_awareness.cpp.o"
+  "CMakeFiles/bench_hotswap_awareness.dir/bench_hotswap_awareness.cpp.o.d"
+  "bench_hotswap_awareness"
+  "bench_hotswap_awareness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hotswap_awareness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_mppt_overhead.cpp" "bench/CMakeFiles/bench_mppt_overhead.dir/bench_mppt_overhead.cpp.o" "gcc" "bench/CMakeFiles/bench_mppt_overhead.dir/bench_mppt_overhead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/systems/CMakeFiles/msehsim_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/msehsim_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/manager/CMakeFiles/msehsim_manager.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/msehsim_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/msehsim_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/msehsim_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/harvest/CMakeFiles/msehsim_harvest.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/msehsim_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/msehsim_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/msehsim_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mppt_overhead.dir/bench_mppt_overhead.cpp.o"
+  "CMakeFiles/bench_mppt_overhead.dir/bench_mppt_overhead.cpp.o.d"
+  "bench_mppt_overhead"
+  "bench_mppt_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mppt_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quiescent.dir/bench_quiescent.cpp.o"
+  "CMakeFiles/bench_quiescent.dir/bench_quiescent.cpp.o.d"
+  "bench_quiescent"
+  "bench_quiescent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quiescent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

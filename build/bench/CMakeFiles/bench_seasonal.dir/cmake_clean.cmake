@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seasonal.dir/bench_seasonal.cpp.o"
+  "CMakeFiles/bench_seasonal.dir/bench_seasonal.cpp.o.d"
+  "bench_seasonal"
+  "bench_seasonal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seasonal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

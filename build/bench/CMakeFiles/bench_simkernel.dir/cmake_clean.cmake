@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simkernel.dir/bench_simkernel.cpp.o"
+  "CMakeFiles/bench_simkernel.dir/bench_simkernel.cpp.o.d"
+  "bench_simkernel"
+  "bench_simkernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smart_harvester.dir/bench_smart_harvester.cpp.o"
+  "CMakeFiles/bench_smart_harvester.dir/bench_smart_harvester.cpp.o.d"
+  "bench_smart_harvester"
+  "bench_smart_harvester.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smart_harvester.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

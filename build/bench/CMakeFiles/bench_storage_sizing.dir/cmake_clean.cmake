@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_storage_sizing.dir/bench_storage_sizing.cpp.o"
+  "CMakeFiles/bench_storage_sizing.dir/bench_storage_sizing.cpp.o.d"
+  "bench_storage_sizing"
+  "bench_storage_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_storage_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wakeup_radio.dir/bench_wakeup_radio.cpp.o"
+  "CMakeFiles/bench_wakeup_radio.dir/bench_wakeup_radio.cpp.o.d"
+  "bench_wakeup_radio"
+  "bench_wakeup_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wakeup_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

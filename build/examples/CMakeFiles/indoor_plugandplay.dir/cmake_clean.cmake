@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indoor_plugandplay.dir/indoor_plugandplay.cpp.o"
+  "CMakeFiles/indoor_plugandplay.dir/indoor_plugandplay.cpp.o.d"
+  "indoor_plugandplay"
+  "indoor_plugandplay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indoor_plugandplay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outdoor_deployment.dir/outdoor_deployment.cpp.o"
+  "CMakeFiles/outdoor_deployment.dir/outdoor_deployment.cpp.o.d"
+  "outdoor_deployment"
+  "outdoor_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outdoor_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_harvester_demo.dir/smart_harvester_demo.cpp.o"
+  "CMakeFiles/smart_harvester_demo.dir/smart_harvester_demo.cpp.o.d"
+  "smart_harvester_demo"
+  "smart_harvester_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_harvester_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

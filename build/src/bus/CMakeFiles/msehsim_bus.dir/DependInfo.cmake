@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bus/datasheet.cpp" "src/bus/CMakeFiles/msehsim_bus.dir/datasheet.cpp.o" "gcc" "src/bus/CMakeFiles/msehsim_bus.dir/datasheet.cpp.o.d"
+  "/root/repo/src/bus/i2c.cpp" "src/bus/CMakeFiles/msehsim_bus.dir/i2c.cpp.o" "gcc" "src/bus/CMakeFiles/msehsim_bus.dir/i2c.cpp.o.d"
+  "/root/repo/src/bus/module_port.cpp" "src/bus/CMakeFiles/msehsim_bus.dir/module_port.cpp.o" "gcc" "src/bus/CMakeFiles/msehsim_bus.dir/module_port.cpp.o.d"
+  "/root/repo/src/bus/sense.cpp" "src/bus/CMakeFiles/msehsim_bus.dir/sense.cpp.o" "gcc" "src/bus/CMakeFiles/msehsim_bus.dir/sense.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/msehsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/harvest/CMakeFiles/msehsim_harvest.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/msehsim_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/msehsim_env.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msehsim_bus.dir/datasheet.cpp.o"
+  "CMakeFiles/msehsim_bus.dir/datasheet.cpp.o.d"
+  "CMakeFiles/msehsim_bus.dir/i2c.cpp.o"
+  "CMakeFiles/msehsim_bus.dir/i2c.cpp.o.d"
+  "CMakeFiles/msehsim_bus.dir/module_port.cpp.o"
+  "CMakeFiles/msehsim_bus.dir/module_port.cpp.o.d"
+  "CMakeFiles/msehsim_bus.dir/sense.cpp.o"
+  "CMakeFiles/msehsim_bus.dir/sense.cpp.o.d"
+  "libmsehsim_bus.a"
+  "libmsehsim_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msehsim_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msehsim_core.dir/csv.cpp.o"
+  "CMakeFiles/msehsim_core.dir/csv.cpp.o.d"
+  "CMakeFiles/msehsim_core.dir/random.cpp.o"
+  "CMakeFiles/msehsim_core.dir/random.cpp.o.d"
+  "CMakeFiles/msehsim_core.dir/simulation.cpp.o"
+  "CMakeFiles/msehsim_core.dir/simulation.cpp.o.d"
+  "CMakeFiles/msehsim_core.dir/solve.cpp.o"
+  "CMakeFiles/msehsim_core.dir/solve.cpp.o.d"
+  "CMakeFiles/msehsim_core.dir/stats.cpp.o"
+  "CMakeFiles/msehsim_core.dir/stats.cpp.o.d"
+  "CMakeFiles/msehsim_core.dir/table.cpp.o"
+  "CMakeFiles/msehsim_core.dir/table.cpp.o.d"
+  "libmsehsim_core.a"
+  "libmsehsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msehsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmsehsim_core.a"
+)

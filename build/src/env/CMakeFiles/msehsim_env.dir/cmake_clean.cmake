@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msehsim_env.dir/channels.cpp.o"
+  "CMakeFiles/msehsim_env.dir/channels.cpp.o.d"
+  "CMakeFiles/msehsim_env.dir/environment.cpp.o"
+  "CMakeFiles/msehsim_env.dir/environment.cpp.o.d"
+  "libmsehsim_env.a"
+  "libmsehsim_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msehsim_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

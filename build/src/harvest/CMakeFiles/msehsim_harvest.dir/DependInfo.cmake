@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harvest/combiner.cpp" "src/harvest/CMakeFiles/msehsim_harvest.dir/combiner.cpp.o" "gcc" "src/harvest/CMakeFiles/msehsim_harvest.dir/combiner.cpp.o.d"
+  "/root/repo/src/harvest/harvester.cpp" "src/harvest/CMakeFiles/msehsim_harvest.dir/harvester.cpp.o" "gcc" "src/harvest/CMakeFiles/msehsim_harvest.dir/harvester.cpp.o.d"
+  "/root/repo/src/harvest/transducers.cpp" "src/harvest/CMakeFiles/msehsim_harvest.dir/transducers.cpp.o" "gcc" "src/harvest/CMakeFiles/msehsim_harvest.dir/transducers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/msehsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/msehsim_env.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

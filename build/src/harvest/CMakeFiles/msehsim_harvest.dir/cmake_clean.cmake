@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msehsim_harvest.dir/combiner.cpp.o"
+  "CMakeFiles/msehsim_harvest.dir/combiner.cpp.o.d"
+  "CMakeFiles/msehsim_harvest.dir/harvester.cpp.o"
+  "CMakeFiles/msehsim_harvest.dir/harvester.cpp.o.d"
+  "CMakeFiles/msehsim_harvest.dir/transducers.cpp.o"
+  "CMakeFiles/msehsim_harvest.dir/transducers.cpp.o.d"
+  "libmsehsim_harvest.a"
+  "libmsehsim_harvest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msehsim_harvest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

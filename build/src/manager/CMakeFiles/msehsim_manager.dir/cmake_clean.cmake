@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msehsim_manager.dir/monitor.cpp.o"
+  "CMakeFiles/msehsim_manager.dir/monitor.cpp.o.d"
+  "CMakeFiles/msehsim_manager.dir/policies.cpp.o"
+  "CMakeFiles/msehsim_manager.dir/policies.cpp.o.d"
+  "CMakeFiles/msehsim_manager.dir/predictor.cpp.o"
+  "CMakeFiles/msehsim_manager.dir/predictor.cpp.o.d"
+  "libmsehsim_manager.a"
+  "libmsehsim_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msehsim_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msehsim_node.dir/sensor_node.cpp.o"
+  "CMakeFiles/msehsim_node.dir/sensor_node.cpp.o.d"
+  "libmsehsim_node.a"
+  "libmsehsim_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msehsim_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/chain.cpp" "src/power/CMakeFiles/msehsim_power.dir/chain.cpp.o" "gcc" "src/power/CMakeFiles/msehsim_power.dir/chain.cpp.o.d"
+  "/root/repo/src/power/converter.cpp" "src/power/CMakeFiles/msehsim_power.dir/converter.cpp.o" "gcc" "src/power/CMakeFiles/msehsim_power.dir/converter.cpp.o.d"
+  "/root/repo/src/power/mppt.cpp" "src/power/CMakeFiles/msehsim_power.dir/mppt.cpp.o" "gcc" "src/power/CMakeFiles/msehsim_power.dir/mppt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/msehsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/msehsim_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/harvest/CMakeFiles/msehsim_harvest.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msehsim_power.dir/chain.cpp.o"
+  "CMakeFiles/msehsim_power.dir/chain.cpp.o.d"
+  "CMakeFiles/msehsim_power.dir/converter.cpp.o"
+  "CMakeFiles/msehsim_power.dir/converter.cpp.o.d"
+  "CMakeFiles/msehsim_power.dir/mppt.cpp.o"
+  "CMakeFiles/msehsim_power.dir/mppt.cpp.o.d"
+  "libmsehsim_power.a"
+  "libmsehsim_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msehsim_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

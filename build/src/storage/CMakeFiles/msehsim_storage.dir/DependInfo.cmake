@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/battery.cpp" "src/storage/CMakeFiles/msehsim_storage.dir/battery.cpp.o" "gcc" "src/storage/CMakeFiles/msehsim_storage.dir/battery.cpp.o.d"
+  "/root/repo/src/storage/fuel_cell.cpp" "src/storage/CMakeFiles/msehsim_storage.dir/fuel_cell.cpp.o" "gcc" "src/storage/CMakeFiles/msehsim_storage.dir/fuel_cell.cpp.o.d"
+  "/root/repo/src/storage/supercapacitor.cpp" "src/storage/CMakeFiles/msehsim_storage.dir/supercapacitor.cpp.o" "gcc" "src/storage/CMakeFiles/msehsim_storage.dir/supercapacitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/msehsim_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

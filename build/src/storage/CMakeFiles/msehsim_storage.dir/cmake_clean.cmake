@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msehsim_storage.dir/battery.cpp.o"
+  "CMakeFiles/msehsim_storage.dir/battery.cpp.o.d"
+  "CMakeFiles/msehsim_storage.dir/fuel_cell.cpp.o"
+  "CMakeFiles/msehsim_storage.dir/fuel_cell.cpp.o.d"
+  "CMakeFiles/msehsim_storage.dir/supercapacitor.cpp.o"
+  "CMakeFiles/msehsim_storage.dir/supercapacitor.cpp.o.d"
+  "libmsehsim_storage.a"
+  "libmsehsim_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msehsim_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msehsim_systems.dir/catalog.cpp.o"
+  "CMakeFiles/msehsim_systems.dir/catalog.cpp.o.d"
+  "CMakeFiles/msehsim_systems.dir/platform.cpp.o"
+  "CMakeFiles/msehsim_systems.dir/platform.cpp.o.d"
+  "CMakeFiles/msehsim_systems.dir/runner.cpp.o"
+  "CMakeFiles/msehsim_systems.dir/runner.cpp.o.d"
+  "libmsehsim_systems.a"
+  "libmsehsim_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msehsim_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

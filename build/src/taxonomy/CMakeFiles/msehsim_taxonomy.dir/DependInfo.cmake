@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taxonomy/taxonomy.cpp" "src/taxonomy/CMakeFiles/msehsim_taxonomy.dir/taxonomy.cpp.o" "gcc" "src/taxonomy/CMakeFiles/msehsim_taxonomy.dir/taxonomy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/msehsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/harvest/CMakeFiles/msehsim_harvest.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/msehsim_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/msehsim_env.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

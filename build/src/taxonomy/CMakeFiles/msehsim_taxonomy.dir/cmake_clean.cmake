@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msehsim_taxonomy.dir/taxonomy.cpp.o"
+  "CMakeFiles/msehsim_taxonomy.dir/taxonomy.cpp.o.d"
+  "libmsehsim_taxonomy.a"
+  "libmsehsim_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msehsim_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

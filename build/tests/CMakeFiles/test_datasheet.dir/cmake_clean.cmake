@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datasheet.dir/test_datasheet.cpp.o"
+  "CMakeFiles/test_datasheet.dir/test_datasheet.cpp.o.d"
+  "test_datasheet"
+  "test_datasheet.pdb"
+  "test_datasheet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datasheet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

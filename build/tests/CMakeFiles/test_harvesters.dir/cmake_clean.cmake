@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_harvesters.dir/test_harvesters.cpp.o"
+  "CMakeFiles/test_harvesters.dir/test_harvesters.cpp.o.d"
+  "test_harvesters"
+  "test_harvesters.pdb"
+  "test_harvesters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_harvesters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_harvesters.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mppt.dir/test_mppt.cpp.o"
+  "CMakeFiles/test_mppt.dir/test_mppt.cpp.o.d"
+  "test_mppt"
+  "test_mppt.pdb"
+  "test_mppt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mppt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_taxonomy.dir/test_taxonomy.cpp.o"
+  "CMakeFiles/test_taxonomy.dir/test_taxonomy.cpp.o.d"
+  "test_taxonomy"
+  "test_taxonomy.pdb"
+  "test_taxonomy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
