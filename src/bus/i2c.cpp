@@ -4,7 +4,8 @@
 
 namespace msehsim::bus {
 
-I2cBus::I2cBus(Params params) : params_(params) {
+I2cBus::I2cBus(Params params)
+    : params_(params), fault_rng_(params.fault_seed, stream_key("i2c.fault")) {
   require_spec(params_.energy_per_byte.value() >= 0.0,
                "I2C energy per byte must be >= 0");
 }
@@ -27,9 +28,44 @@ void I2cBus::bill(std::size_t payload_bytes) {
   ++transactions_;
 }
 
+void I2cBus::inject_nak_burst(std::uint32_t transactions) {
+  nak_burst_remaining_ += transactions;
+}
+
+void I2cBus::set_bit_error_rate(double rate) {
+  require_spec(rate >= 0.0 && rate <= 1.0, "I2C bit-error rate must be in [0,1]");
+  bit_error_rate_ = rate;
+}
+
+void I2cBus::set_stuck(bool stuck) { stuck_ = stuck; }
+
+bool I2cBus::injected_failure() {
+  if (stuck_) {
+    bill(0);
+    ++naks_;
+    ++fault_hits_;
+    return true;
+  }
+  if (nak_burst_remaining_ > 0) {
+    --nak_burst_remaining_;
+    bill(0);
+    ++naks_;
+    ++fault_hits_;
+    return true;
+  }
+  return false;
+}
+
+std::uint8_t I2cBus::corrupt(std::uint8_t value) {
+  if (bit_error_rate_ <= 0.0 || !fault_rng_.bernoulli(bit_error_rate_)) return value;
+  ++fault_hits_;
+  return value ^ static_cast<std::uint8_t>(1u << fault_rng_.next_below(8));
+}
+
 std::optional<std::vector<std::uint8_t>> I2cBus::read(std::uint8_t address,
                                                       std::uint8_t start_register,
                                                       std::size_t count) {
+  if (injected_failure()) return std::nullopt;
   const auto it = slaves_.find(address);
   if (it == slaves_.end()) {
     bill(0);
@@ -46,7 +82,7 @@ std::optional<std::vector<std::uint8_t>> I2cBus::read(std::uint8_t address,
       ++naks_;
       return std::nullopt;
     }
-    out.push_back(*value);
+    out.push_back(corrupt(*value));
   }
   bill(out.size());
   return out;
@@ -54,6 +90,7 @@ std::optional<std::vector<std::uint8_t>> I2cBus::read(std::uint8_t address,
 
 bool I2cBus::write(std::uint8_t address, std::uint8_t start_register,
                    const std::vector<std::uint8_t>& data) {
+  if (injected_failure()) return false;
   const auto it = slaves_.find(address);
   if (it == slaves_.end()) {
     bill(0);
@@ -62,7 +99,7 @@ bool I2cBus::write(std::uint8_t address, std::uint8_t start_register,
   }
   for (std::size_t i = 0; i < data.size(); ++i) {
     if (!it->second->write_register(static_cast<std::uint8_t>(start_register + i),
-                                    data[i])) {
+                                    corrupt(data[i]))) {
       bill(i);
       ++naks_;
       return false;
@@ -74,6 +111,7 @@ bool I2cBus::write(std::uint8_t address, std::uint8_t start_register,
 
 std::vector<std::uint8_t> I2cBus::scan() const {
   std::vector<std::uint8_t> out;
+  if (stuck_) return out;  // nothing ACKs while the bus is held low
   out.reserve(slaves_.size());
   for (const auto& [addr, slave] : slaves_) {
     (void)slave;

@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/random.hpp"
 #include "core/units.hpp"
 
 namespace msehsim::bus {
@@ -34,6 +35,9 @@ class I2cBus {
  public:
   struct Params {
     Joules energy_per_byte{100e-9};  ///< pull-up + driver energy at 100 kHz
+    /// Seeds the bit-error stream (src/fault); consumed only while a nonzero
+    /// bit-error rate is active, so fault-free runs are unaffected by it.
+    std::uint64_t fault_seed{0x12c};
   };
 
   explicit I2cBus(Params params);
@@ -64,14 +68,45 @@ class I2cBus {
   [[nodiscard]] std::uint64_t transactions() const { return transactions_; }
   [[nodiscard]] std::uint64_t nak_count() const { return naks_; }
 
+  // ---- Fault injection (src/fault) ---------------------------------------
+  // Runtime bus anomalies are modelled behaviour (core/error.hpp): injected
+  // faults surface as NAKs and corrupted payloads through the normal return
+  // paths, never as exceptions.
+
+  /// The next @p transactions read/write calls NAK regardless of target
+  /// (EMI burst, contention). Cumulative with any burst still pending.
+  void inject_nak_burst(std::uint32_t transactions);
+
+  /// Each transferred payload byte is corrupted (one bit flipped) with
+  /// probability @p rate, drawn from the bus's seeded fault stream. Reads
+  /// deliver the corrupted byte; writes store it. Zero disables.
+  void set_bit_error_rate(double rate);
+
+  /// Holds the bus electrically stuck: every transaction fails until
+  /// released. Models a slave clamping SDA low.
+  void set_stuck(bool stuck);
+  [[nodiscard]] bool stuck() const { return stuck_; }
+
+  /// Transactions NAKed and bytes corrupted by injected faults.
+  [[nodiscard]] std::uint64_t fault_hits() const { return fault_hits_; }
+
  private:
   void bill(std::size_t payload_bytes);
+  /// True if an injected condition (stuck bus / NAK burst) fails this
+  /// transaction; consumes one burst token and books the NAK.
+  bool injected_failure();
+  [[nodiscard]] std::uint8_t corrupt(std::uint8_t value);
 
   Params params_;
   std::map<std::uint8_t, I2cSlave*> slaves_;
   Joules energy_{0.0};
   std::uint64_t transactions_{0};
   std::uint64_t naks_{0};
+  std::uint32_t nak_burst_remaining_{0};
+  double bit_error_rate_{0.0};
+  bool stuck_{false};
+  std::uint64_t fault_hits_{0};
+  Pcg32 fault_rng_;
 };
 
 }  // namespace msehsim::bus

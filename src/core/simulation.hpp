@@ -41,6 +41,17 @@ class Simulation {
   void every(Seconds period, EventFn fn, Seconds phase = Seconds{0.0});
 
   /// Runs @p fn once at simulated time @p when (start of enclosing step).
+  ///
+  /// Timing contract:
+  ///  - @p when < now(): rejected with SpecError. The simulation never
+  ///    rewrites history; schedule relative to now() instead.
+  ///  - @p when == now(): not "in the past". Scheduled outside a step it
+  ///    fires at the start of the next step, before that step's on_step
+  ///    callbacks; scheduled from inside an event callback it drains within
+  ///    the same step's dispatch. Events never interleave mid-step.
+  ///  - Events landing in the same step fire in FIFO order of scheduling,
+  ///    regardless of sub-step time differences — the tiebreak that keeps
+  ///    seeded schedules (e.g. fault injection) reproducible.
   void at(Seconds when, EventFn fn);
 
   /// Advances the simulation by @p duration.

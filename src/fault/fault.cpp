@@ -1,0 +1,22 @@
+#include "fault/fault.hpp"
+
+namespace msehsim::fault {
+
+std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kHarvesterDegraded: return "harvester degraded";
+    case FaultKind::kHarvesterIntermittentOpen: return "harvester intermittent-open";
+    case FaultKind::kHarvesterStuckShort: return "harvester stuck-short";
+    case FaultKind::kHarvesterHealed: return "harvester healed";
+    case FaultKind::kConverterDroop: return "converter efficiency droop";
+    case FaultKind::kConverterThermalShutdown: return "converter thermal shutdown";
+    case FaultKind::kStorageCapacityFade: return "storage capacity fade";
+    case FaultKind::kStorageLeakageSpike: return "storage leakage spike";
+    case FaultKind::kBusNakBurst: return "bus NAK burst";
+    case FaultKind::kBusBitErrors: return "bus bit errors";
+    case FaultKind::kBusStuck: return "bus stuck";
+  }
+  return "?";
+}
+
+}  // namespace msehsim::fault

@@ -1,0 +1,49 @@
+// Fault taxonomy for msehsim.
+//
+// The survey's systems exist to survive the droop or death of any single
+// energy source: System A carries a hydrogen fuel-cell backup for when wind
+// and PV both fail, and System B's hot-swappable modules imply devices
+// appearing, disappearing, and misbehaving at runtime. This layer names the
+// runtime anomalies the simulator can inject. Consistent with
+// core/error.hpp, every injected fault is *modelled behaviour*: it flows
+// through the components' normal return paths and event counters, never
+// through exceptions.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace msehsim::fault {
+
+/// Injectable fault classes, one group per substrate layer.
+enum class FaultKind {
+  kHarvesterDegraded,          ///< transducer output scaled down (soiling, aging)
+  kHarvesterIntermittentOpen,  ///< loose connector: open-circuit some steps
+  kHarvesterStuckShort,        ///< shorted transducer: no extractable power
+  kHarvesterHealed,            ///< fault cleared (field repair)
+  kConverterDroop,             ///< converter efficiency scaled down
+  kConverterThermalShutdown,   ///< converter over-temperature cut-out
+  kStorageCapacityFade,        ///< permanent loss of storage capacity
+  kStorageLeakageSpike,        ///< self-discharge scaled up for a while
+  kBusNakBurst,                ///< next N bus transactions NAK
+  kBusBitErrors,               ///< per-byte corruption for a while
+  kBusStuck,                   ///< bus held low: all transactions fail
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind kind);
+
+/// Faults actually fired by an injector, bucketed by layer. "Scheduled but
+/// the run ended first" does not count; replaying the same seed and schedule
+/// over the same horizon reproduces these numbers exactly.
+struct InjectionCounters {
+  std::uint64_t harvester{0};
+  std::uint64_t converter{0};
+  std::uint64_t storage{0};
+  std::uint64_t bus{0};
+
+  [[nodiscard]] std::uint64_t total() const {
+    return harvester + converter + storage + bus;
+  }
+};
+
+}  // namespace msehsim::fault

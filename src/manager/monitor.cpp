@@ -57,12 +57,39 @@ Joules AnalogVoltageMonitor::monitoring_energy() const {
 }
 
 // ---------------------------------------------------------------------------
+// RetryBackoff
+// ---------------------------------------------------------------------------
+
+RetryBackoff::RetryBackoff(Params params) : params_(params) {
+  require_spec(params_.max_attempts >= 1, "retry needs at least one attempt");
+  require_spec(params_.initial_backoff.value() >= 0.0,
+               "retry backoff must be >= 0");
+  require_spec(params_.multiplier >= 1.0, "retry multiplier must be >= 1");
+}
+
+bool RetryBackoff::run(const std::function<bool()>& attempt) {
+  Seconds wait = params_.initial_backoff;
+  for (int i = 0; i < params_.max_attempts; ++i) {
+    ++attempts_;
+    if (i > 0) {
+      ++retries_;
+      total_backoff_ += wait;
+      wait = wait * params_.multiplier;
+    }
+    if (attempt()) return true;
+  }
+  ++give_ups_;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
 // DigitalBusMonitor
 // ---------------------------------------------------------------------------
 
 DigitalBusMonitor::DigitalBusMonitor(bus::I2cBus& bus,
-                                     std::vector<std::uint8_t> addresses)
-    : bus_(&bus), addresses_(std::move(addresses)) {
+                                     std::vector<std::uint8_t> addresses,
+                                     RetryBackoff::Params retry)
+    : bus_(&bus), addresses_(std::move(addresses)), retry_(retry) {
   require_spec(!addresses_.empty(), "DigitalBusMonitor needs at least one socket");
   enumerate();
 }
@@ -70,9 +97,25 @@ DigitalBusMonitor::DigitalBusMonitor(bus::I2cBus& bus,
 void DigitalBusMonitor::enumerate() {
   inventory_.clear();
   for (const auto addr : addresses_) {
-    auto ds = bus::read_datasheet(*bus_, addr);
+    // A datasheet read is long (66 bytes) and CRC-protected, so bit errors
+    // surface as CRC failures here; retry until a clean image or give-up.
+    std::optional<bus::ElectronicDatasheet> ds;
+    retry_.run([&] {
+      ds = bus::read_datasheet(*bus_, addr);
+      return ds.has_value();
+    });
     if (ds) inventory_.push_back(ModuleRecord{addr, std::move(*ds)});
   }
+}
+
+std::optional<std::uint32_t> DigitalBusMonitor::poll_u32(std::uint8_t address,
+                                                         std::uint8_t base_reg) {
+  std::optional<std::uint32_t> value;
+  retry_.run([&] {
+    value = bus::read_live_u32(*bus_, address, base_reg);
+    return value.has_value();
+  });
+  return value;
 }
 
 EnergyEstimate DigitalBusMonitor::estimate() {
@@ -81,13 +124,11 @@ EnergyEstimate DigitalBusMonitor::estimate() {
   e.incoming_known = true;
   for (const auto& record : inventory_) {
     if (record.datasheet.device_class == bus::DeviceClass::kStorage) {
-      const auto mj =
-          bus::read_live_u32(*bus_, record.address, bus::ModulePort::kRegEnergyMj);
+      const auto mj = poll_u32(record.address, bus::ModulePort::kRegEnergyMj);
       if (mj) e.stored += Joules{static_cast<double>(*mj) * 1e-3};
       e.capacity += record.datasheet.capacity;
     } else {
-      const auto uw =
-          bus::read_live_u32(*bus_, record.address, bus::ModulePort::kRegPowerUw);
+      const auto uw = poll_u32(record.address, bus::ModulePort::kRegPowerUw);
       if (uw) e.incoming += Watts{static_cast<double>(*uw) * 1e-6};
     }
   }

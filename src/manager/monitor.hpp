@@ -105,6 +105,42 @@ class AnalogVoltageMonitor final : public EnergyMonitor {
   bus::AdcLine adc_;
 };
 
+/// Bounded retry with exponential backoff for bus transactions (monitor
+/// polls under NAK bursts / EMI, src/fault). The backoff delays model the
+/// settle time firmware inserts between attempts; in the quasi-static model
+/// they are accounted as an aggregate counter rather than advancing the
+/// clock, since a full retry ladder (a few ms) is far shorter than a step.
+class RetryBackoff {
+ public:
+  struct Params {
+    int max_attempts{3};             ///< total tries, including the first
+    Seconds initial_backoff{1e-3};   ///< wait after the first failure
+    double multiplier{2.0};          ///< backoff growth per further failure
+  };
+
+  explicit RetryBackoff(Params params);
+  RetryBackoff() : RetryBackoff(Params{}) {}
+
+  /// Runs @p attempt until it reports success or attempts are exhausted.
+  /// Returns true on success.
+  bool run(const std::function<bool()>& attempt);
+
+  [[nodiscard]] std::uint64_t attempts() const { return attempts_; }
+  /// Attempts beyond the first of each run() call.
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+  /// run() calls that exhausted every attempt.
+  [[nodiscard]] std::uint64_t give_ups() const { return give_ups_; }
+  /// Total settle time spent waiting between attempts.
+  [[nodiscard]] Seconds total_backoff() const { return total_backoff_; }
+
+ private:
+  Params params_;
+  std::uint64_t attempts_{0};
+  std::uint64_t retries_{0};
+  std::uint64_t give_ups_{0};
+  Seconds total_backoff_{0.0};
+};
+
 /// Digital monitor reading electronic datasheets + live telemetry over the
 /// bus (System A on-power-unit MCU; System B node-side driver).
 class DigitalBusMonitor final : public EnergyMonitor {
@@ -114,8 +150,10 @@ class DigitalBusMonitor final : public EnergyMonitor {
     bus::ElectronicDatasheet datasheet;
   };
 
-  /// @p addresses the module sockets to scan.
-  DigitalBusMonitor(bus::I2cBus& bus, std::vector<std::uint8_t> addresses);
+  /// @p addresses the module sockets to scan. @p retry governs how stubborn
+  /// the firmware is about NAKed polls before declaring the value unknown.
+  DigitalBusMonitor(bus::I2cBus& bus, std::vector<std::uint8_t> addresses,
+                    RetryBackoff::Params retry = {});
 
   [[nodiscard]] taxonomy::MonitoringCapability capability() const override {
     return taxonomy::MonitoringCapability::kFull;
@@ -132,10 +170,19 @@ class DigitalBusMonitor final : public EnergyMonitor {
     return inventory_;
   }
 
+  /// Retry bookkeeping (attempts / retries / give-ups / settle time) for the
+  /// fault report.
+  [[nodiscard]] const RetryBackoff& retry() const { return retry_; }
+
  private:
+  /// Polls one live register through the retry ladder; empty on give-up.
+  std::optional<std::uint32_t> poll_u32(std::uint8_t address,
+                                        std::uint8_t base_reg);
+
   bus::I2cBus* bus_;
   std::vector<std::uint8_t> addresses_;
   std::vector<ModuleRecord> inventory_;
+  RetryBackoff retry_;
 };
 
 /// Activity-flag monitor (Cymbet EVAL-09): "allows the system to see which

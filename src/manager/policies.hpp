@@ -6,6 +6,8 @@
 // cell." These policies are the executable version of that sentence.
 #pragma once
 
+#include <optional>
+
 #include "core/units.hpp"
 #include "manager/monitor.hpp"
 #include "node/sensor_node.hpp"
@@ -63,6 +65,55 @@ class EnoPowerController {
  private:
   Params params_;
   std::uint64_t adjustments_{0};
+};
+
+/// Failover from the ambient (primary) sources to the backup store (System
+/// A's hydrogen fuel cell) when the primaries *fail*, not merely when the
+/// buffer is low. The SoC hysteresis of FuelCellPolicy reacts only after the
+/// buffer has drained; this policy also watches the input power itself, so a
+/// faulted harvester bank (src/fault) triggers the backup while the buffer
+/// still holds charge. Failback requires both sustained primary recovery and
+/// a recovered buffer.
+class FailoverPolicy {
+ public:
+  struct Params {
+    /// Primary sources count as dead while their combined delivered power
+    /// stays below this.
+    Watts primary_dead_below{5e-6};
+    /// Outage must persist this long before the backup switches in
+    /// (debounce: clouds are not faults).
+    Seconds dead_time{600.0};
+    /// Recovery must persist this long before the backup switches out.
+    Seconds recovery_time{1800.0};
+    /// Regardless of source health, switch in below this SoC ...
+    double enable_below_soc{0.25};
+    /// ... and never switch out before the buffer is back above this.
+    double disable_above_soc{0.50};
+  };
+
+  explicit FailoverPolicy(Params params);
+  FailoverPolicy() : FailoverPolicy(Params{}) {}
+
+  /// One control step. @p primary_power combined delivered power of the
+  /// ambient input chains over the last step; @p ambient_soc state of charge
+  /// of the environmentally fed stores.
+  void update(Seconds now, Watts primary_power, double ambient_soc,
+              storage::FuelCell& cell);
+
+  /// Times the backup was switched in / back out.
+  [[nodiscard]] std::uint64_t failovers() const { return failovers_; }
+  [[nodiscard]] std::uint64_t failbacks() const { return failbacks_; }
+
+  /// True while the policy considers the primary sources dead.
+  [[nodiscard]] bool primary_down() const { return primary_down_; }
+
+ private:
+  Params params_;
+  std::optional<Seconds> outage_since_;
+  std::optional<Seconds> recovery_since_;
+  bool primary_down_{false};
+  std::uint64_t failovers_{0};
+  std::uint64_t failbacks_{0};
 };
 
 /// Fuel-cell fallback with hysteresis (System A): switch the stack in when

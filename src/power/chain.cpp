@@ -18,9 +18,36 @@ InputChain::InputChain(std::unique_ptr<harvest::Harvester> harvester,
   require_spec(mppt_period_.value() > 0.0, "MPPT period must be > 0");
 }
 
+std::unique_ptr<harvest::Harvester> InputChain::replace_harvester(
+    std::unique_ptr<harvest::Harvester> replacement) {
+  require_spec(replacement != nullptr, "replace_harvester: null replacement");
+  std::swap(harvester_, replacement);
+  return replacement;
+}
+
+void InputChain::set_efficiency_droop(double factor) {
+  require_spec(factor > 0.0 && factor <= 1.0,
+               "efficiency droop factor must be in (0,1]");
+  droop_factor_ = factor;
+}
+
+void InputChain::set_thermal_shutdown(bool on) {
+  if (on && !thermal_shutdown_) ++shutdown_events_;
+  thermal_shutdown_ = on;
+}
+
 Watts InputChain::step(const env::AmbientConditions& conditions, Volts bus_voltage,
                        Seconds now, Seconds dt) {
   harvester_->set_conditions(conditions);
+
+  if (thermal_shutdown_) {
+    // The cut-out opens the power path; the MPP oracle keeps integrating so
+    // tracking_efficiency() reflects the outage as lost harvest.
+    transducer_power_ = Watts{0.0};
+    harvestable_at_mpp_ += harvester_->maximum_power_point().p * dt;
+    ++shutdown_steps_;
+    return Watts{0.0};
+  }
 
   Seconds interruption{0.0};
   if (now >= next_update_) {
@@ -52,7 +79,8 @@ Watts InputChain::step(const env::AmbientConditions& conditions, Volts bus_volta
       std::clamp(1.0 - interruption.value() / dt.value(), 0.0, 1.0);
   const Watts effective = transducer_power_ * duty;
 
-  const Watts out = converter_.transfer(effective, operating_voltage_, bus_voltage);
+  const Watts out =
+      converter_.transfer(effective, operating_voltage_, bus_voltage) * droop_factor_;
   // Tracker overhead is paid from the bus, amortized over this step.
   const double overhead_now =
       mppt_->overhead_per_update().value() / mppt_period_.value();

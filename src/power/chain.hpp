@@ -6,6 +6,7 @@
 // storage bus -> converter -> regulated rail feeding the embedded device.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -33,6 +34,13 @@ class InputChain {
 
   [[nodiscard]] const harvest::Harvester& harvester() const { return *harvester_; }
   [[nodiscard]] harvest::Harvester& harvester() { return *harvester_; }
+
+  /// Swaps the transducer feeding this chain and returns the old one.
+  /// Used for module hot-swap and for wrapping the harvester in a
+  /// fault::FaultyHarvester decorator; the operating point carries over and
+  /// the tracker re-converges on the new curve.
+  std::unique_ptr<harvest::Harvester> replace_harvester(
+      std::unique_ptr<harvest::Harvester> replacement);
   [[nodiscard]] const MpptController& mppt() const { return *mppt_; }
   [[nodiscard]] const Converter& converter() const { return converter_; }
   [[nodiscard]] Volts operating_voltage() const { return operating_voltage_; }
@@ -51,6 +59,25 @@ class InputChain {
   /// converter has no cold-start threshold).
   [[nodiscard]] bool started() const { return started_; }
 
+  // ---- Fault injection (src/fault) ---------------------------------------
+  // Converter anomalies are modelled behaviour (core/error.hpp): the chain
+  // keeps running and the effects show up in delivered power and counters.
+
+  /// Scales the converter's output by @p factor in (0, 1] — capacitor aging
+  /// or inductor saturation drooping the efficiency curve. 1.0 heals.
+  void set_efficiency_droop(double factor);
+  [[nodiscard]] double efficiency_droop() const { return droop_factor_; }
+
+  /// Converter over-temperature cut-out: while latched the chain delivers
+  /// nothing (the transducer keeps its curve; energy is simply not moved).
+  void set_thermal_shutdown(bool on);
+  [[nodiscard]] bool thermal_shutdown() const { return thermal_shutdown_; }
+
+  /// Times the converter entered thermal shutdown.
+  [[nodiscard]] std::uint64_t thermal_shutdowns() const { return shutdown_events_; }
+  /// Steps spent shut down (the outage's simulated extent).
+  [[nodiscard]] std::uint64_t shutdown_steps() const { return shutdown_steps_; }
+
  private:
   std::unique_ptr<harvest::Harvester> harvester_;
   std::unique_ptr<MpptController> mppt_;
@@ -64,6 +91,10 @@ class InputChain {
   Joules harvested_at_setpoint_{0.0};
   Joules harvestable_at_mpp_{0.0};
   bool started_{false};
+  double droop_factor_{1.0};
+  bool thermal_shutdown_{false};
+  std::uint64_t shutdown_events_{0};
+  std::uint64_t shutdown_steps_{0};
 };
 
 class OutputChain {

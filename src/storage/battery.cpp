@@ -47,7 +47,8 @@ double Battery::equivalent_full_cycles() const {
 
 double Battery::state_of_health() const {
   const double fade = params_.capacity_fade_per_cycle * equivalent_full_cycles();
-  return std::max(0.1, 1.0 - fade);  // floor: cells fail before reaching zero
+  // floor: cells fail before reaching zero
+  return std::max(0.1, (1.0 - fade) * fault_health_);
 }
 
 Coulombs Battery::effective_full_charge() const {
@@ -128,10 +129,24 @@ Watts Battery::discharge(Watts power, Seconds dt) {
 }
 
 void Battery::apply_leakage(Seconds dt) {
-  if (params_.self_discharge_per_month <= 0.0) return;
+  if (params_.self_discharge_per_month <= 0.0 || leakage_multiplier_ <= 0.0)
+    return;
   const double rate_per_s =
       -std::log1p(-params_.self_discharge_per_month) / kSecondsPerMonth;
-  charge_ *= std::exp(-rate_per_s * dt.value());
+  charge_ *= std::exp(-rate_per_s * leakage_multiplier_ * dt.value());
+}
+
+void Battery::inject_capacity_fade(double fraction) {
+  require_spec(fraction >= 0.0 && fraction < 1.0,
+               "capacity fade fraction must be in [0,1)");
+  fault_health_ *= 1.0 - fraction;
+  // Charge held above the shrunken capacity is gone with the dead material.
+  charge_ = std::min(charge_, effective_full_charge());
+}
+
+void Battery::set_leakage_multiplier(double multiplier) {
+  require_spec(multiplier >= 0.0, "leakage multiplier must be >= 0");
+  leakage_multiplier_ = multiplier;
 }
 
 Watts Battery::max_discharge_power() const {

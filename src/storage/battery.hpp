@@ -45,6 +45,11 @@ class Battery final : public StorageDevice {
   Watts discharge(Watts power, Seconds dt) override;
   void apply_leakage(Seconds dt) override;
   [[nodiscard]] Watts max_discharge_power() const override;
+  void inject_capacity_fade(double fraction) override;
+  void set_leakage_multiplier(double multiplier) override;
+  [[nodiscard]] double leakage_multiplier() const override {
+    return leakage_multiplier_;
+  }
 
   [[nodiscard]] const Params& params() const { return params_; }
   [[nodiscard]] Coulombs charge_state() const { return charge_; }
@@ -54,7 +59,8 @@ class Battery final : public StorageDevice {
   [[nodiscard]] double equivalent_full_cycles() const;
 
   /// Present usable capacity as a fraction of the rated capacity (1.0 when
-  /// new; decreases with cycling when capacity_fade_per_cycle > 0).
+  /// new; decreases with cycling when capacity_fade_per_cycle > 0 and with
+  /// injected capacity-fade faults).
   [[nodiscard]] double state_of_health() const;
 
   // -- Chemistry presets (capacities from the Table I device class) --------
@@ -83,6 +89,8 @@ class Battery final : public StorageDevice {
   Coulombs full_charge_;
   Coulombs charge_;
   Coulombs throughput_{0.0};  ///< total |dq| through the terminal
+  double fault_health_{1.0};  ///< injected capacity-fade factor
+  double leakage_multiplier_{1.0};
 };
 
 }  // namespace msehsim::storage

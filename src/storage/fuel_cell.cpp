@@ -50,6 +50,12 @@ void FuelCell::apply_leakage(Seconds dt) {
   remaining_ = Joules{std::max(0.0, remaining_.value() - fuel)};
 }
 
+void FuelCell::inject_capacity_fade(double fraction) {
+  require_spec(fraction >= 0.0 && fraction < 1.0,
+               "capacity fade fraction must be in [0,1)");
+  remaining_ = remaining_ * (1.0 - fraction);
+}
+
 Watts FuelCell::max_discharge_power() const {
   if (!enabled_ || remaining_.value() <= 0.0) return Watts{0.0};
   return params_.max_power;

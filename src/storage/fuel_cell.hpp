@@ -35,6 +35,8 @@ class FuelCell final : public StorageDevice {
   Watts discharge(Watts power, Seconds dt) override;
   void apply_leakage(Seconds dt) override;
   [[nodiscard]] Watts max_discharge_power() const override;
+  /// Cartridge seal fault: part of the remaining hydrogen vents at once.
+  void inject_capacity_fade(double fraction) override;
 
   /// The manager switches the stack in/out; a disabled cell delivers nothing
   /// and consumes nothing.

@@ -62,6 +62,22 @@ class StorageDevice {
 
   /// Highest sustained discharge power at the present state of charge.
   [[nodiscard]] virtual Watts max_discharge_power() const = 0;
+
+  // ---- Fault injection (src/fault) ---------------------------------------
+  // Runtime degradation is modelled behaviour (core/error.hpp); devices
+  // without an applicable mechanism ignore the hook.
+
+  /// Permanently removes @p fraction in [0, 1) of the device's present
+  /// capacity — accelerated aging, a shorted cell in a pack, electrolyte
+  /// dry-out. Stored charge above the new capacity is lost with it.
+  virtual void inject_capacity_fade(double /*fraction*/) {}
+
+  /// Scales self-discharge until changed again (1.0 = nominal). A spike
+  /// (> 1) models dendrites or seal failure; it stays until healed.
+  virtual void set_leakage_multiplier(double /*multiplier*/) {}
+
+  /// Present leakage scaling (1.0 when no fault is active).
+  [[nodiscard]] virtual double leakage_multiplier() const { return 1.0; }
 };
 
 }  // namespace msehsim::storage

@@ -155,15 +155,33 @@ Watts Supercapacitor::discharge(Watts power, Seconds dt) {
 }
 
 void Supercapacitor::apply_leakage(Seconds dt) {
-  const double tau =
-      params_.leakage_resistance.value() * capacitance_at(v_main_.value());
+  if (leakage_multiplier_ <= 0.0) {
+    redistribute(dt);
+    return;
+  }
+  // A leakage fault divides the effective parallel resistance.
+  const double r_leak = params_.leakage_resistance.value() / leakage_multiplier_;
+  const double tau = r_leak * capacitance_at(v_main_.value());
   v_main_ *= std::exp(-dt.value() / tau);
   if (params_.slow_capacitance.value() > 0.0) {
-    const double tau2 =
-        params_.leakage_resistance.value() * params_.slow_capacitance.value();
+    const double tau2 = r_leak * params_.slow_capacitance.value();
     v_slow_ *= std::exp(-dt.value() / tau2);
   }
   redistribute(dt);
+}
+
+void Supercapacitor::inject_capacity_fade(double fraction) {
+  require_spec(fraction >= 0.0 && fraction < 1.0,
+               "capacity fade fraction must be in [0,1)");
+  // Electrolyte dry-out shrinks the plates: same terminal voltage, less
+  // charge behind it — the stored energy above the floor drops with C.
+  params_.main_capacitance = params_.main_capacitance * (1.0 - fraction);
+  params_.slow_capacitance = params_.slow_capacitance * (1.0 - fraction);
+}
+
+void Supercapacitor::set_leakage_multiplier(double multiplier) {
+  require_spec(multiplier >= 0.0, "leakage multiplier must be >= 0");
+  leakage_multiplier_ = multiplier;
 }
 
 Watts Supercapacitor::max_discharge_power() const {

@@ -42,6 +42,11 @@ class Supercapacitor final : public StorageDevice {
   Watts discharge(Watts power, Seconds dt) override;
   void apply_leakage(Seconds dt) override;
   [[nodiscard]] Watts max_discharge_power() const override;
+  void inject_capacity_fade(double fraction) override;
+  void set_leakage_multiplier(double multiplier) override;
+  [[nodiscard]] double leakage_multiplier() const override {
+    return leakage_multiplier_;
+  }
 
   /// Slow-branch voltage (observable in tests: redistribution sag).
   [[nodiscard]] Volts slow_branch_voltage() const { return v_slow_; }
@@ -71,6 +76,7 @@ class Supercapacitor final : public StorageDevice {
   Volts min_voltage_{0.0};  ///< discharge floor (nonzero for LIC)
   Volts v_main_;
   Volts v_slow_;
+  double leakage_multiplier_{1.0};
 };
 
 }  // namespace msehsim::storage

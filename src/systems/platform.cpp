@@ -58,6 +58,16 @@ void Platform::set_fuel_cell_policy(manager::FuelCellPolicy policy,
   fuel_cell_slot_ = fuel_cell_slot;
 }
 
+void Platform::set_failover_policy(manager::FailoverPolicy policy,
+                                   std::size_t backup_slot) {
+  require_spec(backup_slot < stores_.size(), "failover backup slot out of range");
+  require_spec(stores_[backup_slot].device->kind() ==
+                   storage::StorageKind::kFuelCell,
+               "failover backup slot does not hold a fuel cell");
+  failover_policy_.emplace(policy);
+  backup_slot_ = backup_slot;
+}
+
 void Platform::add_module_port(std::unique_ptr<bus::ModulePort> port) {
   require_spec(port != nullptr, "add_module_port: null port");
   i2c_.attach(*port);
@@ -207,9 +217,16 @@ void Platform::management_tick(Seconds now) {
       duty_controller_->update(last_estimate_, *node_);
     }
   }
-  if (fuel_cell_policy_.has_value()) {
+  // The failover policy subsumes the plain SoC hysteresis (it carries its
+  // own SoC window); running both would have them fight over the switch.
+  if (fuel_cell_policy_.has_value() && !failover_policy_.has_value()) {
     auto* cell = dynamic_cast<storage::FuelCell*>(stores_[fuel_cell_slot_].device.get());
     if (cell != nullptr) fuel_cell_policy_->update(ambient_soc(), *cell);
+  }
+  if (failover_policy_.has_value()) {
+    auto* cell = dynamic_cast<storage::FuelCell*>(stores_[backup_slot_].device.get());
+    if (cell != nullptr)
+      failover_policy_->update(now, last_input_power_, ambient_soc(), *cell);
   }
 }
 

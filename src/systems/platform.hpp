@@ -89,6 +89,16 @@ class Platform {
   /// @p fuel_cell_slot index of the FuelCell in the storage bank.
   void set_fuel_cell_policy(manager::FuelCellPolicy policy,
                             std::size_t fuel_cell_slot);
+  /// Failover to the backup store when the primary (ambient) sources die —
+  /// e.g. under injected harvester faults — not merely when SoC is low.
+  /// Takes precedence over set_fuel_cell_policy (its SoC window subsumes
+  /// the plain hysteresis; only one policy drives the switch).
+  /// @p backup_slot index of the FuelCell acting as the backup source.
+  void set_failover_policy(manager::FailoverPolicy policy,
+                           std::size_t backup_slot);
+  [[nodiscard]] const manager::FailoverPolicy* failover_policy() const {
+    return failover_policy_.has_value() ? &*failover_policy_ : nullptr;
+  }
 
   /// The platform's module bus (System B sockets, System A telemetry).
   [[nodiscard]] bus::I2cBus& i2c() { return i2c_; }
@@ -185,6 +195,8 @@ class Platform {
   std::optional<manager::PredictiveDutyController> predictive_controller_;
   std::optional<manager::FuelCellPolicy> fuel_cell_policy_;
   std::size_t fuel_cell_slot_{0};
+  std::optional<manager::FailoverPolicy> failover_policy_;
+  std::size_t backup_slot_{0};
   bus::I2cBus i2c_;
   std::vector<std::unique_ptr<bus::ModulePort>> ports_;
 

@@ -1,10 +1,45 @@
 #include "systems/runner.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "core/random.hpp"
+#include "fault/faulty_harvester.hpp"
 
 namespace msehsim::systems {
+
+namespace {
+
+/// Collects fault bookkeeping scattered across the platform's components.
+FaultReport collect_faults(Platform& platform, const RunOptions& options) {
+  FaultReport f;
+  if (options.injector != nullptr) f.injected = options.injector->counters();
+  for (std::size_t i = 0; i < platform.input_count(); ++i) {
+    auto& chain = platform.input(i);
+    if (const auto* fh =
+            dynamic_cast<const fault::FaultyHarvester*>(&chain.harvester())) {
+      f.harvester_faulted_steps += fh->faulted_steps();
+      f.harvester_transitions += fh->transitions();
+    }
+    f.converter_shutdowns += chain.thermal_shutdowns();
+    f.converter_shutdown_steps += chain.shutdown_steps();
+  }
+  f.bus_fault_hits = platform.i2c().fault_hits();
+  f.bus_naks = platform.i2c().nak_count();
+  if (const auto* digital =
+          dynamic_cast<const manager::DigitalBusMonitor*>(platform.monitor())) {
+    f.retry_attempts = digital->retry().attempts();
+    f.retry_retries = digital->retry().retries();
+    f.retry_give_ups = digital->retry().give_ups();
+  }
+  if (const auto* failover = platform.failover_policy()) {
+    f.failovers = failover->failovers();
+    f.failbacks = failover->failbacks();
+  }
+  return f;
+}
+
+}  // namespace
 
 RunResult run_platform(Platform& platform, env::EnvironmentModel& environment,
                        Seconds duration, const RunOptions& options) {
@@ -26,6 +61,7 @@ RunResult run_platform(Platform& platform, env::EnvironmentModel& environment,
         platform.node()->deliver_query(platform.rail_voltage());
     });
   }
+  if (options.injector != nullptr) options.injector->arm(sim);
   if (options.recorder != nullptr) {
     auto* rec = options.recorder;
     sim.every(rec->period, [&platform, rec](Seconds now) {
@@ -55,7 +91,67 @@ RunResult run_platform(Platform& platform, env::EnvironmentModel& environment,
   }
   r.final_ambient_soc = platform.ambient_soc();
   r.final_stored = platform.total_stored();
+  r.faults = collect_faults(platform, options);
   return r;
+}
+
+std::string to_string(const RunResult& r) {
+  char buf[4096];
+  const int n = std::snprintf(
+      buf, sizeof buf,
+      "duration_s=%.17g\n"
+      "harvested_j=%.17g\n"
+      "load_j=%.17g\n"
+      "quiescent_j=%.17g\n"
+      "wasted_j=%.17g\n"
+      "unmet_j=%.17g\n"
+      "packets=%llu\n"
+      "queries_received=%llu\n"
+      "queries_answered=%llu\n"
+      "reboots=%llu\n"
+      "brownouts=%llu\n"
+      "availability=%.17g\n"
+      "final_ambient_soc=%.17g\n"
+      "final_stored_j=%.17g\n"
+      "faults.injected.harvester=%llu\n"
+      "faults.injected.converter=%llu\n"
+      "faults.injected.storage=%llu\n"
+      "faults.injected.bus=%llu\n"
+      "faults.harvester_faulted_steps=%llu\n"
+      "faults.harvester_transitions=%llu\n"
+      "faults.converter_shutdowns=%llu\n"
+      "faults.converter_shutdown_steps=%llu\n"
+      "faults.bus_fault_hits=%llu\n"
+      "faults.bus_naks=%llu\n"
+      "faults.retry_attempts=%llu\n"
+      "faults.retry_retries=%llu\n"
+      "faults.retry_give_ups=%llu\n"
+      "faults.failovers=%llu\n"
+      "faults.failbacks=%llu\n",
+      r.duration.value(), r.harvested.value(), r.load.value(),
+      r.quiescent.value(), r.wasted.value(), r.unmet.value(),
+      static_cast<unsigned long long>(r.packets),
+      static_cast<unsigned long long>(r.queries_received),
+      static_cast<unsigned long long>(r.queries_answered),
+      static_cast<unsigned long long>(r.reboots),
+      static_cast<unsigned long long>(r.brownouts), r.availability,
+      r.final_ambient_soc, r.final_stored.value(),
+      static_cast<unsigned long long>(r.faults.injected.harvester),
+      static_cast<unsigned long long>(r.faults.injected.converter),
+      static_cast<unsigned long long>(r.faults.injected.storage),
+      static_cast<unsigned long long>(r.faults.injected.bus),
+      static_cast<unsigned long long>(r.faults.harvester_faulted_steps),
+      static_cast<unsigned long long>(r.faults.harvester_transitions),
+      static_cast<unsigned long long>(r.faults.converter_shutdowns),
+      static_cast<unsigned long long>(r.faults.converter_shutdown_steps),
+      static_cast<unsigned long long>(r.faults.bus_fault_hits),
+      static_cast<unsigned long long>(r.faults.bus_naks),
+      static_cast<unsigned long long>(r.faults.retry_attempts),
+      static_cast<unsigned long long>(r.faults.retry_retries),
+      static_cast<unsigned long long>(r.faults.retry_give_ups),
+      static_cast<unsigned long long>(r.faults.failovers),
+      static_cast<unsigned long long>(r.faults.failbacks));
+  return std::string(buf, n > 0 ? static_cast<std::size_t>(n) : 0);
 }
 
 }  // namespace msehsim::systems

@@ -6,13 +6,32 @@
 #pragma once
 
 #include <optional>
+#include <string>
 
 #include "core/simulation.hpp"
 #include "core/stats.hpp"
 #include "env/environment.hpp"
+#include "fault/injector.hpp"
 #include "systems/platform.hpp"
 
 namespace msehsim::systems {
+
+/// Fault-layer bookkeeping aggregated over a run: what was injected (from
+/// the armed FaultInjector) and what the components actually experienced.
+struct FaultReport {
+  fault::InjectionCounters injected;        ///< scheduled faults that fired
+  std::uint64_t harvester_faulted_steps{0}; ///< steps a wrapped harvester spent faulted
+  std::uint64_t harvester_transitions{0};   ///< fault-mode changes across wrappers
+  std::uint64_t converter_shutdowns{0};     ///< thermal-shutdown entries
+  std::uint64_t converter_shutdown_steps{0};///< steps spent in shutdown
+  std::uint64_t bus_fault_hits{0};          ///< transactions killed by injection
+  std::uint64_t bus_naks{0};                ///< all NAKs (incl. empty sockets)
+  std::uint64_t retry_attempts{0};          ///< monitor poll attempts
+  std::uint64_t retry_retries{0};           ///< attempts beyond the first
+  std::uint64_t retry_give_ups{0};          ///< polls abandoned after the ladder
+  std::uint64_t failovers{0};               ///< backup switch-ins
+  std::uint64_t failbacks{0};               ///< backup switch-outs
+};
 
 struct RunResult {
   Seconds duration{0.0};
@@ -29,7 +48,13 @@ struct RunResult {
   double availability{0.0};    ///< node uptime fraction
   double final_ambient_soc{0.0};
   Joules final_stored{0.0};
+  FaultReport faults;
 };
+
+/// Full-precision textual form of a RunResult (every float via %.17g), so
+/// two runs of the same seeded schedule can be compared byte-for-byte —
+/// the determinism contract of the fault layer.
+[[nodiscard]] std::string to_string(const RunResult& result);
 
 /// Optional time-series capture during a run.
 struct TraceRecorder {
@@ -56,6 +81,10 @@ struct RunOptions {
   /// wake-up-radio use case). Zero disables query traffic.
   Seconds mean_query_interval{0.0};
   std::uint64_t query_seed{0x5eed};
+  /// When set, the injector's schedule is armed on the run's simulation and
+  /// its counters land in RunResult::faults. Must outlive the run. A given
+  /// injector can be armed only once (one injector per run).
+  fault::FaultInjector* injector{nullptr};
 };
 
 /// Runs @p platform in @p environment for @p duration and summarizes.

@@ -128,5 +128,34 @@ TEST(Simulation, EventsSeeStepStartTime) {
   EXPECT_DOUBLE_EQ(seen, 3.0);  // fired at the start of the enclosing step
 }
 
+TEST(Simulation, OneShotAtNowFiresAtStartOfNextStep) {
+  // The documented boundary case: when == now() is not "in the past" — it
+  // fires at the start of the next step, before that step's callbacks.
+  Simulation sim(Seconds{1.0});
+  sim.run_for(Seconds{5.0});
+  std::vector<int> order;
+  sim.at(sim.now(), [&](Seconds) { order.push_back(1); });
+  sim.on_step([&](Seconds, Seconds) { order.push_back(2); });
+  sim.run_for(Seconds{1.0});
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);  // event first ...
+  EXPECT_EQ(order[1], 2);  // ... then the step callback
+}
+
+TEST(Simulation, EventChainedAtOwnFireTimeDrainsWithinTheStep) {
+  // An event scheduling another at its own timestamp lands inside the same
+  // step's dispatch window [now, now + dt) and fires in the same drain.
+  Simulation sim(Seconds{1.0});
+  std::vector<double> fire_times;
+  sim.at(Seconds{2.0}, [&](Seconds now) {
+    fire_times.push_back(now.value());
+    sim.at(now, [&](Seconds then) { fire_times.push_back(then.value()); });
+  });
+  sim.run_for(Seconds{5.0});
+  ASSERT_EQ(fire_times.size(), 2u);
+  EXPECT_DOUBLE_EQ(fire_times[0], 2.0);
+  EXPECT_DOUBLE_EQ(fire_times[1], 2.0);
+}
+
 }  // namespace
 }  // namespace msehsim
