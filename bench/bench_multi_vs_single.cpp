@@ -5,11 +5,15 @@
 // Runs controlled source mixes through one week of the same weather and
 // reports harvested energy per day and generation hours per day. Multi-
 // source rows must dominate their single-source constituents on both
-// metrics for the claim to hold.
+// metrics for the claim to hold. Each site's mixes run as one Campaign;
+// generation hours come straight from RunResult::generation_fraction (the
+// per-step positive-input fraction), so no per-job TraceRecorder is needed.
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "campaign/campaign.hpp"
 #include "core/table.hpp"
 #include "env/environment.hpp"
 #include "systems/runner.hpp"
@@ -30,33 +34,43 @@ struct Row {
   double gen_hours_per_day;
 };
 
-Row run_mix(const Mix& mix, bool outdoor, std::uint64_t seed) {
-  constexpr double kDay = 86400.0;
-  constexpr double kDays = 7.0;
-  auto platform = benchutil::make_platform(mix.sources, Farads{50.0});
-  auto environment = outdoor ? env::Environment::outdoor(seed)
-                             : env::Environment::indoor_industrial(seed);
-  systems::TraceRecorder recorder(Seconds{60.0});
-  systems::RunOptions options;
-  options.dt = Seconds{5.0};
-  options.recorder = &recorder;
-  run_platform(*platform, environment, Seconds{kDays * kDay}, options);
-  Row r;
-  r.joules_per_day = platform->harvested_energy().value() / kDays;
-  r.gen_hours_per_day =
-      recorder.input_power.stats().fraction_positive() * 24.0;
-  return r;
-}
-
 void run_site(const char* site, bool outdoor, const std::vector<Mix>& mixes,
               std::uint64_t seed, int* failures) {
+  constexpr double kDay = 86400.0;
+  constexpr double kDays = 7.0;
+
+  campaign::CampaignSpec spec;
+  for (const auto& mix : mixes) {
+    const auto sources = mix.sources;
+    spec.platforms.push_back({mix.label, [sources](std::uint64_t) {
+                                return benchutil::make_platform(sources,
+                                                                Farads{50.0});
+                              }});
+  }
+  campaign::Scenario sc;
+  sc.name = site;
+  sc.environment = [outdoor](std::uint64_t s) {
+    return std::make_unique<env::Environment>(
+        outdoor ? env::Environment::outdoor(s)
+                : env::Environment::indoor_industrial(s));
+  };
+  sc.duration = Seconds{kDays * kDay};
+  sc.options.dt = Seconds{5.0};
+  spec.scenarios.push_back(std::move(sc));
+  spec.seeds = {seed};
+  campaign::Campaign study(std::move(spec));
+  study.run();
+
   std::printf("%s site, 7 days, identical weather across rows:\n\n", site);
   TextTable t({"source mix", "harvested / day", "generation h / day"});
   std::vector<Row> rows;
-  for (const auto& mix : mixes) {
-    const Row r = run_mix(mix, outdoor, seed);
+  for (std::size_t m = 0; m < mixes.size(); ++m) {
+    const auto& result = study.at(m, 0, 0).result;
+    Row r;
+    r.joules_per_day = result.harvested.value() / kDays;
+    r.gen_hours_per_day = result.generation_fraction * 24.0;
     rows.push_back(r);
-    t.add_row({mix.label, format_energy(r.joules_per_day),
+    t.add_row({mixes[m].label, format_energy(r.joules_per_day),
                format_fixed(r.gen_hours_per_day, 1)});
   }
   std::printf("%s\n", t.render().c_str());

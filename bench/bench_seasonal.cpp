@@ -5,11 +5,15 @@
 // solar collapses in winter exactly when wind typically strengthens.
 // This bench runs solar-only, wind-only, and solar+wind platforms through
 // two weeks of winter, equinox, and summer weather at 52 deg latitude and
-// reports harvest and node availability per season.
+// reports harvest and node availability per season. The 3x3 grid runs as
+// one multi-threaded Campaign; results come back in grid order no matter
+// how the pool schedules the nine two-week jobs.
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "campaign/campaign.hpp"
 #include "core/table.hpp"
 #include "env/environment.hpp"
 #include "systems/runner.hpp"
@@ -56,17 +60,35 @@ int main() {
       {"solar + wind", {Source::kPvOutdoor, Source::kWind}},
   };
 
+  // Grid: mixes are the platform axis, seasons the scenario axis.
+  campaign::CampaignSpec spec;
+  for (const auto& mix : mixes) {
+    const auto sources = mix.second;
+    spec.platforms.push_back({mix.first, [sources](std::uint64_t) {
+                                return benchutil::make_platform(
+                                    sources, Farads{25.0}, Seconds{60.0},
+                                    Volts{3.2});
+                              }});
+  }
+  for (const auto& season : seasons) {
+    campaign::Scenario sc;
+    sc.name = season.label;
+    sc.environment = [season](std::uint64_t seed) {
+      return std::make_unique<env::Environment>(seasonal_site(season, seed));
+    };
+    sc.duration = Seconds{14 * kDay};
+    sc.options.dt = Seconds{5.0};
+    spec.scenarios.push_back(std::move(sc));
+  }
+  spec.seeds = {kSeed};
+  campaign::Campaign study(std::move(spec));
+  study.run();
+
   TextTable t({"season", "mix", "harvested/day", "avail %", "brownouts"});
   double harvest[3][3] = {};
   for (int si = 0; si < 3; ++si) {
     for (std::size_t mi = 0; mi < mixes.size(); ++mi) {
-      auto platform = benchutil::make_platform(mixes[mi].second, Farads{25.0},
-                                               Seconds{60.0}, Volts{3.2});
-      auto environment = seasonal_site(seasons[si], kSeed);
-      systems::RunOptions options;
-      options.dt = Seconds{5.0};
-      const auto r =
-          run_platform(*platform, environment, Seconds{14 * kDay}, options);
+      const auto& r = study.at(mi, static_cast<std::size_t>(si), 0).result;
       harvest[si][mi] = r.harvested.value() / 14.0;
       t.add_row({seasons[si].label, mixes[mi].first,
                  format_energy(harvest[si][mi]),

@@ -51,6 +51,20 @@ void BM_PvMppOracle(benchmark::State& state) {
 }
 BENCHMARK(BM_PvMppOracle);
 
+void BM_PvMppRecompute(benchmark::State& state) {
+  // Same query with the conditions-keyed cache disabled: the true cost of
+  // one closed-form MPP solve, and the per-call saving the cache buys.
+  harvest::PvPanel pv("pv", {});
+  env::AmbientConditions c;
+  c.solar_irradiance = WattsPerSquareMeter{800.0};
+  pv.set_conditions(c);
+  harvest::Harvester::set_mpp_cache_enabled(false);
+  for (auto _ : state) benchmark::DoNotOptimize(pv.maximum_power_point());
+  harvest::Harvester::set_mpp_cache_enabled(true);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PvMppRecompute);
+
 void BM_SupercapChargePacket(benchmark::State& state) {
   storage::Supercapacitor::Params p;
   p.main_capacitance = Farads{25.0};
@@ -110,6 +124,26 @@ void BM_SimulatedDay(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_SimulatedDay)->Unit(benchmark::kMillisecond);
+
+void BM_SystemA_DayRun(benchmark::State& state) {
+  // Whole-run kernel throughput in simulation steps/second: one day of
+  // System A outdoors at 5 s resolution, everything included (environment,
+  // chains, MPP-yield accounting, storage, node, management). This is the
+  // number that decides whether year-scale campaigns are tractable.
+  constexpr double kDt = 5.0;
+  constexpr double kDay = 86400.0;
+  for (auto _ : state) {
+    auto platform = systems::build_system_a(1);
+    auto env = env::Environment::outdoor(1);
+    systems::RunOptions options;
+    options.dt = Seconds{kDt};
+    benchmark::DoNotOptimize(
+        run_platform(*platform, env, Seconds{kDay}, options));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kDay / kDt));
+}
+BENCHMARK(BM_SystemA_DayRun)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,48 @@
+#!/bin/sh
+# Refreshes BENCH_kernels.json at the repo root from a bench_simkernel run.
+#
+# Usage: bench/update_bench_baseline.sh [build-dir] [label]
+#
+# The file keeps two parts:
+#   - "history": one compact record of BM_SystemA_DayRun per labelled run,
+#     appended on every invocation, so the whole-run steps/second trend
+#     survives rebaselines;
+#   - "current": the full google-benchmark JSON of the latest run.
+#
+# Also available as the `bench_baseline` CMake target.
+set -e
+BUILD_DIR="${1:-build}"
+LABEL="${2:-$(git -C "$(dirname "$0")/.." rev-parse --short HEAD 2>/dev/null || echo unlabelled)}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT="$ROOT/BENCH_kernels.json"
+TMP="$(mktemp)"
+
+"$BUILD_DIR/bench/bench_simkernel" --benchmark_format=json \
+  --benchmark_min_time=0.5 > "$TMP"
+
+python3 - "$TMP" "$OUT" "$LABEL" <<'EOF'
+import json
+import sys
+
+run_path, out_path, label = sys.argv[1], sys.argv[2], sys.argv[3]
+run = json.load(open(run_path))
+
+try:
+    history = json.load(open(out_path)).get("history", [])
+except (FileNotFoundError, json.JSONDecodeError):
+    history = []
+
+day = next(b for b in run["benchmarks"] if b["name"] == "BM_SystemA_DayRun")
+history.append({
+    "label": label,
+    "BM_SystemA_DayRun": {
+        "real_time_ms": day["real_time"],
+        "steps_per_second": day["items_per_second"],
+    },
+})
+
+json.dump({"history": history, "current": run}, open(out_path, "w"), indent=1)
+print(f"BENCH_kernels.json: {label}: "
+      f"{day['items_per_second']:.3g} steps/s ({day['real_time']:.1f} ms/day)")
+EOF
+rm -f "$TMP"

@@ -1,0 +1,236 @@
+#include "campaign/campaign.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "core/error.hpp"
+
+namespace msehsim::campaign {
+
+namespace {
+
+double u64(std::uint64_t v) { return static_cast<double>(v); }
+
+}  // namespace
+
+const std::vector<RunResultField>& run_result_fields() {
+  using R = systems::RunResult;
+  static const std::vector<RunResultField> kFields = {
+      {"duration_s", [](const R& r) { return r.duration.value(); }},
+      {"harvested_j", [](const R& r) { return r.harvested.value(); }},
+      {"load_j", [](const R& r) { return r.load.value(); }},
+      {"quiescent_j", [](const R& r) { return r.quiescent.value(); }},
+      {"wasted_j", [](const R& r) { return r.wasted.value(); }},
+      {"unmet_j", [](const R& r) { return r.unmet.value(); }},
+      {"packets", [](const R& r) { return u64(r.packets); }},
+      {"queries_received", [](const R& r) { return u64(r.queries_received); }},
+      {"queries_answered", [](const R& r) { return u64(r.queries_answered); }},
+      {"reboots", [](const R& r) { return u64(r.reboots); }},
+      {"brownouts", [](const R& r) { return u64(r.brownouts); }},
+      {"availability", [](const R& r) { return r.availability; }},
+      {"generation_fraction", [](const R& r) { return r.generation_fraction; }},
+      {"final_ambient_soc", [](const R& r) { return r.final_ambient_soc; }},
+      {"final_stored_j", [](const R& r) { return r.final_stored.value(); }},
+      {"faults.injected.harvester",
+       [](const R& r) { return u64(r.faults.injected.harvester); }},
+      {"faults.injected.converter",
+       [](const R& r) { return u64(r.faults.injected.converter); }},
+      {"faults.injected.storage",
+       [](const R& r) { return u64(r.faults.injected.storage); }},
+      {"faults.injected.bus",
+       [](const R& r) { return u64(r.faults.injected.bus); }},
+      {"faults.harvester_faulted_steps",
+       [](const R& r) { return u64(r.faults.harvester_faulted_steps); }},
+      {"faults.harvester_transitions",
+       [](const R& r) { return u64(r.faults.harvester_transitions); }},
+      {"faults.converter_shutdowns",
+       [](const R& r) { return u64(r.faults.converter_shutdowns); }},
+      {"faults.converter_shutdown_steps",
+       [](const R& r) { return u64(r.faults.converter_shutdown_steps); }},
+      {"faults.bus_fault_hits",
+       [](const R& r) { return u64(r.faults.bus_fault_hits); }},
+      {"faults.bus_naks", [](const R& r) { return u64(r.faults.bus_naks); }},
+      {"faults.retry_attempts",
+       [](const R& r) { return u64(r.faults.retry_attempts); }},
+      {"faults.retry_retries",
+       [](const R& r) { return u64(r.faults.retry_retries); }},
+      {"faults.retry_give_ups",
+       [](const R& r) { return u64(r.faults.retry_give_ups); }},
+      {"faults.failovers", [](const R& r) { return u64(r.faults.failovers); }},
+      {"faults.failbacks", [](const R& r) { return u64(r.faults.failbacks); }},
+  };
+  return kFields;
+}
+
+FieldStats field_stats(const std::vector<JobResult>& jobs,
+                       double (*get)(const systems::RunResult&)) {
+  FieldStats s;
+  if (jobs.empty()) return s;
+  double sum = 0.0;
+  s.min = get(jobs.front().result);
+  s.max = s.min;
+  for (const auto& job : jobs) {
+    const double v = get(job.result);
+    sum += v;
+    if (v < s.min) s.min = v;
+    if (v > s.max) s.max = v;
+  }
+  const auto n = static_cast<double>(jobs.size());
+  s.mean = sum / n;
+  double ss = 0.0;
+  for (const auto& job : jobs) {
+    const double d = get(job.result) - s.mean;
+    ss += d * d;
+  }
+  s.stddev = std::sqrt(ss / n);
+  return s;
+}
+
+Campaign::Campaign(CampaignSpec spec) : spec_(std::move(spec)) {
+  require_spec(!spec_.platforms.empty(), "Campaign needs >= 1 platform variant");
+  require_spec(!spec_.scenarios.empty(), "Campaign needs >= 1 scenario");
+  require_spec(!spec_.seeds.empty(), "Campaign needs >= 1 seed");
+  for (const auto& p : spec_.platforms)
+    require_spec(static_cast<bool>(p.make),
+                 "Campaign platform variant '" + p.name + "' has no factory");
+  for (const auto& s : spec_.scenarios) {
+    require_spec(static_cast<bool>(s.environment),
+                 "Campaign scenario '" + s.name + "' has no environment factory");
+    require_spec(s.duration.value() > 0.0,
+                 "Campaign scenario '" + s.name + "' needs positive duration");
+    require_spec(s.options.recorder == nullptr,
+                 "Campaign scenario '" + s.name +
+                     "' must not share a TraceRecorder across jobs");
+    require_spec(s.options.injector == nullptr,
+                 "Campaign scenario '" + s.name +
+                     "' must use the injector factory, not a shared injector");
+  }
+}
+
+std::size_t Campaign::flat_index(std::size_t platform, std::size_t scenario,
+                                 std::size_t seed_index) const {
+  return (platform * spec_.scenarios.size() + scenario) * spec_.seeds.size() +
+         seed_index;
+}
+
+void Campaign::run_job(JobResult& job) const {
+  const auto& variant = spec_.platforms[job.platform_index];
+  const auto& scenario = spec_.scenarios[job.scenario_index];
+
+  auto platform = variant.make(job.seed);
+  require_spec(platform != nullptr,
+               "Campaign platform factory '" + variant.name + "' returned null");
+  auto environment = scenario.environment(job.seed);
+  require_spec(environment != nullptr,
+               "Campaign environment factory '" + scenario.name +
+                   "' returned null");
+
+  systems::RunOptions options = scenario.options;
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (scenario.injector) {
+    injector = scenario.injector(job.seed, *platform);
+    options.injector = injector.get();
+  }
+  job.result =
+      systems::run_platform(*platform, *environment, scenario.duration, options);
+}
+
+const std::vector<JobResult>& Campaign::run() {
+  if (ran_) return results_;
+
+  const std::size_t total = job_count();
+  results_.resize(total);
+  for (std::size_t p = 0; p < spec_.platforms.size(); ++p)
+    for (std::size_t s = 0; s < spec_.scenarios.size(); ++s)
+      for (std::size_t k = 0; k < spec_.seeds.size(); ++k) {
+        auto& job = results_[flat_index(p, s, k)];
+        job.platform_index = p;
+        job.scenario_index = s;
+        job.seed_index = k;
+        job.seed = spec_.seeds[k];
+      }
+
+  // Each error slot is written by exactly one worker (the one that popped
+  // that job), so no synchronization beyond the join is needed.
+  std::vector<std::string> errors(total);
+  std::atomic<std::size_t> next{0};
+  const auto worker = [this, total, &next, &errors] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      try {
+        run_job(results_[i]);
+      } catch (const std::exception& e) {
+        errors[i] = e.what();
+      } catch (...) {
+        errors[i] = "unknown error";
+      }
+    }
+  };
+
+  unsigned threads = spec_.threads != 0 ? spec_.threads
+                                        : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  if (threads > total) threads = static_cast<unsigned>(total);
+
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  // Surface the first failure in grid order, independent of which worker
+  // hit it first on the wall clock.
+  for (std::size_t i = 0; i < total; ++i) {
+    if (!errors[i].empty()) {
+      const auto& job = results_[i];
+      results_.clear();
+      throw SpecError("Campaign job (platform='" +
+                      spec_.platforms[job.platform_index].name + "', scenario='" +
+                      spec_.scenarios[job.scenario_index].name +
+                      "', seed=" + std::to_string(job.seed) +
+                      ") failed: " + errors[i]);
+    }
+  }
+
+  ran_ = true;
+  return results_;
+}
+
+const std::vector<JobResult>& Campaign::results() const {
+  require_spec(ran_, "Campaign::results before run()");
+  return results_;
+}
+
+const JobResult& Campaign::at(std::size_t platform, std::size_t scenario,
+                              std::size_t seed_index) const {
+  require_spec(ran_, "Campaign::at before run()");
+  require_spec(platform < spec_.platforms.size() &&
+                   scenario < spec_.scenarios.size() &&
+                   seed_index < spec_.seeds.size(),
+               "Campaign::at index out of range");
+  return results_[flat_index(platform, scenario, seed_index)];
+}
+
+std::vector<FieldStats> Campaign::seed_stats(std::size_t platform,
+                                             std::size_t scenario) const {
+  require_spec(ran_, "Campaign::seed_stats before run()");
+  require_spec(
+      platform < spec_.platforms.size() && scenario < spec_.scenarios.size(),
+      "Campaign::seed_stats index out of range");
+  std::vector<JobResult> cell;
+  cell.reserve(spec_.seeds.size());
+  for (std::size_t k = 0; k < spec_.seeds.size(); ++k)
+    cell.push_back(results_[flat_index(platform, scenario, k)]);
+  std::vector<FieldStats> out;
+  out.reserve(run_result_fields().size());
+  for (const auto& field : run_result_fields())
+    out.push_back(field_stats(cell, field.get));
+  return out;
+}
+
+}  // namespace msehsim::campaign

@@ -1,0 +1,143 @@
+// Parallel campaign engine for year-scale, multi-seed studies.
+//
+// A Campaign fans the full (platform-variant x scenario x seed) grid of
+// independent run_platform jobs across a std::thread pool. Every job builds
+// its OWN platform, environment, and (optional) fault injector through the
+// factories in the spec — nothing is shared between workers, which is the
+// entire thread-safety model: Platform, Harvester (and its MPP cache), and
+// the seeded RNG streams are all plain single-threaded state, so isolation
+// by construction beats locking on every hot-path access. Results land in a
+// preallocated slot per grid point, so their order is the deterministic grid
+// order (platform-major, then scenario, then seed) regardless of how the
+// pool schedules the jobs — to_string(RunResult) of every job is
+// byte-identical whether the campaign ran on 1 thread or N.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/units.hpp"
+#include "env/environment.hpp"
+#include "fault/injector.hpp"
+#include "systems/platform.hpp"
+#include "systems/runner.hpp"
+
+namespace msehsim::campaign {
+
+/// Builds a fresh platform for one job. Called once per job, possibly from a
+/// worker thread; must not touch shared mutable state.
+using PlatformFactory =
+    std::function<std::unique_ptr<systems::Platform>(std::uint64_t seed)>;
+
+/// Builds a fresh environment for one job.
+using EnvironmentFactory =
+    std::function<std::unique_ptr<env::EnvironmentModel>(std::uint64_t seed)>;
+
+/// Builds (and schedules) a fresh fault injector against the job's own
+/// platform. Optional; a default-constructed function means no faults.
+using InjectorFactory = std::function<std::unique_ptr<fault::FaultInjector>(
+    std::uint64_t seed, systems::Platform& platform)>;
+
+/// One axis point of the platform grid: a named way to build a system.
+struct PlatformVariant {
+  std::string name;
+  PlatformFactory make;
+};
+
+/// One axis point of the scenario grid: environment + run configuration.
+struct Scenario {
+  std::string name;
+  EnvironmentFactory environment;
+  Seconds duration{86400.0};
+  /// Per-run options. recorder and injector must be null — a recorder cannot
+  /// be shared across jobs, and injectors are created per job via the
+  /// factory below.
+  systems::RunOptions options{};
+  InjectorFactory injector{};
+};
+
+struct CampaignSpec {
+  std::vector<PlatformVariant> platforms;
+  std::vector<Scenario> scenarios;
+  std::vector<std::uint64_t> seeds;
+  /// Worker threads; 0 picks std::thread::hardware_concurrency(). The
+  /// thread count never changes any result byte, only the wall clock.
+  unsigned threads{0};
+};
+
+/// One grid point's outcome, tagged with its coordinates.
+struct JobResult {
+  std::size_t platform_index{0};
+  std::size_t scenario_index{0};
+  std::size_t seed_index{0};
+  std::uint64_t seed{0};
+  systems::RunResult result{};
+};
+
+/// mean / stddev (population) / min / max of one field over a set of jobs.
+struct FieldStats {
+  double mean{0.0};
+  double stddev{0.0};
+  double min{0.0};
+  double max{0.0};
+};
+
+/// Name + accessor for every scalar RunResult field the aggregator reports,
+/// in to_string(RunResult) order.
+struct RunResultField {
+  const char* name;
+  double (*get)(const systems::RunResult&);
+};
+
+/// The full field table (duration through fault counters).
+[[nodiscard]] const std::vector<RunResultField>& run_result_fields();
+
+/// Aggregates @p get over @p jobs. Plain sequential code over the
+/// deterministic grid order, so aggregates are as reproducible as the runs.
+[[nodiscard]] FieldStats field_stats(const std::vector<JobResult>& jobs,
+                                     double (*get)(const systems::RunResult&));
+
+class Campaign {
+ public:
+  explicit Campaign(CampaignSpec spec);
+
+  /// Runs every job in the grid (platform-major, then scenario, then seed)
+  /// and returns the results in exactly that order. Runs once; subsequent
+  /// calls return the stored results. Throws SpecError if a job's factory or
+  /// run rejects its configuration (the first failing job in grid order
+  /// wins), after all workers have drained.
+  const std::vector<JobResult>& run();
+
+  [[nodiscard]] bool ran() const { return ran_; }
+  [[nodiscard]] const CampaignSpec& spec() const { return spec_; }
+  [[nodiscard]] std::size_t job_count() const {
+    return spec_.platforms.size() * spec_.scenarios.size() * spec_.seeds.size();
+  }
+
+  /// Results in grid order (valid after run()).
+  [[nodiscard]] const std::vector<JobResult>& results() const;
+
+  /// The job at one grid coordinate (valid after run()).
+  [[nodiscard]] const JobResult& at(std::size_t platform, std::size_t scenario,
+                                    std::size_t seed_index) const;
+
+  /// Per-(platform, scenario) cell statistics across seeds: one FieldStats
+  /// per run_result_fields() entry.
+  [[nodiscard]] std::vector<FieldStats> seed_stats(std::size_t platform,
+                                                   std::size_t scenario) const;
+
+ private:
+  [[nodiscard]] std::size_t flat_index(std::size_t platform,
+                                       std::size_t scenario,
+                                       std::size_t seed_index) const;
+  void run_job(JobResult& job) const;
+
+  CampaignSpec spec_;
+  std::vector<JobResult> results_;
+  bool ran_{false};
+};
+
+}  // namespace msehsim::campaign

@@ -1,56 +1,15 @@
 #include "core/solve.hpp"
 
-#include <cmath>
-
 namespace msehsim {
 
 double bisect(const std::function<double(double)>& f, double lo, double hi,
               int iterations) {
-  double flo = f(lo);
-  double fhi = f(hi);
-  if (flo == 0.0) return lo;
-  if (fhi == 0.0) return hi;
-  if (flo * fhi > 0.0) return std::fabs(flo) < std::fabs(fhi) ? lo : hi;
-  for (int i = 0; i < iterations; ++i) {
-    const double mid = 0.5 * (lo + hi);
-    const double fmid = f(mid);
-    if (fmid == 0.0) return mid;
-    if (flo * fmid < 0.0) {
-      hi = mid;
-      fhi = fmid;
-    } else {
-      lo = mid;
-      flo = fmid;
-    }
-  }
-  return 0.5 * (lo + hi);
+  return bisect_fn(f, lo, hi, iterations);
 }
 
 double golden_max(const std::function<double(double)>& f, double lo, double hi,
                   int iterations) {
-  constexpr double kInvPhi = 0.6180339887498949;
-  double a = lo;
-  double b = hi;
-  double c = b - (b - a) * kInvPhi;
-  double d = a + (b - a) * kInvPhi;
-  double fc = f(c);
-  double fd = f(d);
-  for (int i = 0; i < iterations; ++i) {
-    if (fc > fd) {
-      b = d;
-      d = c;
-      fd = fc;
-      c = b - (b - a) * kInvPhi;
-      fc = f(c);
-    } else {
-      a = c;
-      c = d;
-      fc = fd;
-      d = a + (b - a) * kInvPhi;
-      fd = f(d);
-    }
-  }
-  return 0.5 * (a + b);
+  return golden_max_fn(f, lo, hi, iterations);
 }
 
 double interp_clamped(const double* xs, const double* ys, int n, double x) {

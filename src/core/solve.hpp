@@ -1,6 +1,15 @@
 // Small numeric helpers shared across the electrical models.
+//
+// The root/extremum searches are header-only templates on the callable so
+// hot-path callers (the MPP oracle runs once per chain per step) get the
+// function object inlined instead of paying a std::function dispatch per
+// evaluation. The std::function overloads below remain as thin wrappers for
+// ABI and test compatibility and are guaranteed to return bit-identical
+// results: they forward to the same template instantiated with the erased
+// callable.
 #pragma once
 
+#include <cmath>
 #include <functional>
 
 namespace msehsim {
@@ -9,11 +18,61 @@ namespace msehsim {
 /// a sign change (f(lo) and f(hi) of opposite sign or zero); otherwise the
 /// endpoint with the smaller |f| is returned. Deterministic and robust —
 /// exactly what the implicit PV diode equation needs.
-double bisect(const std::function<double(double)>& f, double lo, double hi,
-              int iterations = 60);
+template <typename F>
+double bisect_fn(F&& f, double lo, double hi, int iterations = 60) {
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if (flo * fhi > 0.0) return std::fabs(flo) < std::fabs(fhi) ? lo : hi;
+  for (int i = 0; i < iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if (fmid == 0.0) return mid;
+    if (flo * fmid < 0.0) {
+      hi = mid;
+      fhi = fmid;
+    } else {
+      lo = mid;
+      flo = fmid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
 
 /// Maximizes a unimodal function on [lo, hi] by golden-section search and
 /// returns the argmax. Used to locate maximum power points on I-V curves.
+template <typename F>
+double golden_max_fn(F&& f, double lo, double hi, int iterations = 80) {
+  constexpr double kInvPhi = 0.6180339887498949;
+  double a = lo;
+  double b = hi;
+  double c = b - (b - a) * kInvPhi;
+  double d = a + (b - a) * kInvPhi;
+  double fc = f(c);
+  double fd = f(d);
+  for (int i = 0; i < iterations; ++i) {
+    if (fc > fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - (b - a) * kInvPhi;
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + (b - a) * kInvPhi;
+      fd = f(d);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+/// Type-erased wrappers around bisect_fn / golden_max_fn (kept for ABI and
+/// so existing call sites and tests keep compiling unchanged).
+double bisect(const std::function<double(double)>& f, double lo, double hi,
+              int iterations = 60);
 double golden_max(const std::function<double(double)>& f, double lo, double hi,
                   int iterations = 80);
 

@@ -31,6 +31,15 @@ Series::Series(std::string name, std::uint64_t keep_every)
   require_spec(keep_every_ >= 1, "Series keep_every must be >= 1");
 }
 
+void Series::reserve(std::uint64_t expected_pushes) {
+  const std::uint64_t retained =
+      (expected_pushes + keep_every_ - 1) / keep_every_;
+  const auto want =
+      values_.size() + static_cast<std::size_t>(retained);
+  times_.reserve(want);
+  values_.reserve(want);
+}
+
 void Series::push(Seconds t, double v) {
   // The first sample has no preceding interval; weight it zero so integrals
   // are exact trapezoid-free step sums over [t_i, t_{i+1}).

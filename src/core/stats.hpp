@@ -50,6 +50,11 @@ class Series {
 
   void push(Seconds t, double v);
 
+  /// Pre-allocates room for @p expected_pushes future push() calls (after
+  /// decimation), so year-scale recordings don't grow by repeated
+  /// reallocation. A no-op if enough capacity already exists.
+  void reserve(std::uint64_t expected_pushes);
+
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const std::vector<double>& times() const { return times_; }
   [[nodiscard]] const std::vector<double>& values() const { return values_; }

@@ -26,6 +26,12 @@ struct AmbientConditions {
   WattsPerSquareMeter rf_power_density{0.0};
   /// Water flow speed at a micro hydro turbine (MPWiNode scenario).
   MetersPerSecond water_flow{0.0};
+
+  /// Field-wise equality — the cache key test for memoized per-conditions
+  /// quantities (e.g. Harvester::maximum_power_point). Exact double
+  /// comparison on purpose: any numeric drift must invalidate.
+  friend bool operator==(const AmbientConditions&,
+                         const AmbientConditions&) = default;
 };
 
 }  // namespace msehsim::env

@@ -14,6 +14,9 @@ void FaultyHarvester::transition(Mode next) {
   if (next != mode_) ++transitions_;
   mode_ = next;
   open_this_step_ = false;
+  // The effective curve changed (even a re-applied degrade may carry a new
+  // fraction); never serve a stale operating point.
+  invalidate_mpp_cache();
 }
 
 void FaultyHarvester::degrade(double output_fraction) {
@@ -30,7 +33,7 @@ void FaultyHarvester::set_intermittent(double open_probability) {
   transition(Mode::kIntermittentOpen);
 }
 
-void FaultyHarvester::set_conditions(const env::AmbientConditions& c) {
+void FaultyHarvester::do_set_conditions(const env::AmbientConditions& c) {
   inner_->set_conditions(c);
   switch (mode_) {
     case Mode::kHealthy:
@@ -38,10 +41,15 @@ void FaultyHarvester::set_conditions(const env::AmbientConditions& c) {
     case Mode::kDegraded:
       ++faulted_steps_;
       break;
-    case Mode::kIntermittentOpen:
+    case Mode::kIntermittentOpen: {
+      const bool was_open = open_this_step_;
       open_this_step_ = rng_.bernoulli(open_probability_);
       if (open_this_step_) ++faulted_steps_;
+      // An open/close flip swaps the whole curve while the conditions key
+      // (which the base class tracks) is unchanged — invalidate by hand.
+      if (open_this_step_ != was_open) invalidate_mpp_cache();
       break;
+    }
     case Mode::kStuckShort:
       ++faulted_steps_;
       break;
@@ -58,6 +66,17 @@ Amps FaultyHarvester::current_at(Volts v) const {
   if (!producing()) return Amps{0.0};
   const Amps i = inner_->current_at(v);
   return mode_ == Mode::kDegraded ? i * output_fraction_ : i;
+}
+
+harvest::OperatingPoint FaultyHarvester::compute_mpp() const {
+  if (!producing()) return harvest::OperatingPoint{};
+  // Degradation scales current uniformly, so the inner argmax is the
+  // wrapper's argmax; re-reading the current through the wrapper's own curve
+  // applies the scaling exactly as any other caller would see it.
+  harvest::OperatingPoint mpp = inner_->maximum_power_point();
+  mpp.i = current_at(mpp.v);
+  mpp.p = mpp.v * mpp.i;
+  return mpp;
 }
 
 Volts FaultyHarvester::open_circuit_voltage() const {

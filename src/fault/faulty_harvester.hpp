@@ -33,7 +33,6 @@ class FaultyHarvester final : public harvest::Harvester {
   [[nodiscard]] harvest::HarvesterKind kind() const override {
     return inner_->kind();
   }
-  void set_conditions(const env::AmbientConditions& c) override;
   [[nodiscard]] Amps current_at(Volts v) const override;
   [[nodiscard]] Volts open_circuit_voltage() const override;
 
@@ -67,6 +66,16 @@ class FaultyHarvester final : public harvest::Harvester {
   [[nodiscard]] std::uint64_t transitions() const { return transitions_; }
 
   [[nodiscard]] harvest::Harvester& inner() { return *inner_; }
+
+ protected:
+  void do_set_conditions(const env::AmbientConditions& c) override;
+
+  /// The wrapped MPP, derived from the inner harvester's (cached) operating
+  /// point so a fault-free wrapper adds no golden-section work of its own.
+  /// Every fault transition — and every intermittent open/close flip —
+  /// invalidates the base-class cache, which is what keeps cached campaigns
+  /// byte-identical to uncached ones under injected faults.
+  [[nodiscard]] harvest::OperatingPoint compute_mpp() const override;
 
  private:
   void transition(Mode next);

@@ -16,7 +16,10 @@ class NullHarvester final : public harvest::Harvester {
   [[nodiscard]] harvest::HarvesterKind kind() const override {
     return harvest::HarvesterKind::kPhotovoltaic;
   }
-  void set_conditions(const env::AmbientConditions&) override {}
+ protected:
+  void do_set_conditions(const env::AmbientConditions&) override {}
+
+ public:
   [[nodiscard]] Amps current_at(Volts) const override { return Amps{0.0}; }
   [[nodiscard]] Volts open_circuit_voltage() const override { return Volts{0.0}; }
 };

@@ -20,7 +20,7 @@ HarvesterKind DiodeOrCombiner::kind() const {
   return sources_[dominant_source()]->kind();
 }
 
-void DiodeOrCombiner::set_conditions(const env::AmbientConditions& c) {
+void DiodeOrCombiner::do_set_conditions(const env::AmbientConditions& c) {
   for (auto& s : sources_) s->set_conditions(c);
 }
 

@@ -28,7 +28,6 @@ class DiodeOrCombiner final : public Harvester {
   /// source when idle) — the combiner is electrically one input.
   [[nodiscard]] HarvesterKind kind() const override;
 
-  void set_conditions(const env::AmbientConditions& c) override;
   [[nodiscard]] Amps current_at(Volts v) const override;
   [[nodiscard]] Volts open_circuit_voltage() const override;
 
@@ -40,6 +39,9 @@ class DiodeOrCombiner final : public Harvester {
   /// Index of the source with the highest open-circuit voltage under the
   /// latched conditions (the one that will conduct).
   [[nodiscard]] std::size_t dominant_source() const;
+
+ protected:
+  void do_set_conditions(const env::AmbientConditions& c) override;
 
  private:
   std::string name_;

@@ -1,8 +1,24 @@
 #include "harvest/harvester.hpp"
 
+#include <atomic>
+
 #include "core/solve.hpp"
 
 namespace msehsim::harvest {
+
+namespace {
+// Relaxed is enough: the flag is configuration, set before simulations run,
+// and only read from campaign worker threads.
+std::atomic<bool> g_mpp_cache_enabled{true};
+}  // namespace
+
+void Harvester::set_mpp_cache_enabled(bool enabled) {
+  g_mpp_cache_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Harvester::mpp_cache_enabled() {
+  return g_mpp_cache_enabled.load(std::memory_order_relaxed);
+}
 
 std::string_view to_string(HarvesterKind kind) {
   switch (kind) {
@@ -18,10 +34,33 @@ std::string_view to_string(HarvesterKind kind) {
   return "?";
 }
 
+void Harvester::set_conditions(const env::AmbientConditions& c) {
+  if (!mpp_key_set_ || !(c == mpp_key_)) {
+    mpp_valid_ = false;
+    mpp_key_ = c;
+    mpp_key_set_ = true;
+  }
+  do_set_conditions(c);
+}
+
 OperatingPoint Harvester::maximum_power_point() const {
+  if (mpp_cache_enabled() && mpp_valid_) {
+    ++mpp_hits_;
+    return mpp_cache_;
+  }
+  const OperatingPoint mpp = compute_mpp();
+  ++mpp_recomputes_;
+  if (mpp_cache_enabled()) {
+    mpp_cache_ = mpp;
+    mpp_valid_ = true;
+  }
+  return mpp;
+}
+
+OperatingPoint Harvester::compute_mpp() const {
   const Volts voc = open_circuit_voltage();
   if (voc.value() <= 0.0) return OperatingPoint{};
-  const double v_star = golden_max(
+  const double v_star = golden_max_fn(
       [this](double v) { return power_at(Volts{v}).value(); }, 0.0, voc.value());
   OperatingPoint mpp;
   mpp.v = Volts{v_star};

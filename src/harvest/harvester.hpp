@@ -6,8 +6,20 @@
 // (src/power) picks the operating point on this curve: an MPPT controller
 // tracks the knee, a fixed-point circuit sits where it was told to
 // (the System A vs System B contrast in Sec. II.1 of the survey).
+//
+// maximum_power_point() is memoized on the base class, keyed on the last
+// conditions applied through set_conditions(): re-applying identical
+// conditions (or re-querying within one step) reuses the cached operating
+// point, while any changed field recomputes. set_conditions() is therefore a
+// non-virtual template-method: subclasses latch state in do_set_conditions()
+// and call invalidate_mpp_cache() whenever their curve changes for reasons
+// the conditions key cannot see (fault-mode transitions in
+// fault::FaultyHarvester). A Harvester is NOT thread-safe — the cache is
+// plain mutable state; concurrent simulations must each own their harvesters
+// (see campaign::Campaign, which builds one platform per job).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -59,8 +71,9 @@ class Harvester {
   [[nodiscard]] virtual std::string_view name() const = 0;
   [[nodiscard]] virtual HarvesterKind kind() const = 0;
 
-  /// Latches the ambient conditions for the current timestep.
-  virtual void set_conditions(const env::AmbientConditions& c) = 0;
+  /// Latches the ambient conditions for the current timestep. Non-virtual:
+  /// manages the MPP cache key, then dispatches to do_set_conditions().
+  void set_conditions(const env::AmbientConditions& c);
 
   /// DC current the harvester sources into terminal voltage @p v under the
   /// latched conditions. Non-negative (input conditioning always includes
@@ -74,8 +87,46 @@ class Harvester {
   [[nodiscard]] Watts power_at(Volts v) const { return v * current_at(v); }
 
   /// True maximum power point under the latched conditions (numeric oracle;
-  /// MPPT controllers in src/power approximate this online).
+  /// MPPT controllers in src/power approximate this online). Memoized per
+  /// applied conditions; the cached point is byte-identical to a fresh
+  /// compute_mpp() because identical conditions define an identical curve.
   [[nodiscard]] OperatingPoint maximum_power_point() const;
+
+  // ---- MPP cache instrumentation and control ------------------------------
+
+  /// Times maximum_power_point() was answered from the cache / recomputed.
+  [[nodiscard]] std::uint64_t mpp_cache_hits() const { return mpp_hits_; }
+  [[nodiscard]] std::uint64_t mpp_recomputes() const { return mpp_recomputes_; }
+
+  /// Process-wide cache kill-switch for determinism audits: with the cache
+  /// disabled every maximum_power_point() call recomputes. Results must be
+  /// byte-identical either way (the fault layer's replay contract). Toggle
+  /// only while no simulation is running; the flag is read (not written) by
+  /// concurrent campaign workers.
+  static void set_mpp_cache_enabled(bool enabled);
+  [[nodiscard]] static bool mpp_cache_enabled();
+
+ protected:
+  /// Subclass hook: latch whatever internal curve state @p c implies.
+  virtual void do_set_conditions(const env::AmbientConditions& c) = 0;
+
+  /// Computes the MPP from scratch. The default runs a golden-section search
+  /// over power_at() on [0, Voc]; concrete transducers override with exact
+  /// closed-form or Newton solutions on their own curve (same extremum, no
+  /// 80-iteration search on the hot path).
+  [[nodiscard]] virtual OperatingPoint compute_mpp() const;
+
+  /// Drops the cached MPP. For curve changes invisible to the conditions
+  /// key — fault-mode transitions, hot-swapped internals.
+  void invalidate_mpp_cache() const { mpp_valid_ = false; }
+
+ private:
+  mutable OperatingPoint mpp_cache_;
+  mutable bool mpp_valid_{false};
+  mutable std::uint64_t mpp_hits_{0};
+  mutable std::uint64_t mpp_recomputes_{0};
+  bool mpp_key_set_{false};
+  env::AmbientConditions mpp_key_;
 };
 
 }  // namespace msehsim::harvest

@@ -8,6 +8,23 @@
 
 namespace msehsim::harvest {
 
+namespace {
+
+/// Exact MPP of a plain Thevenin curve: V* = Voc/2. The operating current is
+/// read back through the harvester's public curve so clamps and caps stay
+/// authoritative.
+harvest::OperatingPoint thevenin_mpp(const harvest::Harvester& h,
+                                     Volts voc) {
+  if (voc.value() <= 0.0) return harvest::OperatingPoint{};
+  harvest::OperatingPoint mpp;
+  mpp.v = voc * 0.5;
+  mpp.i = h.current_at(mpp.v);
+  mpp.p = mpp.v * mpp.i;
+  return mpp;
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // PvPanel
 // ---------------------------------------------------------------------------
@@ -31,7 +48,7 @@ double PvPanel::thermal_voltage() const {
   return params_.diode_ideality * kVtCell * params_.series_cells;
 }
 
-void PvPanel::set_conditions(const env::AmbientConditions& c) {
+void PvPanel::do_set_conditions(const env::AmbientConditions& c) {
   double g = c.solar_irradiance.value();
   if (params_.indoor) {
     g = c.illuminance.value() / params_.lux_per_wm2 * params_.indoor_derating;
@@ -50,6 +67,33 @@ Volts PvPanel::open_circuit_voltage() const {
   if (photo_current_.value() <= 0.0) return Volts{0.0};
   return Volts{thermal_voltage() *
                std::log1p(photo_current_.value() / saturation_current_.value())};
+}
+
+
+OperatingPoint PvPanel::compute_mpp() const {
+  if (photo_current_.value() <= 0.0) return OperatingPoint{};
+  // dP/dV = 0 on the single-diode curve gives e^x (1+x) = K with x = V/Vt
+  // and K = (Iph + I0)/I0; in log form g(x) = x + log1p(x) - ln K = 0,
+  // monotone in x. Newton from x0 = ln K (= Voc/Vt) reaches machine
+  // precision in a handful of iterations — versus 80 golden-section probes
+  // of the exp-heavy curve, which is what made the MPP-yield accounting the
+  // hottest path of the whole simulator.
+  const double vt = thermal_voltage();
+  const double ln_k =
+      std::log1p(photo_current_.value() / saturation_current_.value());
+  double x = ln_k;
+  for (int i = 0; i < 16; ++i) {
+    const double g = x + std::log1p(x) - ln_k;
+    const double step = g / (1.0 + 1.0 / (1.0 + x));
+    x -= step;
+    if (x < 0.0) x = 0.0;
+    if (std::fabs(step) <= 1e-15 * std::max(1.0, x)) break;
+  }
+  OperatingPoint mpp;
+  mpp.v = Volts{vt * x};
+  mpp.i = current_at(mpp.v);
+  mpp.p = mpp.v * mpp.i;
+  return mpp;
 }
 
 // ---------------------------------------------------------------------------
@@ -83,7 +127,7 @@ WindTurbine WindTurbine::water_turbine(std::string name) {
   return WindTurbine(std::move(name), p, HarvesterKind::kWaterFlow);
 }
 
-void WindTurbine::set_conditions(const env::AmbientConditions& c) {
+void WindTurbine::do_set_conditions(const env::AmbientConditions& c) {
   latch_speed(kind_ == HarvesterKind::kWaterFlow ? c.water_flow : c.wind_speed);
 }
 
@@ -112,6 +156,28 @@ Volts WindTurbine::open_circuit_voltage() const {
   return available_.value() > 0.0 ? source_.voc : Volts{0.0};
 }
 
+
+OperatingPoint WindTurbine::compute_mpp() const {
+  if (available_.value() <= 0.0 || source_.voc.value() <= 0.0)
+    return OperatingPoint{};
+  const double voc = source_.voc.value();
+  const double r = params_.internal_resistance.value();
+  double v_star = 0.5 * voc;
+  if (voc * voc / (4.0 * r) > available_.value()) {
+    // The aero cap flattens the top of the Thevenin parabola into a plateau
+    // of constant power; operate at its upper edge (the highest voltage that
+    // still draws the full available power), where generator current equals
+    // the cap: (Voc - V) V / R = P_avail.
+    const double disc = voc * voc - 4.0 * r * available_.value();
+    v_star = 0.5 * (voc + std::sqrt(std::max(0.0, disc)));
+  }
+  OperatingPoint mpp;
+  mpp.v = Volts{v_star};
+  mpp.i = current_at(mpp.v);
+  mpp.p = mpp.v * mpp.i;
+  return mpp;
+}
+
 // ---------------------------------------------------------------------------
 // Teg
 // ---------------------------------------------------------------------------
@@ -122,7 +188,7 @@ Teg::Teg(std::string name, Params params) : name_(std::move(name)), params_(para
                "TEG internal resistance must be > 0");
 }
 
-void Teg::set_conditions(const env::AmbientConditions& c) {
+void Teg::do_set_conditions(const env::AmbientConditions& c) {
   const double dt = std::max(0.0, c.thermal_gradient.value());
   source_ = TheveninSource{params_.seebeck_per_kelvin * dt, params_.internal_resistance};
 }
@@ -133,6 +199,9 @@ Amps Teg::current_at(Volts v) const {
 }
 
 Volts Teg::open_circuit_voltage() const { return source_.voc; }
+
+
+OperatingPoint Teg::compute_mpp() const { return thevenin_mpp(*this, source_.voc); }
 
 // ---------------------------------------------------------------------------
 // VibrationHarvester
@@ -163,7 +232,7 @@ VibrationHarvester VibrationHarvester::electromagnetic(std::string name, Params 
   return VibrationHarvester(std::move(name), params, HarvesterKind::kInductive);
 }
 
-void VibrationHarvester::set_conditions(const env::AmbientConditions& c) {
+void VibrationHarvester::do_set_conditions(const env::AmbientConditions& c) {
   const double a = c.vibration_rms.value();
   const double f = c.vibration_freq.value();
   if (a <= 0.0 || f <= 0.0) {
@@ -197,6 +266,11 @@ Amps VibrationHarvester::current_at(Volts v) const {
 
 Volts VibrationHarvester::open_circuit_voltage() const { return source_.voc; }
 
+
+OperatingPoint VibrationHarvester::compute_mpp() const {
+  return thevenin_mpp(*this, source_.voc);
+}
+
 // ---------------------------------------------------------------------------
 // RfHarvester
 // ---------------------------------------------------------------------------
@@ -210,7 +284,7 @@ RfHarvester::RfHarvester(std::string name, Params params)
   require_spec(params_.optimal_voltage.value() > 0.0, "RF optimal voltage must be > 0");
 }
 
-void RfHarvester::set_conditions(const env::AmbientConditions& c) {
+void RfHarvester::do_set_conditions(const env::AmbientConditions& c) {
   const Watts incident =
       Watts{c.rf_power_density.value() * params_.aperture_m2};
   if (incident < params_.sensitivity) {
@@ -233,6 +307,11 @@ Amps RfHarvester::current_at(Volts v) const {
 
 Volts RfHarvester::open_circuit_voltage() const { return source_.voc; }
 
+
+OperatingPoint RfHarvester::compute_mpp() const {
+  return thevenin_mpp(*this, source_.voc);
+}
+
 // ---------------------------------------------------------------------------
 // AcDcSource
 // ---------------------------------------------------------------------------
@@ -245,7 +324,7 @@ AcDcSource::AcDcSource(std::string name, Params params)
                "AC/DC internal resistance must be > 0");
 }
 
-void AcDcSource::set_conditions(const env::AmbientConditions& c) {
+void AcDcSource::do_set_conditions(const env::AmbientConditions& c) {
   energized_ = c.vibration_rms >= params_.machinery_threshold;
 }
 
@@ -256,6 +335,12 @@ Amps AcDcSource::current_at(Volts v) const {
 
 Volts AcDcSource::open_circuit_voltage() const {
   return energized_ ? params_.rectified_voc : Volts{0.0};
+}
+
+
+OperatingPoint AcDcSource::compute_mpp() const {
+  if (!energized_) return OperatingPoint{};
+  return thevenin_mpp(*this, params_.rectified_voc);
 }
 
 }  // namespace msehsim::harvest

@@ -34,10 +34,14 @@ class PvPanel final : public Harvester {
   [[nodiscard]] HarvesterKind kind() const override {
     return HarvesterKind::kPhotovoltaic;
   }
-  void set_conditions(const env::AmbientConditions& c) override;
   [[nodiscard]] Amps current_at(Volts v) const override;
   [[nodiscard]] Volts open_circuit_voltage() const override;
 
+ protected:
+  void do_set_conditions(const env::AmbientConditions& c) override;
+  [[nodiscard]] OperatingPoint compute_mpp() const override;
+
+ public:
   [[nodiscard]] const Params& params() const { return params_; }
 
  private:
@@ -69,9 +73,14 @@ class WindTurbine final : public Harvester {
 
   [[nodiscard]] std::string_view name() const override { return name_; }
   [[nodiscard]] HarvesterKind kind() const override { return kind_; }
-  void set_conditions(const env::AmbientConditions& c) override;
   [[nodiscard]] Amps current_at(Volts v) const override;
   [[nodiscard]] Volts open_circuit_voltage() const override;
+
+ protected:
+  void do_set_conditions(const env::AmbientConditions& c) override;
+  [[nodiscard]] OperatingPoint compute_mpp() const override;
+
+ public:
 
   /// Aerodynamic power available at the latched speed (upper bound).
   [[nodiscard]] Watts available_power() const { return available_; }
@@ -104,9 +113,14 @@ class Teg final : public Harvester {
   [[nodiscard]] HarvesterKind kind() const override {
     return HarvesterKind::kThermoelectric;
   }
-  void set_conditions(const env::AmbientConditions& c) override;
   [[nodiscard]] Amps current_at(Volts v) const override;
   [[nodiscard]] Volts open_circuit_voltage() const override;
+
+ protected:
+  void do_set_conditions(const env::AmbientConditions& c) override;
+  [[nodiscard]] OperatingPoint compute_mpp() const override;
+
+ public:
 
  private:
   std::string name_;
@@ -135,9 +149,14 @@ class VibrationHarvester final : public Harvester {
 
   [[nodiscard]] std::string_view name() const override { return name_; }
   [[nodiscard]] HarvesterKind kind() const override { return kind_; }
-  void set_conditions(const env::AmbientConditions& c) override;
   [[nodiscard]] Amps current_at(Volts v) const override;
   [[nodiscard]] Volts open_circuit_voltage() const override;
+
+ protected:
+  void do_set_conditions(const env::AmbientConditions& c) override;
+  [[nodiscard]] OperatingPoint compute_mpp() const override;
+
+ public:
 
   static VibrationHarvester piezo(std::string name, Params params);
   static VibrationHarvester piezo(std::string name) { return piezo(std::move(name), Params{}); }
@@ -169,9 +188,14 @@ class RfHarvester final : public Harvester {
 
   [[nodiscard]] std::string_view name() const override { return name_; }
   [[nodiscard]] HarvesterKind kind() const override { return HarvesterKind::kRf; }
-  void set_conditions(const env::AmbientConditions& c) override;
   [[nodiscard]] Amps current_at(Volts v) const override;
   [[nodiscard]] Volts open_circuit_voltage() const override;
+
+ protected:
+  void do_set_conditions(const env::AmbientConditions& c) override;
+  [[nodiscard]] OperatingPoint compute_mpp() const override;
+
+ public:
 
  private:
   std::string name_;
@@ -194,9 +218,14 @@ class AcDcSource final : public Harvester {
 
   [[nodiscard]] std::string_view name() const override { return name_; }
   [[nodiscard]] HarvesterKind kind() const override { return HarvesterKind::kAcDc; }
-  void set_conditions(const env::AmbientConditions& c) override;
   [[nodiscard]] Amps current_at(Volts v) const override;
   [[nodiscard]] Volts open_circuit_voltage() const override;
+
+ protected:
+  void do_set_conditions(const env::AmbientConditions& c) override;
+  [[nodiscard]] OperatingPoint compute_mpp() const override;
+
+ public:
 
  private:
   std::string name_;

@@ -41,13 +41,25 @@ FaultReport collect_faults(Platform& platform, const RunOptions& options) {
 
 }  // namespace
 
+void TraceRecorder::reserve_for(Seconds duration) {
+  if (period.value() <= 0.0 || duration.value() <= 0.0) return;
+  const auto samples =
+      static_cast<std::uint64_t>(duration.value() / period.value()) + 1;
+  soc.reserve(samples);
+  input_power.reserve(samples);
+  bus_voltage.reserve(samples);
+  stored.reserve(samples);
+}
+
 RunResult run_platform(Platform& platform, env::EnvironmentModel& environment,
                        Seconds duration, const RunOptions& options) {
   Simulation sim(options.dt);
 
+  RunningStats input_stats;
   sim.on_step([&](Seconds now, Seconds dt) {
     const auto conditions = environment.advance(now, dt);
     platform.step(conditions, now, dt);
+    input_stats.add(platform.last_input_power().value(), dt);
   });
   sim.every(options.management_period,
             [&](Seconds now) { platform.management_tick(now); });
@@ -64,6 +76,7 @@ RunResult run_platform(Platform& platform, env::EnvironmentModel& environment,
   if (options.injector != nullptr) options.injector->arm(sim);
   if (options.recorder != nullptr) {
     auto* rec = options.recorder;
+    rec->reserve_for(duration);
     sim.every(rec->period, [&platform, rec](Seconds now) {
       rec->soc.push(now, platform.ambient_soc());
       rec->input_power.push(now, platform.last_input_power().value());
@@ -82,6 +95,7 @@ RunResult run_platform(Platform& platform, env::EnvironmentModel& environment,
   r.wasted = platform.wasted_energy();
   r.unmet = platform.unmet_energy();
   r.brownouts = platform.brownouts();
+  r.generation_fraction = input_stats.fraction_positive();
   if (const auto* node = platform.node()) {
     r.packets = node->packets_sent();
     r.reboots = node->reboots();
@@ -111,6 +125,7 @@ std::string to_string(const RunResult& r) {
       "reboots=%llu\n"
       "brownouts=%llu\n"
       "availability=%.17g\n"
+      "generation_fraction=%.17g\n"
       "final_ambient_soc=%.17g\n"
       "final_stored_j=%.17g\n"
       "faults.injected.harvester=%llu\n"
@@ -135,7 +150,7 @@ std::string to_string(const RunResult& r) {
       static_cast<unsigned long long>(r.queries_answered),
       static_cast<unsigned long long>(r.reboots),
       static_cast<unsigned long long>(r.brownouts), r.availability,
-      r.final_ambient_soc, r.final_stored.value(),
+      r.generation_fraction, r.final_ambient_soc, r.final_stored.value(),
       static_cast<unsigned long long>(r.faults.injected.harvester),
       static_cast<unsigned long long>(r.faults.injected.converter),
       static_cast<unsigned long long>(r.faults.injected.storage),

@@ -46,6 +46,10 @@ struct RunResult {
   std::uint64_t reboots{0};
   std::uint64_t brownouts{0};
   double availability{0.0};    ///< node uptime fraction
+  /// Fraction of the run during which the chains delivered positive power
+  /// into the bus — the "generation hours" metric of claim C1, computed
+  /// per-step so campaign jobs don't need a TraceRecorder for it.
+  double generation_fraction{0.0};
   double final_ambient_soc{0.0};
   Joules final_stored{0.0};
   FaultReport faults;
@@ -70,6 +74,11 @@ struct TraceRecorder {
   Series input_power;
   Series bus_voltage;
   Series stored;
+
+  /// Pre-reserves every series for a run of @p duration (one sample per
+  /// period), avoiding growth reallocations during year-scale traces.
+  /// run_platform calls this automatically.
+  void reserve_for(Seconds duration);
 };
 
 struct RunOptions {

@@ -1,0 +1,256 @@
+// Campaign engine: deterministic grid ordering, thread-count and MPP-cache
+// invariance of every reported byte, aggregate statistics, validation, and
+// factory error propagation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "core/error.hpp"
+#include "env/environment.hpp"
+#include "fault/injector.hpp"
+#include "harvest/harvester.hpp"
+#include "harvest/transducers.hpp"
+#include "node/sensor_node.hpp"
+#include "power/chain.hpp"
+#include "power/converter.hpp"
+#include "power/mppt.hpp"
+#include "storage/supercapacitor.hpp"
+#include "systems/platform.hpp"
+#include "systems/runner.hpp"
+
+namespace msehsim::campaign {
+namespace {
+
+/// A deliberately small platform (one PV chain, one supercap, one node) so a
+/// grid of short runs stays fast.
+std::unique_ptr<systems::Platform> mini_platform() {
+  systems::PlatformSpec spec;
+  spec.name = "mini";
+  spec.quiescent_current = Amps{2e-6};
+  auto p = std::make_unique<systems::Platform>(spec);
+  p->add_input(std::make_unique<power::InputChain>(
+      std::make_unique<harvest::PvPanel>("pv", harvest::PvPanel::Params{}),
+      std::make_unique<power::OracleMppt>(),
+      power::Converter::smart_buck_boost("fe"), Seconds{5.0}));
+  storage::Supercapacitor::Params sp;
+  sp.main_capacitance = Farads{10.0};
+  sp.slow_capacitance = Farads{0.0};
+  sp.initial_voltage = Volts{3.0};
+  p->add_storage(std::make_unique<storage::Supercapacitor>("buf", sp), 0);
+  p->set_output(
+      power::OutputChain(power::Converter::smart_buck_boost("out"), Volts{3.0}));
+  p->set_node(std::make_unique<node::SensorNode>(
+      "node", node::McuParams{}, node::RadioParams{}, node::WorkloadParams{}));
+  return p;
+}
+
+EnvironmentFactory outdoor_factory() {
+  return [](std::uint64_t seed) {
+    return std::make_unique<env::Environment>(env::Environment::outdoor(seed));
+  };
+}
+
+/// 2 platforms x 2 scenarios x 2 seeds of one simulated hour each.
+CampaignSpec small_grid(unsigned threads) {
+  CampaignSpec spec;
+  spec.platforms.push_back(
+      {"mini", [](std::uint64_t) { return mini_platform(); }});
+  spec.platforms.push_back(
+      {"mini2", [](std::uint64_t) { return mini_platform(); }});
+  for (const char* name : {"hour-a", "hour-b"}) {
+    Scenario sc;
+    sc.name = name;
+    sc.environment = outdoor_factory();
+    sc.duration = Seconds{3600.0};
+    sc.options.dt = Seconds{5.0};
+    spec.scenarios.push_back(std::move(sc));
+  }
+  spec.seeds = {7, 11};
+  spec.threads = threads;
+  return spec;
+}
+
+/// A faulted scenario exercising the cache-invalidation path mid-run.
+CampaignSpec faulted_grid(unsigned threads) {
+  CampaignSpec spec;
+  spec.platforms.push_back(
+      {"mini", [](std::uint64_t) { return mini_platform(); }});
+  Scenario sc;
+  sc.name = "faulted";
+  sc.environment = outdoor_factory();
+  sc.duration = Seconds{7200.0};
+  sc.options.dt = Seconds{5.0};
+  sc.injector = [](std::uint64_t seed, systems::Platform& platform) {
+    auto inj = std::make_unique<fault::FaultInjector>(seed);
+    inj->harvester_intermittent(Seconds{600.0}, platform.input(0), 0.5);
+    inj->harvester_heal(Seconds{3600.0}, platform.input(0));
+    inj->harvester_stuck_short(Seconds{5400.0}, platform.input(0));
+    return inj;
+  };
+  spec.scenarios.push_back(std::move(sc));
+  spec.seeds = {3, 5, 9};
+  spec.threads = threads;
+  return spec;
+}
+
+std::vector<std::string> reports(const Campaign& c) {
+  std::vector<std::string> out;
+  for (const auto& job : c.results()) out.push_back(to_string(job.result));
+  return out;
+}
+
+TEST(Campaign, ResultsComeBackInGridOrder) {
+  Campaign c(small_grid(4));
+  const auto& jobs = c.run();
+  ASSERT_EQ(jobs.size(), 8u);
+  std::size_t i = 0;
+  for (std::size_t p = 0; p < 2; ++p)
+    for (std::size_t s = 0; s < 2; ++s)
+      for (std::size_t k = 0; k < 2; ++k, ++i) {
+        EXPECT_EQ(jobs[i].platform_index, p);
+        EXPECT_EQ(jobs[i].scenario_index, s);
+        EXPECT_EQ(jobs[i].seed_index, k);
+        EXPECT_EQ(jobs[i].seed, c.spec().seeds[k]);
+        EXPECT_EQ(&c.at(p, s, k), &jobs[i]);
+        EXPECT_GT(jobs[i].result.duration.value(), 0.0);
+      }
+}
+
+TEST(Campaign, OneVsFourThreadsByteIdentical) {
+  Campaign serial(small_grid(1));
+  Campaign parallel(small_grid(4));
+  serial.run();
+  parallel.run();
+  EXPECT_EQ(reports(serial), reports(parallel));
+}
+
+TEST(Campaign, FaultedRunsByteIdenticalAcrossThreadCounts) {
+  Campaign serial(faulted_grid(1));
+  Campaign parallel(faulted_grid(4));
+  serial.run();
+  parallel.run();
+  const auto a = reports(serial);
+  EXPECT_EQ(a, reports(parallel));
+  // The schedule actually fired: the intermittent fault must show up.
+  EXPECT_GT(serial.at(0, 0, 0).result.faults.harvester_faulted_steps, 0u);
+}
+
+TEST(Campaign, MppCacheOnVsOffByteIdentical) {
+  Campaign cached(faulted_grid(2));
+  cached.run();
+  harvest::Harvester::set_mpp_cache_enabled(false);
+  Campaign uncached(faulted_grid(2));
+  uncached.run();
+  harvest::Harvester::set_mpp_cache_enabled(true);
+  EXPECT_EQ(reports(cached), reports(uncached));
+}
+
+TEST(Campaign, SeedStatsMatchHandComputedAggregates) {
+  Campaign c(small_grid(2));
+  c.run();
+  const auto stats = c.seed_stats(0, 0);
+  ASSERT_EQ(stats.size(), run_result_fields().size());
+  for (std::size_t f = 0; f < stats.size(); ++f) {
+    const auto get = run_result_fields()[f].get;
+    const double a = get(c.at(0, 0, 0).result);
+    const double b = get(c.at(0, 0, 1).result);
+    const double mean = (a + b) / 2.0;
+    EXPECT_DOUBLE_EQ(stats[f].mean, mean) << run_result_fields()[f].name;
+    EXPECT_DOUBLE_EQ(stats[f].min, std::min(a, b));
+    EXPECT_DOUBLE_EQ(stats[f].max, std::max(a, b));
+    EXPECT_NEAR(stats[f].stddev, std::fabs(a - mean), 1e-12);
+  }
+}
+
+TEST(Campaign, FieldStatsHandChecked) {
+  std::vector<JobResult> jobs(3);
+  jobs[0].result.harvested = Joules{1.0};
+  jobs[1].result.harvested = Joules{2.0};
+  jobs[2].result.harvested = Joules{6.0};
+  const auto s = field_stats(
+      jobs, [](const systems::RunResult& r) { return r.harvested.value(); });
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+  // Population stddev: sqrt(((1-3)^2 + (2-3)^2 + (6-3)^2) / 3).
+  EXPECT_NEAR(s.stddev, std::sqrt(14.0 / 3.0), 1e-12);
+}
+
+TEST(Campaign, FieldTableCoversEveryReportLine) {
+  // Every name in the field table must appear as a key in the canonical
+  // to_string(RunResult) report (and the table stays in report order).
+  const systems::RunResult r{};
+  const std::string report = to_string(r);
+  std::size_t cursor = 0;
+  for (const auto& field : run_result_fields()) {
+    const auto pos = report.find(std::string(field.name) + "=", cursor);
+    EXPECT_NE(pos, std::string::npos) << field.name;
+    cursor = pos;
+  }
+}
+
+TEST(Campaign, ValidatesSpecUpFront) {
+  EXPECT_THROW(Campaign(CampaignSpec{}), SpecError);
+
+  auto no_seeds = small_grid(1);
+  no_seeds.seeds.clear();
+  EXPECT_THROW(Campaign{no_seeds}, SpecError);
+
+  auto null_factory = small_grid(1);
+  null_factory.platforms[0].make = nullptr;
+  EXPECT_THROW(Campaign{null_factory}, SpecError);
+
+  auto shared_recorder = small_grid(1);
+  systems::TraceRecorder recorder;
+  shared_recorder.scenarios[0].options.recorder = &recorder;
+  EXPECT_THROW(Campaign{shared_recorder}, SpecError);
+
+  auto zero_duration = small_grid(1);
+  zero_duration.scenarios[0].duration = Seconds{0.0};
+  EXPECT_THROW(Campaign{zero_duration}, SpecError);
+}
+
+TEST(Campaign, FactoryFailurePropagatesFirstInGridOrder) {
+  auto spec = small_grid(4);
+  spec.platforms[0].make = [](std::uint64_t) -> std::unique_ptr<systems::Platform> {
+    throw SpecError("boom");
+  };
+  Campaign c(std::move(spec));
+  try {
+    c.run();
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    // The first failing job in grid order is (platform 0, scenario 0, first
+    // seed), regardless of worker scheduling.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("mini"), std::string::npos);
+    EXPECT_NE(what.find("hour-a"), std::string::npos);
+    EXPECT_NE(what.find("seed=7"), std::string::npos);
+    EXPECT_NE(what.find("boom"), std::string::npos);
+  }
+  EXPECT_FALSE(c.ran());
+}
+
+TEST(Campaign, AccessorsRejectUseBeforeRun) {
+  Campaign c(small_grid(1));
+  EXPECT_THROW((void)c.results(), SpecError);
+  EXPECT_THROW((void)c.at(0, 0, 0), SpecError);
+  EXPECT_THROW((void)c.seed_stats(0, 0), SpecError);
+}
+
+TEST(Campaign, RunIsIdempotent) {
+  Campaign c(small_grid(2));
+  const auto& first = c.run();
+  const auto* addr = first.data();
+  const auto& second = c.run();
+  EXPECT_EQ(second.data(), addr);
+  EXPECT_TRUE(c.ran());
+}
+
+}  // namespace
+}  // namespace msehsim::campaign

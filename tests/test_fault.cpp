@@ -135,6 +135,55 @@ TEST(FaultyHarvester, RejectsBadFractions) {
   EXPECT_THROW(wrapped.set_intermittent(1.5), SpecError);
 }
 
+TEST(FaultyHarvester, TransitionInvalidatesMppCache) {
+  // The conditions key never changes here, so only the explicit
+  // invalidate-on-transition hook keeps the cached MPP honest.
+  FaultyHarvester wrapped(pv(), kSeed);
+  wrapped.set_conditions(sunny());
+  const auto healthy = wrapped.maximum_power_point();
+  EXPECT_GT(healthy.p.value(), 0.0);
+  EXPECT_EQ(wrapped.mpp_recomputes(), 1u);
+
+  wrapped.stick_short();
+  const auto shorted = wrapped.maximum_power_point();
+  EXPECT_EQ(wrapped.mpp_recomputes(), 2u);
+  EXPECT_DOUBLE_EQ(shorted.p.value(), 0.0);
+
+  wrapped.heal();
+  const auto healed = wrapped.maximum_power_point();
+  EXPECT_EQ(wrapped.mpp_recomputes(), 3u);
+  EXPECT_EQ(healed.v.value(), healthy.v.value());
+  EXPECT_EQ(healed.p.value(), healthy.p.value());
+}
+
+TEST(FaultyHarvester, DegradationLevelChangeInvalidatesMppCache) {
+  FaultyHarvester wrapped(pv(), kSeed);
+  wrapped.set_conditions(sunny());
+  const auto full = wrapped.maximum_power_point();
+  wrapped.degrade(0.5);
+  const auto half = wrapped.maximum_power_point();
+  EXPECT_EQ(wrapped.mpp_recomputes(), 2u);
+  EXPECT_LT(half.p.value(), full.p.value());
+}
+
+TEST(FaultyHarvester, IntermittentOpenCloseFlipsInvalidateMppCache) {
+  // p = 1: every step is open, so the first step after enabling the fault
+  // must flip the cached healthy MPP to zero even though conditions repeat.
+  FaultyHarvester wrapped(pv(), kSeed);
+  wrapped.set_conditions(sunny());
+  EXPECT_GT(wrapped.maximum_power_point().p.value(), 0.0);
+  wrapped.set_intermittent(1.0);
+  wrapped.set_conditions(sunny());
+  EXPECT_FALSE(wrapped.producing());
+  EXPECT_DOUBLE_EQ(wrapped.maximum_power_point().p.value(), 0.0);
+
+  // And with p = 0 the connection closes again: the healthy point returns.
+  wrapped.set_intermittent(0.0);
+  wrapped.set_conditions(sunny());
+  EXPECT_TRUE(wrapped.producing());
+  EXPECT_GT(wrapped.maximum_power_point().p.value(), 0.0);
+}
+
 // ---------------------------------------------------------------------------
 // Converter fault hooks
 // ---------------------------------------------------------------------------

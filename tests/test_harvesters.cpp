@@ -424,6 +424,117 @@ INSTANTIATE_TEST_SUITE_P(AllHarvesters, HarvesterInvariants,
                                        .name);
                          });
 
+// ---------------------------------------------------------------------------
+// MPP memoization (conditions-keyed cache on the Harvester base)
+// ---------------------------------------------------------------------------
+
+TEST(MppCache, IdenticalConditionsReuseTheCachedPoint) {
+  PvPanel pv("pv", PvPanel::Params{});
+  pv.set_conditions(sunny());
+  EXPECT_EQ(pv.mpp_recomputes(), 0u);
+
+  const auto first = pv.maximum_power_point();
+  EXPECT_EQ(pv.mpp_recomputes(), 1u);
+  EXPECT_EQ(pv.mpp_cache_hits(), 0u);
+
+  const auto again = pv.maximum_power_point();
+  EXPECT_EQ(pv.mpp_recomputes(), 1u);
+  EXPECT_EQ(pv.mpp_cache_hits(), 1u);
+  EXPECT_EQ(again.v.value(), first.v.value());
+  EXPECT_EQ(again.i.value(), first.i.value());
+  EXPECT_EQ(again.p.value(), first.p.value());
+
+  // Re-applying *equal* conditions keeps the key and thus the cache.
+  pv.set_conditions(sunny());
+  (void)pv.maximum_power_point();
+  EXPECT_EQ(pv.mpp_recomputes(), 1u);
+  EXPECT_EQ(pv.mpp_cache_hits(), 2u);
+}
+
+TEST(MppCache, AnyChangedConditionsFieldRecomputes) {
+  // The key compares every AmbientConditions field exactly, so mutating any
+  // one of them must miss — even fields this transducer does not read (a
+  // cheap, conservative rule that can never serve a stale curve).
+  env::AmbientConditions base = sunny();
+  const std::vector<std::function<void(env::AmbientConditions&)>> mutations = {
+      [](auto& c) { c.solar_irradiance = WattsPerSquareMeter{801.0}; },
+      [](auto& c) { c.illuminance = Lux{500.0}; },
+      [](auto& c) { c.wind_speed = MetersPerSecond{1.0}; },
+      [](auto& c) { c.thermal_gradient = Kelvin{2.0}; },
+      [](auto& c) { c.vibration_rms = MetersPerSecondSquared{0.1}; },
+      [](auto& c) { c.vibration_freq = Hertz{10.0}; },
+      [](auto& c) { c.rf_power_density = WattsPerSquareMeter{1e-6}; },
+      [](auto& c) { c.water_flow = MetersPerSecond{0.2}; },
+  };
+  PvPanel pv("pv", PvPanel::Params{});
+  pv.set_conditions(base);
+  (void)pv.maximum_power_point();
+  std::uint64_t expected = 1;
+  for (const auto& mutate : mutations) {
+    env::AmbientConditions changed = base;
+    mutate(changed);
+    pv.set_conditions(changed);
+    (void)pv.maximum_power_point();
+    EXPECT_EQ(pv.mpp_recomputes(), ++expected);
+    pv.set_conditions(base);
+    (void)pv.maximum_power_point();
+    EXPECT_EQ(pv.mpp_recomputes(), ++expected);
+  }
+}
+
+TEST(MppCache, DisabledCacheRecomputesEveryCallWithIdenticalResults) {
+  PvPanel cached("pv", PvPanel::Params{});
+  PvPanel uncached("pv", PvPanel::Params{});
+  cached.set_conditions(sunny());
+  uncached.set_conditions(sunny());
+
+  const auto hot = cached.maximum_power_point();
+  (void)cached.maximum_power_point();
+
+  Harvester::set_mpp_cache_enabled(false);
+  const auto cold1 = uncached.maximum_power_point();
+  const auto cold2 = uncached.maximum_power_point();
+  Harvester::set_mpp_cache_enabled(true);
+
+  EXPECT_EQ(uncached.mpp_recomputes(), 2u);
+  EXPECT_EQ(uncached.mpp_cache_hits(), 0u);
+  // Bit-identical: the cache must be invisible in every reported value.
+  EXPECT_EQ(cold1.v.value(), hot.v.value());
+  EXPECT_EQ(cold1.i.value(), hot.i.value());
+  EXPECT_EQ(cold1.p.value(), hot.p.value());
+  EXPECT_EQ(cold2.v.value(), hot.v.value());
+  EXPECT_EQ(cold2.p.value(), hot.p.value());
+}
+
+TEST(MppCache, CachesAcrossAllTransducerKinds) {
+  // Every concrete transducer inherits the memoization; two calls under one
+  // set_conditions must cost exactly one compute_mpp.
+  const env::AmbientConditions all = [] {
+    env::AmbientConditions c;
+    c.solar_irradiance = WattsPerSquareMeter{600.0};
+    c.wind_speed = MetersPerSecond{5.0};
+    c.thermal_gradient = Kelvin{10.0};
+    c.vibration_rms = MetersPerSecondSquared{2.0};
+    c.vibration_freq = Hertz{50.0};
+    c.rf_power_density = WattsPerSquareMeter{1e-3};
+    return c;
+  }();
+  std::vector<std::unique_ptr<Harvester>> hs;
+  hs.push_back(std::make_unique<PvPanel>("pv", PvPanel::Params{}));
+  hs.push_back(std::make_unique<WindTurbine>("w", WindTurbine::Params{}));
+  hs.push_back(std::make_unique<Teg>("t", Teg::Params{}));
+  hs.push_back(std::make_unique<VibrationHarvester>(
+      VibrationHarvester::piezo("pz")));
+  hs.push_back(std::make_unique<RfHarvester>("rf", RfHarvester::Params{}));
+  for (auto& h : hs) {
+    h->set_conditions(all);
+    (void)h->maximum_power_point();
+    (void)h->maximum_power_point();
+    EXPECT_EQ(h->mpp_recomputes(), 1u) << h->name();
+    EXPECT_EQ(h->mpp_cache_hits(), 1u) << h->name();
+  }
+}
+
 TEST(HarvesterKindNames, Coverage) {
   EXPECT_EQ(to_string(HarvesterKind::kPhotovoltaic), "Light");
   EXPECT_EQ(to_string(HarvesterKind::kWind), "Wind");

@@ -49,6 +49,85 @@ TEST(GoldenMax, MonotoneIncreasingPicksUpperEnd) {
   EXPECT_NEAR(x, 1.0, 1e-6);
 }
 
+// --- Templated solver forms (bisect_fn / golden_max_fn) ---------------------
+// The std::function overloads are thin wrappers over the templates, so the
+// two forms must agree to the last bit on every path, including the
+// degenerate ones.
+
+TEST(SolveFn, BisectTemplateMatchesStdFunctionBitForBit) {
+  auto f = [](double x) { return std::cos(x) - x * x * x; };
+  EXPECT_EQ(bisect_fn(f, 0.0, 2.0), bisect(f, 0.0, 2.0));
+  EXPECT_EQ(bisect_fn(f, 0.0, 2.0, 13), bisect(f, 0.0, 2.0, 13));
+}
+
+TEST(SolveFn, BisectTemplateMatchesOnNonBracketingInterval) {
+  // No sign change on [1, 2]: both forms must fall back to the endpoint with
+  // the smaller |f| and agree exactly.
+  auto f = [](double x) { return x * x + 1.0; };
+  EXPECT_EQ(bisect_fn(f, 1.0, 2.0), bisect(f, 1.0, 2.0));
+  EXPECT_DOUBLE_EQ(bisect_fn(f, 1.0, 2.0), 1.0);
+}
+
+TEST(SolveFn, GoldenMaxTemplateMatchesStdFunctionBitForBit) {
+  auto p = [](double v) { return v * (1.0 - std::exp(v - 5.0)); };
+  EXPECT_EQ(golden_max_fn(p, 0.0, 5.0), golden_max(p, 0.0, 5.0));
+  EXPECT_EQ(golden_max_fn(p, 0.0, 5.0, 40), golden_max(p, 0.0, 5.0, 40));
+}
+
+TEST(SolveFn, GoldenMaxPlateauStaysInsidePlateau) {
+  // Flat top over [2, 4] (a clipped tent): any point in the plateau is a
+  // correct maximizer; the solver must land inside it, not at an endpoint.
+  auto f = [](double v) { return std::min(2.0 - std::fabs(v - 3.0), 1.0); };
+  const double x = golden_max_fn(f, 0.0, 6.0);
+  EXPECT_GE(x, 2.0 - 1e-6);
+  EXPECT_LE(x, 4.0 + 1e-6);
+  EXPECT_NEAR(f(x), 1.0, 1e-9);
+}
+
+TEST(SolveFn, GoldenMaxEndpointMaximum) {
+  // Monotone decreasing: the maximum is the lower endpoint.
+  const double x = golden_max_fn([](double v) { return -v; }, 0.0, 1.0);
+  EXPECT_NEAR(x, 0.0, 1e-6);
+}
+
+TEST(SolveFn, GoldenMaxConvergesWithIterations) {
+  // More iterations shrink the bracket: error must be non-increasing in the
+  // iteration count and tiny at the default depth.
+  auto f = [](double v) { return -(v - 3.0) * (v - 3.0); };
+  const double e10 = std::fabs(golden_max_fn(f, 0.0, 10.0, 10) - 3.0);
+  const double e30 = std::fabs(golden_max_fn(f, 0.0, 10.0, 30) - 3.0);
+  const double e80 = std::fabs(golden_max_fn(f, 0.0, 10.0, 80) - 3.0);
+  EXPECT_LE(e30, e10);
+  EXPECT_LE(e80, e30);
+  EXPECT_LT(e80, 1e-9);
+}
+
+TEST(SolveFn, BisectConvergesWithIterations) {
+  auto f = [](double x) { return x * x - 2.0; };
+  const double e5 = std::fabs(bisect_fn(f, 0.0, 2.0, 5) - std::sqrt(2.0));
+  const double e20 = std::fabs(bisect_fn(f, 0.0, 2.0, 20) - std::sqrt(2.0));
+  const double e60 = std::fabs(bisect_fn(f, 0.0, 2.0, 60) - std::sqrt(2.0));
+  EXPECT_LE(e20, e5);
+  EXPECT_LE(e60, e20);
+  EXPECT_LT(e60, 1e-12);
+}
+
+TEST(SolveFn, TemplateAcceptsMutableCallableWithoutCopying) {
+  // A counting callable passed by reference: the template forwards it, so
+  // the evaluation count is observable (two interior golden probes for the
+  // setup, then one new probe per iteration).
+  int calls = 0;
+  auto f = [&calls](double v) {
+    ++calls;
+    return -(v - 1.0) * (v - 1.0);
+  };
+  golden_max_fn(f, 0.0, 2.0, 1);
+  EXPECT_EQ(calls, 3);
+  calls = 0;
+  golden_max_fn(f, 0.0, 2.0, 10);
+  EXPECT_EQ(calls, 12);
+}
+
 TEST(InterpClamped, InteriorLinear) {
   const double xs[] = {0.0, 1.0, 2.0};
   const double ys[] = {0.0, 10.0, 40.0};
