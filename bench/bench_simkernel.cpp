@@ -5,9 +5,14 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 
+#include "campaign/campaign.hpp"
 #include "env/environment.hpp"
 #include "harvest/transducers.hpp"
+#include "power/chain.hpp"
+#include "power/converter.hpp"
+#include "power/mppt.hpp"
 #include "storage/supercapacitor.hpp"
 #include "systems/catalog.hpp"
 #include "systems/runner.hpp"
@@ -144,6 +149,115 @@ void BM_SystemA_DayRun(benchmark::State& state) {
                           static_cast<int64_t>(kDay / kDt));
 }
 BENCHMARK(BM_SystemA_DayRun)->Unit(benchmark::kMillisecond);
+
+/// A minimal probe platform (one cheap linear-source chain into a supercap,
+/// no node): the kind of parameter-sweep variant a design-space campaign
+/// runs by the dozen, where ambient synthesis — not platform physics —
+/// dominates each step. Variants cycle through the cheap transducer
+/// modalities so every job is distinct work against the same site.
+std::unique_ptr<systems::Platform> probe_platform(std::size_t variant) {
+  systems::PlatformSpec spec;
+  spec.name = "probe-" + std::to_string(variant);
+  auto p = std::make_unique<systems::Platform>(spec);
+  std::unique_ptr<harvest::Harvester> source;
+  switch (variant % 3) {
+    case 0: {
+      harvest::Teg::Params tp;
+      tp.seebeck_per_kelvin = Volts{0.04 + 0.005 * static_cast<double>(variant)};
+      tp.internal_resistance = Ohms{4.0 + static_cast<double>(variant)};
+      source = std::make_unique<harvest::Teg>("teg", tp);
+      break;
+    }
+    case 1: {
+      harvest::VibrationHarvester::Params vp;
+      vp.proof_mass_kg = 0.005 + 0.001 * static_cast<double>(variant);
+      source = std::make_unique<harvest::VibrationHarvester>(
+          "pz", vp, harvest::HarvesterKind::kPiezo);
+      break;
+    }
+    default: {
+      harvest::RfHarvester::Params rp;
+      rp.aperture_m2 = 0.004 + 0.001 * static_cast<double>(variant);
+      source = std::make_unique<harvest::RfHarvester>("rf", rp);
+      break;
+    }
+  }
+  p->add_input(std::make_unique<power::InputChain>(
+      std::move(source), std::make_unique<power::OracleMppt>(),
+      power::Converter::schottky_diode("d"), Seconds{10.0}));
+  storage::Supercapacitor::Params sp;
+  sp.main_capacitance = Farads{1.0};
+  sp.initial_voltage = Volts{2.5};
+  p->add_storage(std::make_unique<storage::Supercapacitor>("buf", sp), 0);
+  return p;
+}
+
+/// The survey's full multi-source site: every ambient channel active, so one
+/// synthesis pass feeds probes of any modality.
+env::Environment full_site(std::uint64_t seed) {
+  env::Environment e(seed, "full multi-source site");
+  e.with_solar({})
+      .with_indoor_light({})
+      .with_wind({})
+      .with_hvac_flow({})
+      .with_thermal({})
+      .with_vibration({})
+      .with_rf({})
+      .with_water_flow({});
+  return e;
+}
+
+/// 12 probe variants x 1 scenario x 2 seeds, one simulated hour each: the
+/// campaign shape where every variant replays the same (scenario, seed)
+/// ambient timeline, so the trace cache compiles each timeline once and
+/// shares it across all 12 platforms.
+campaign::CampaignSpec probe_grid(bool optimized) {
+  campaign::CampaignSpec spec;
+  for (std::size_t variant = 0; variant < 12; ++variant)
+    spec.platforms.push_back({"probe-" + std::to_string(variant),
+                              [variant](std::uint64_t) {
+                                return probe_platform(variant);
+                              }});
+  campaign::Scenario sc;
+  sc.name = "site-hour";
+  sc.environment = [](std::uint64_t seed) {
+    return std::make_unique<env::Environment>(full_site(seed));
+  };
+  sc.duration = Seconds{3600.0};
+  sc.options.dt = Seconds{1.0};
+  spec.scenarios.push_back(std::move(sc));
+  spec.seeds = {1, 2};
+  spec.threads = 1;  // measure the single-core kernel, not the thread pool
+  spec.compile_traces = optimized;
+  spec.longest_first = optimized;
+  return spec;
+}
+
+void BM_Campaign_Grid(benchmark::State& state) {
+  // The headline campaign kernel: compiled shared traces + LPT scheduling.
+  std::uint64_t jobs = 0;
+  for (auto _ : state) {
+    campaign::Campaign c(probe_grid(true));
+    jobs += c.run().size();
+    benchmark::DoNotOptimize(c.results().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(jobs) * 3600);
+}
+BENCHMARK(BM_Campaign_Grid)->Unit(benchmark::kMillisecond);
+
+void BM_Campaign_Grid_Resynth(benchmark::State& state) {
+  // Control: identical grid with the trace cache and LPT ordering disabled,
+  // so every job re-synthesizes its ambient timeline live. The ratio to
+  // BM_Campaign_Grid is the whole-campaign win from trace sharing.
+  std::uint64_t jobs = 0;
+  for (auto _ : state) {
+    campaign::Campaign c(probe_grid(false));
+    jobs += c.run().size();
+    benchmark::DoNotOptimize(c.results().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(jobs) * 3600);
+}
+BENCHMARK(BM_Campaign_Grid_Resynth)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

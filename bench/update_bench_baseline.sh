@@ -4,9 +4,9 @@
 # Usage: bench/update_bench_baseline.sh [build-dir] [label]
 #
 # The file keeps two parts:
-#   - "history": one compact record of BM_SystemA_DayRun per labelled run,
-#     appended on every invocation, so the whole-run steps/second trend
-#     survives rebaselines;
+#   - "history": one compact record per labelled run of BM_SystemA_DayRun
+#     and (when present) the BM_Campaign_Grid pair, appended on every
+#     invocation, so the throughput trends survive rebaselines;
 #   - "current": the full google-benchmark JSON of the latest run.
 #
 # Also available as the `bench_baseline` CMake target.
@@ -18,7 +18,7 @@ OUT="$ROOT/BENCH_kernels.json"
 TMP="$(mktemp)"
 
 "$BUILD_DIR/bench/bench_simkernel" --benchmark_format=json \
-  --benchmark_min_time=0.5 > "$TMP"
+  --benchmark_min_time=1 > "$TMP"
 
 python3 - "$TMP" "$OUT" "$LABEL" <<'EOF'
 import json
@@ -32,17 +32,38 @@ try:
 except (FileNotFoundError, json.JSONDecodeError):
     history = []
 
-day = next(b for b in run["benchmarks"] if b["name"] == "BM_SystemA_DayRun")
-history.append({
+def find(name):
+    return next((b for b in run["benchmarks"] if b["name"] == name), None)
+
+day = find("BM_SystemA_DayRun")
+record = {
     "label": label,
     "BM_SystemA_DayRun": {
         "real_time_ms": day["real_time"],
         "steps_per_second": day["items_per_second"],
     },
-})
+}
+grid, resynth = find("BM_Campaign_Grid"), find("BM_Campaign_Grid_Resynth")
+if grid is not None:
+    record["BM_Campaign_Grid"] = {
+        "real_time_ms": grid["real_time"],
+        "steps_per_second": grid["items_per_second"],
+    }
+    if resynth is not None:
+        record["BM_Campaign_Grid_Resynth"] = {
+            "real_time_ms": resynth["real_time"],
+            "steps_per_second": resynth["items_per_second"],
+        }
+        record["campaign_trace_speedup"] = (
+            resynth["real_time"] / grid["real_time"])
+history.append(record)
 
 json.dump({"history": history, "current": run}, open(out_path, "w"), indent=1)
 print(f"BENCH_kernels.json: {label}: "
       f"{day['items_per_second']:.3g} steps/s ({day['real_time']:.1f} ms/day)")
+if grid is not None and resynth is not None:
+    print(f"  BM_Campaign_Grid: {grid['real_time']:.1f} ms vs "
+          f"{resynth['real_time']:.1f} ms resynth "
+          f"({resynth['real_time'] / grid['real_time']:.2f}x)")
 EOF
 rm -f "$TMP"

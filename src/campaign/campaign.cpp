@@ -1,7 +1,9 @@
 #include "campaign/campaign.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <numeric>
 #include <thread>
 
 #include "core/error.hpp"
@@ -99,6 +101,8 @@ Campaign::Campaign(CampaignSpec spec) : spec_(std::move(spec)) {
                  "Campaign scenario '" + s.name + "' has no environment factory");
     require_spec(s.duration.value() > 0.0,
                  "Campaign scenario '" + s.name + "' needs positive duration");
+    require_spec(s.options.dt.value() > 0.0,
+                 "Campaign scenario '" + s.name + "' needs positive dt");
     require_spec(s.options.recorder == nullptr,
                  "Campaign scenario '" + s.name +
                      "' must not share a TraceRecorder across jobs");
@@ -114,17 +118,46 @@ std::size_t Campaign::flat_index(std::size_t platform, std::size_t scenario,
          seed_index;
 }
 
-void Campaign::run_job(JobResult& job) const {
+std::shared_ptr<const env::CompiledTrace> Campaign::compiled_trace(
+    std::size_t scenario_index, std::size_t seed_index) {
+  auto& slot = trace_slots_[scenario_index * spec_.seeds.size() + seed_index];
+  std::call_once(slot.once, [&] {
+    try {
+      const auto& scenario = spec_.scenarios[scenario_index];
+      auto source = scenario.environment(spec_.seeds[seed_index]);
+      require_spec(source != nullptr,
+                   "Campaign environment factory '" + scenario.name +
+                       "' returned null");
+      slot.trace = env::CompiledTrace::compile(*source, scenario.options.dt,
+                                               scenario.duration);
+      trace_compiles_.fetch_add(1, std::memory_order_relaxed);
+    } catch (const std::exception& e) {
+      slot.error = e.what();
+    } catch (...) {
+      slot.error = "unknown error compiling trace";
+    }
+  });
+  if (!slot.error.empty()) throw SpecError(slot.error);
+  return slot.trace;
+}
+
+void Campaign::run_job(JobResult& job) {
   const auto& variant = spec_.platforms[job.platform_index];
   const auto& scenario = spec_.scenarios[job.scenario_index];
 
   auto platform = variant.make(job.seed);
   require_spec(platform != nullptr,
                "Campaign platform factory '" + variant.name + "' returned null");
-  auto environment = scenario.environment(job.seed);
-  require_spec(environment != nullptr,
-               "Campaign environment factory '" + scenario.name +
-                   "' returned null");
+  std::unique_ptr<env::EnvironmentModel> environment;
+  if (spec_.compile_traces) {
+    environment = std::make_unique<env::CompiledEnvironment>(
+        compiled_trace(job.scenario_index, job.seed_index));
+  } else {
+    environment = scenario.environment(job.seed);
+    require_spec(environment != nullptr,
+                 "Campaign environment factory '" + scenario.name +
+                     "' returned null");
+  }
 
   systems::RunOptions options = scenario.options;
   std::unique_ptr<fault::FaultInjector> injector;
@@ -151,14 +184,38 @@ const std::vector<JobResult>& Campaign::run() {
         job.seed = spec_.seeds[k];
       }
 
+  if (spec_.compile_traces && !trace_slots_) {
+    trace_slots_ = std::make_unique<TraceSlot[]>(spec_.scenarios.size() *
+                                                 spec_.seeds.size());
+  }
+
+  // Workers pop jobs through a fixed permutation of the grid. With
+  // longest_first the permutation sorts by expected step count
+  // (duration / dt, the dominant cost driver) so the pool never strands its
+  // tail behind one late-popped long job; the stable sort keeps grid order
+  // among equals. Results still land in grid-order slots either way.
+  std::vector<std::size_t> order(total);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (spec_.longest_first) {
+    const auto expected_steps = [this](std::size_t i) {
+      const auto& s = spec_.scenarios[results_[i].scenario_index];
+      return s.duration.value() / s.options.dt.value();
+    };
+    std::stable_sort(order.begin(), order.end(),
+                     [&expected_steps](std::size_t a, std::size_t b) {
+                       return expected_steps(a) > expected_steps(b);
+                     });
+  }
+
   // Each error slot is written by exactly one worker (the one that popped
   // that job), so no synchronization beyond the join is needed.
   std::vector<std::string> errors(total);
   std::atomic<std::size_t> next{0};
-  const auto worker = [this, total, &next, &errors] {
+  const auto worker = [this, total, &next, &errors, &order] {
     for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= total) return;
+      const std::size_t n = next.fetch_add(1, std::memory_order_relaxed);
+      if (n >= total) return;
+      const std::size_t i = order[n];
       try {
         run_job(results_[i]);
       } catch (const std::exception& e) {

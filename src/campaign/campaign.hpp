@@ -3,23 +3,30 @@
 // A Campaign fans the full (platform-variant x scenario x seed) grid of
 // independent run_platform jobs across a std::thread pool. Every job builds
 // its OWN platform, environment, and (optional) fault injector through the
-// factories in the spec — nothing is shared between workers, which is the
-// entire thread-safety model: Platform, Harvester (and its MPP cache), and
-// the seeded RNG streams are all plain single-threaded state, so isolation
-// by construction beats locking on every hot-path access. Results land in a
-// preallocated slot per grid point, so their order is the deterministic grid
-// order (platform-major, then scenario, then seed) regardless of how the
-// pool schedules the jobs — to_string(RunResult) of every job is
-// byte-identical whether the campaign ran on 1 thread or N.
+// factories in the spec — no mutable state is shared between workers, which
+// is the entire thread-safety model: Platform, Harvester (and its MPP
+// cache), and the seeded RNG streams are all plain single-threaded state, so
+// isolation by construction beats locking on every hot-path access. The one
+// shared object is immutable: with compile_traces on, the (scenario, seed)
+// ambient timeline is compiled once into an env::CompiledTrace and every
+// platform variant's job replays it through its own CompiledEnvironment
+// cursor. Results land in a preallocated slot per grid point, so their order
+// is the deterministic grid order (platform-major, then scenario, then seed)
+// regardless of how the pool schedules the jobs — to_string(RunResult) of
+// every job is byte-identical whether the campaign ran on 1 thread or N,
+// with trace compilation on or off.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/units.hpp"
+#include "env/compiled_trace.hpp"
 #include "env/environment.hpp"
 #include "fault/injector.hpp"
 #include "systems/platform.hpp"
@@ -66,6 +73,17 @@ struct CampaignSpec {
   /// Worker threads; 0 picks std::thread::hardware_concurrency(). The
   /// thread count never changes any result byte, only the wall clock.
   unsigned threads{0};
+  /// Compile each (scenario, seed) ambient timeline once into an immutable
+  /// structure-of-arrays env::CompiledTrace and replay it through a per-job
+  /// CompiledEnvironment cursor, instead of re-synthesizing the channel
+  /// stack in every job. Every platform variant on the same (scenario, seed)
+  /// shares one snapshot. Kill switch for determinism audits: results are
+  /// byte-identical either way.
+  bool compile_traces{true};
+  /// Pop jobs longest-expected-duration-first (expected steps =
+  /// duration / dt) so a long scenario cannot strand the pool tail on one
+  /// worker. Results stay in grid order; this flag never changes a byte.
+  bool longest_first{true};
 };
 
 /// One grid point's outcome, tagged with its coordinates.
@@ -129,14 +147,34 @@ class Campaign {
   [[nodiscard]] std::vector<FieldStats> seed_stats(std::size_t platform,
                                                    std::size_t scenario) const;
 
+  /// Ambient timelines actually compiled (0 with compile_traces off). Every
+  /// platform variant shares the same (scenario, seed) snapshot, so after a
+  /// full run this equals scenarios x seeds however many variants ran.
+  [[nodiscard]] std::uint64_t trace_compiles() const {
+    return trace_compiles_.load(std::memory_order_relaxed);
+  }
+
  private:
+  struct TraceSlot {
+    std::once_flag once;
+    std::shared_ptr<const env::CompiledTrace> trace;
+    std::string error;
+  };
+
   [[nodiscard]] std::size_t flat_index(std::size_t platform,
                                        std::size_t scenario,
                                        std::size_t seed_index) const;
-  void run_job(JobResult& job) const;
+  /// Lazily compiles (or waits for) the (scenario, seed) snapshot; rethrows
+  /// a captured compile failure for every job that needed the slot.
+  [[nodiscard]] std::shared_ptr<const env::CompiledTrace> compiled_trace(
+      std::size_t scenario_index, std::size_t seed_index);
+  void run_job(JobResult& job);
 
   CampaignSpec spec_;
   std::vector<JobResult> results_;
+  // once_flag is neither movable nor copyable, hence the raw array.
+  std::unique_ptr<TraceSlot[]> trace_slots_;
+  std::atomic<std::uint64_t> trace_compiles_{0};
   bool ran_{false};
 };
 

@@ -1,0 +1,176 @@
+#include "campaign/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/error.hpp"
+
+namespace msehsim::campaign {
+
+namespace {
+
+/// Same full-precision format as to_string(RunResult): %.17g round-trips
+/// every double bit-exactly through parse_csv.
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_text(const std::string& path, const std::string& text) {
+  std::ofstream file(path, std::ios::binary);
+  require_spec(file.good(), "campaign export: cannot open '" + path + "'");
+  file << text;
+  require_spec(file.good(), "campaign export: write to '" + path + "' failed");
+}
+
+}  // namespace
+
+std::string results_csv(const Campaign& campaign) {
+  const auto& fields = run_result_fields();
+  std::string out = "platform,scenario,seed_index,seed";
+  for (const auto& f : fields) {
+    out += ',';
+    out += f.name;
+  }
+  out += '\n';
+  for (const auto& job : campaign.results()) {
+    out += num(static_cast<double>(job.platform_index));
+    out += ',';
+    out += num(static_cast<double>(job.scenario_index));
+    out += ',';
+    out += num(static_cast<double>(job.seed_index));
+    out += ',';
+    out += num(static_cast<double>(job.seed));
+    for (const auto& f : fields) {
+      out += ',';
+      out += num(f.get(job.result));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string seed_stats_csv(const Campaign& campaign) {
+  const auto& fields = run_result_fields();
+  std::string out = "platform,scenario";
+  for (const auto& f : fields) {
+    for (const char* stat : {".mean", ".stddev", ".min", ".max"}) {
+      out += ',';
+      out += f.name;
+      out += stat;
+    }
+  }
+  out += '\n';
+  const auto& spec = campaign.spec();
+  for (std::size_t p = 0; p < spec.platforms.size(); ++p) {
+    for (std::size_t s = 0; s < spec.scenarios.size(); ++s) {
+      const auto stats = campaign.seed_stats(p, s);
+      out += num(static_cast<double>(p));
+      out += ',';
+      out += num(static_cast<double>(s));
+      for (const auto& fs : stats) {
+        for (const double v : {fs.mean, fs.stddev, fs.min, fs.max}) {
+          out += ',';
+          out += num(v);
+        }
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string results_json(const Campaign& campaign) {
+  const auto& fields = run_result_fields();
+  const auto& spec = campaign.spec();
+  std::string out = "{\n  \"platforms\": [";
+  for (std::size_t p = 0; p < spec.platforms.size(); ++p) {
+    if (p) out += ", ";
+    out += '"' + json_escape(spec.platforms[p].name) + '"';
+  }
+  out += "],\n  \"scenarios\": [";
+  for (std::size_t s = 0; s < spec.scenarios.size(); ++s) {
+    if (s) out += ", ";
+    out += '"' + json_escape(spec.scenarios[s].name) + '"';
+  }
+  out += "],\n  \"seeds\": [";
+  for (std::size_t k = 0; k < spec.seeds.size(); ++k) {
+    if (k) out += ", ";
+    out += num(static_cast<double>(spec.seeds[k]));
+  }
+  out += "],\n  \"jobs\": [";
+  bool first_job = true;
+  for (const auto& job : campaign.results()) {
+    out += first_job ? "\n" : ",\n";
+    first_job = false;
+    out += "    {\"platform\": " + num(static_cast<double>(job.platform_index)) +
+           ", \"scenario\": " + num(static_cast<double>(job.scenario_index)) +
+           ", \"seed_index\": " + num(static_cast<double>(job.seed_index)) +
+           ", \"seed\": " + num(static_cast<double>(job.seed)) + ", \"fields\": {";
+    for (std::size_t f = 0; f < fields.size(); ++f) {
+      if (f) out += ", ";
+      out += '"' + json_escape(fields[f].name) +
+             "\": " + num(fields[f].get(job.result));
+    }
+    out += "}}";
+  }
+  out += "\n  ],\n  \"seed_stats\": [";
+  bool first_cell = true;
+  for (std::size_t p = 0; p < spec.platforms.size(); ++p) {
+    for (std::size_t s = 0; s < spec.scenarios.size(); ++s) {
+      out += first_cell ? "\n" : ",\n";
+      first_cell = false;
+      const auto stats = campaign.seed_stats(p, s);
+      out += "    {\"platform\": " + num(static_cast<double>(p)) +
+             ", \"scenario\": " + num(static_cast<double>(s)) + ", \"fields\": {";
+      for (std::size_t f = 0; f < fields.size(); ++f) {
+        if (f) out += ", ";
+        out += '"' + json_escape(fields[f].name) + "\": {\"mean\": " +
+               num(stats[f].mean) + ", \"stddev\": " + num(stats[f].stddev) +
+               ", \"min\": " + num(stats[f].min) +
+               ", \"max\": " + num(stats[f].max) + '}';
+      }
+      out += "}}";
+    }
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+void write_results_csv(const Campaign& campaign, const std::string& path) {
+  write_text(path, results_csv(campaign));
+}
+
+void write_seed_stats_csv(const Campaign& campaign, const std::string& path) {
+  write_text(path, seed_stats_csv(campaign));
+}
+
+void write_results_json(const Campaign& campaign, const std::string& path) {
+  write_text(path, results_json(campaign));
+}
+
+}  // namespace msehsim::campaign

@@ -1,0 +1,35 @@
+// Campaign result exporters.
+//
+// Serializes a finished Campaign grid — per-job RunResults and the
+// per-(platform, scenario) seed statistics — to CSV and JSON for offline
+// analysis. The CSV flavors are fully numeric (grid coordinates as indices,
+// every value via %.17g) so core's parse_csv round-trips them bit-exactly;
+// the JSON carries the human-readable platform/scenario names alongside.
+#pragma once
+
+#include <string>
+
+#include "campaign/campaign.hpp"
+
+namespace msehsim::campaign {
+
+/// One row per job in grid order:
+/// `platform,scenario,seed_index,seed,<run_result_fields...>`.
+/// Numeric-only (indices, not names) so parse_csv round-trips it.
+[[nodiscard]] std::string results_csv(const Campaign& campaign);
+
+/// One row per (platform, scenario) cell:
+/// `platform,scenario,<field>.mean,<field>.stddev,<field>.min,<field>.max`
+/// for every run_result_fields() entry, aggregated across seeds.
+[[nodiscard]] std::string seed_stats_csv(const Campaign& campaign);
+
+/// The whole campaign as one JSON document: platform/scenario/seed axes by
+/// name, every job's fields, and the per-cell seed statistics.
+[[nodiscard]] std::string results_json(const Campaign& campaign);
+
+/// File-writing conveniences (throw SpecError on I/O failure).
+void write_results_csv(const Campaign& campaign, const std::string& path);
+void write_seed_stats_csv(const Campaign& campaign, const std::string& path);
+void write_results_json(const Campaign& campaign, const std::string& path);
+
+}  // namespace msehsim::campaign

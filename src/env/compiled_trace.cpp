@@ -1,0 +1,117 @@
+#include "env/compiled_trace.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace msehsim::env {
+
+namespace {
+
+/// True only for bit-exact +0.0: eliding -0.0 would swap the sign of a
+/// stored zero and could leak into a "-0"-vs-"0" byte difference in a
+/// %.17g report downstream.
+bool all_positive_zero(const std::vector<double>& v) {
+  for (const double x : v)
+    if (x != 0.0 || std::signbit(x)) return false;
+  return true;
+}
+
+void elide_if_zero(std::vector<double>& v) {
+  if (all_positive_zero(v)) {
+    v.clear();
+    v.shrink_to_fit();
+  }
+}
+
+}  // namespace
+
+CompiledTrace::CompiledTrace(EnvironmentModel& source, Seconds dt,
+                             Seconds duration)
+    : dt_(dt), duration_(duration), description_(source.description()) {
+  require_spec(dt.value() > 0.0, "CompiledTrace: dt must be > 0");
+  require_spec(duration.value() > 0.0, "CompiledTrace: duration must be > 0");
+  const auto reserve =
+      static_cast<std::size_t>(duration.value() / dt.value()) + 1;
+  for (auto* v : {&solar_, &lux_, &wind_, &thermal_, &vib_, &vibf_, &rf_, &water_})
+    v->reserve(reserve);
+  // Exactly core::Simulation's stepping scheme (run_platform starts at
+  // now = 0): repeated accumulation, half-step end tolerance. Any deviation
+  // here would desynchronize playback from a live run.
+  for (Seconds now{0.0}; now + dt * 0.5 < duration; now += dt) {
+    const AmbientConditions c = source.advance(now, dt);
+    solar_.push_back(c.solar_irradiance.value());
+    lux_.push_back(c.illuminance.value());
+    wind_.push_back(c.wind_speed.value());
+    thermal_.push_back(c.thermal_gradient.value());
+    vib_.push_back(c.vibration_rms.value());
+    vibf_.push_back(c.vibration_freq.value());
+    rf_.push_back(c.rf_power_density.value());
+    water_.push_back(c.water_flow.value());
+  }
+  steps_ = solar_.size();
+  require_spec(steps_ > 0, "CompiledTrace: zero-step timeline");
+  for (auto* v : {&solar_, &lux_, &wind_, &thermal_, &vib_, &vibf_, &rf_, &water_})
+    elide_if_zero(*v);
+}
+
+std::shared_ptr<const CompiledTrace> CompiledTrace::compile(
+    EnvironmentModel& source, Seconds dt, Seconds duration) {
+  return std::make_shared<const CompiledTrace>(source, dt, duration);
+}
+
+AmbientConditions CompiledTrace::at(std::size_t step) const {
+  require_spec(step < steps_, "CompiledTrace::at: step out of range");
+  AmbientConditions c;
+  c.solar_irradiance = WattsPerSquareMeter{slot(solar_, step)};
+  c.illuminance = Lux{slot(lux_, step)};
+  c.wind_speed = MetersPerSecond{slot(wind_, step)};
+  c.thermal_gradient = Kelvin{slot(thermal_, step)};
+  c.vibration_rms = MetersPerSecondSquared{slot(vib_, step)};
+  c.vibration_freq = Hertz{slot(vibf_, step)};
+  c.rf_power_density = WattsPerSquareMeter{slot(rf_, step)};
+  c.water_flow = MetersPerSecond{slot(water_, step)};
+  return c;
+}
+
+std::size_t CompiledTrace::memory_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto* v :
+       {&solar_, &lux_, &wind_, &thermal_, &vib_, &vibf_, &rf_, &water_})
+    bytes += v->capacity() * sizeof(double);
+  return bytes;
+}
+
+int CompiledTrace::stored_channels() const {
+  int n = 0;
+  for (const auto* v :
+       {&solar_, &lux_, &wind_, &thermal_, &vib_, &vibf_, &rf_, &water_})
+    if (!v->empty()) ++n;
+  return n;
+}
+
+CompiledEnvironment::CompiledEnvironment(
+    std::shared_ptr<const CompiledTrace> trace)
+    : trace_(std::move(trace)) {
+  require_spec(trace_ != nullptr, "CompiledEnvironment needs a trace");
+}
+
+AmbientConditions CompiledEnvironment::advance(Seconds now, Seconds dt) {
+  if (dt.value() != trace_->dt().value())
+    throw SpecError("CompiledEnvironment: dt " + std::to_string(dt.value()) +
+                    " does not match compiled dt " +
+                    std::to_string(trace_->dt().value()));
+  // now is the run's accumulated k-fold sum of dt, so now/dt sits within
+  // rounding noise of the integer slot index; round, then wrap for playback
+  // past the compiled horizon.
+  const auto idx = static_cast<std::size_t>(
+      std::llround(now.value() / trace_->dt().value()));
+  return trace_->at(idx % trace_->step_count());
+}
+
+std::string CompiledEnvironment::description() const {
+  return "compiled:" + trace_->description();
+}
+
+}  // namespace msehsim::env

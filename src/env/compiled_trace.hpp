@@ -1,0 +1,92 @@
+// Compiled ambient traces: synthesize once, replay everywhere.
+//
+// Profiling campaigns (DESIGN.md §8) showed that after the MPP work was
+// cached, the next per-step cost left in a grid job was the environment:
+// every job under one (scenario, env-seed) pair re-synthesizes the *same*
+// AmbientConditions timeline through up to eight optional virtual channels,
+// each burning transcendentals and RNG draws per step. A CompiledTrace is
+// the EnHANTs-style answer — an immutable, structure-of-arrays snapshot of
+// the full timeline, compiled once per (scenario, env-seed, dt, duration)
+// and shared read-only across every platform variant's job, with a
+// per-job CompiledEnvironment cursor for playback that is O(1) per step
+// and dispatches through zero virtual channels.
+//
+// Determinism contract: compilation replays exactly the stepping scheme of
+// systems::run_platform (now accumulated from zero by repeated += dt, one
+// advance(now, dt) per step), and playback returns the stored doubles
+// verbatim, so a run over a CompiledEnvironment is byte-identical to a run
+// over the freshly synthesized source environment.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "env/conditions.hpp"
+#include "env/environment.hpp"
+
+namespace msehsim::env {
+
+/// Immutable structure-of-arrays snapshot of a scenario's ambient timeline,
+/// one slot per dt step. Channels that are identically +0.0 over the whole
+/// timeline are elided (their array is dropped and playback reads zero), so
+/// a two-channel outdoor site does not pay eight arrays of storage.
+class CompiledTrace {
+ public:
+  /// Compiles @p source over [0, duration) at @p dt, mutating the source's
+  /// generator state exactly as a live run would.
+  CompiledTrace(EnvironmentModel& source, Seconds dt, Seconds duration);
+
+  /// Convenience: compile into the shared_ptr form campaign jobs consume.
+  static std::shared_ptr<const CompiledTrace> compile(EnvironmentModel& source,
+                                                      Seconds dt,
+                                                      Seconds duration);
+
+  [[nodiscard]] std::size_t step_count() const { return steps_; }
+  [[nodiscard]] Seconds dt() const { return dt_; }
+  [[nodiscard]] Seconds duration() const { return duration_; }
+  [[nodiscard]] const std::string& description() const { return description_; }
+
+  /// Conditions of slot @p step (elided channels read +0.0).
+  [[nodiscard]] AmbientConditions at(std::size_t step) const;
+
+  /// Bytes held by the channel arrays after zero-channel elision.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// Channels that survived elision (diagnostics / tests).
+  [[nodiscard]] int stored_channels() const;
+
+ private:
+  static double slot(const std::vector<double>& v, std::size_t i) {
+    return v.empty() ? 0.0 : v[i];
+  }
+
+  Seconds dt_{1.0};
+  Seconds duration_{0.0};
+  std::size_t steps_{0};
+  std::string description_;
+  std::vector<double> solar_, lux_, wind_, thermal_, vib_, vibf_, rf_, water_;
+};
+
+/// Lightweight playback cursor over a shared CompiledTrace. Each campaign
+/// job owns its own cursor, so read-only sharing of the snapshot keeps the
+/// isolation-by-construction model intact. Playback wraps modulo the
+/// compiled duration (like TraceEnvironment), so a trace compiled for one
+/// loop can also drive longer exploratory runs.
+class CompiledEnvironment final : public EnvironmentModel {
+ public:
+  explicit CompiledEnvironment(std::shared_ptr<const CompiledTrace> trace);
+
+  /// @p dt must equal the compiled dt — a mismatched step would silently
+  /// resample the timeline and break the byte-identity contract.
+  AmbientConditions advance(Seconds now, Seconds dt) override;
+  [[nodiscard]] std::string description() const override;
+
+  [[nodiscard]] const CompiledTrace& trace() const { return *trace_; }
+
+ private:
+  std::shared_ptr<const CompiledTrace> trace_;
+};
+
+}  // namespace msehsim::env

@@ -110,10 +110,10 @@ TraceEnvironment::TraceEnvironment(CsvData trace, std::string description)
   col_vibf_ = find("vibration_freq");
   col_rf_ = find("rf_power_density");
   col_water_ = find("water_flow");
-  const auto t0 = trace_.rows.front()[static_cast<std::size_t>(col_time_)];
-  const auto t1 = trace_.rows.back()[static_cast<std::size_t>(col_time_)];
-  require_spec(t1 > t0, "TraceEnvironment: trace time must be increasing");
-  duration_ = Seconds{t1 - t0};
+  t_first_ = trace_.rows.front()[static_cast<std::size_t>(col_time_)];
+  t_last_ = trace_.rows.back()[static_cast<std::size_t>(col_time_)];
+  require_spec(t_last_ > t_first_, "TraceEnvironment: trace time must be increasing");
+  duration_ = Seconds{t_last_ - t_first_};
 }
 
 TraceEnvironment TraceEnvironment::from_file(const std::string& path) {
@@ -127,9 +127,15 @@ double TraceEnvironment::cell(std::size_t row, int col) const {
 
 AmbientConditions TraceEnvironment::advance(Seconds now, Seconds dt) {
   (void)dt;
-  const double t0 = trace_.rows.front()[static_cast<std::size_t>(col_time_)];
-  double t = t0 + std::fmod(now.value() - 0.0, duration_.value());
+  const double t0 = t_first_;
+  double t = t0 + std::fmod(now.value(), duration_.value());
   if (t < t0) t += duration_.value();
+  // The last row is the loop's end marker, identical in phase to the first:
+  // the wrapped time is < duration mathematically, but the fmod-plus-t0
+  // rounding can land t exactly on (or past) the final timestamp — e.g. when
+  // fl(t_last - t0) rounded the duration up — and the binary search would
+  // then play the end marker for one step instead of restarting the loop.
+  if (t >= t_last_) t = t0;
   // Find the last row with time <= t (rows are sorted by construction check
   // on endpoints; binary search over the time column).
   std::size_t lo = 0;

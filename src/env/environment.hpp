@@ -100,6 +100,7 @@ class TraceEnvironment final : public EnvironmentModel {
   CsvData trace_;
   std::string description_;
   Seconds duration_{0.0};
+  double t_first_{0.0}, t_last_{0.0};
   int col_time_{-1}, col_solar_{-1}, col_lux_{-1}, col_wind_{-1}, col_dt_{-1},
       col_vib_{-1}, col_vibf_{-1}, col_rf_{-1}, col_water_{-1};
 };

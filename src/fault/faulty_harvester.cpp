@@ -79,6 +79,24 @@ harvest::OperatingPoint FaultyHarvester::compute_mpp() const {
   return mpp;
 }
 
+std::optional<harvest::TheveninSource> FaultyHarvester::thevenin_equivalent()
+    const {
+  if (!producing()) return harvest::TheveninSource{Volts{0.0}, Ohms{1.0}};
+  const auto inner = inner_->thevenin_equivalent();
+  if (!inner || mode_ != Mode::kDegraded) return inner;
+  if (output_fraction_ <= 0.0)
+    return harvest::TheveninSource{Volts{0.0}, Ohms{1.0}};
+  return harvest::TheveninSource{inner->voc, inner->r / output_fraction_};
+}
+
+harvest::OperatingPoint FaultyHarvester::shifted_mpp(Volts shift) const {
+  if (!producing()) return harvest::OperatingPoint{};
+  harvest::OperatingPoint mpp = inner_->shifted_mpp(shift);
+  mpp.i = current_at(mpp.v + shift);
+  mpp.p = mpp.v * mpp.i;
+  return mpp;
+}
+
 Volts FaultyHarvester::open_circuit_voltage() const {
   // An open connector still shows the source's Voc at the harvester side but
   // nothing reaches the chain terminals; a short clamps them to zero. Either

@@ -36,6 +36,16 @@ class FaultyHarvester final : public harvest::Harvester {
   [[nodiscard]] Amps current_at(Volts v) const override;
   [[nodiscard]] Volts open_circuit_voltage() const override;
 
+  /// Faults preserve Thevenin-ness: a suppressed source is the zero source,
+  /// uniform degradation of (Voc - V)/R is (Voc - V)/(R/f), and healthy mode
+  /// passes the inner equivalent through.
+  [[nodiscard]] std::optional<harvest::TheveninSource> thevenin_equivalent()
+      const override;
+
+  /// Uniform current scaling keeps the shifted argmax, so delegate to the
+  /// inner closed form and re-read the current through this wrapper's curve.
+  [[nodiscard]] harvest::OperatingPoint shifted_mpp(Volts shift) const override;
+
   // ---- Fault control ------------------------------------------------------
 
   /// Degraded mode: output current (hence power) scaled by @p output_fraction

@@ -40,13 +40,33 @@ class DiodeOrCombiner final : public Harvester {
   /// latched conditions (the one that will conduct).
   [[nodiscard]] std::size_t dominant_source() const;
 
+  /// The 80-probe golden-section search over the summed curve that
+  /// compute_mpp() used to run — kept public as the numeric cross-check for
+  /// the piecewise closed form (tests assert <= 1e-9 relative agreement).
+  [[nodiscard]] OperatingPoint golden_section_mpp() const {
+    return Harvester::compute_mpp();
+  }
+
  protected:
   void do_set_conditions(const env::AmbientConditions& c) override;
+
+  /// Piecewise closed-form MPP. Between consecutive conduction cutoffs
+  /// c_i = Voc_i - drop the active set is fixed; the Thevenin actives sum to
+  /// the quadratic P = v (A - B v), whose clamped vertex is exact. Sources
+  /// without a Thevenin equivalent (PV knee, capped turbine) contribute
+  /// their own closed-form shifted MPP as a candidate. Every candidate is
+  /// evaluated through the authoritative current_at() and the best kept — no
+  /// per-step iterative search survives.
+  [[nodiscard]] OperatingPoint compute_mpp() const override;
 
  private:
   std::string name_;
   std::vector<std::unique_ptr<Harvester>> sources_;
   Volts diode_drop_;
+  // Sum of the sources' curve revisions at the last do_set_conditions():
+  // fault transitions inside a source swap its curve without changing the
+  // ambient-conditions cache key, so the combiner tracks revisions itself.
+  std::uint64_t sources_revision_{0};
 };
 
 }  // namespace msehsim::harvest

@@ -36,7 +36,7 @@ std::string_view to_string(HarvesterKind kind) {
 
 void Harvester::set_conditions(const env::AmbientConditions& c) {
   if (!mpp_key_set_ || !(c == mpp_key_)) {
-    mpp_valid_ = false;
+    invalidate_mpp_cache();
     mpp_key_ = c;
     mpp_key_set_ = true;
   }
@@ -65,6 +65,24 @@ OperatingPoint Harvester::compute_mpp() const {
   OperatingPoint mpp;
   mpp.v = Volts{v_star};
   mpp.i = current_at(mpp.v);
+  mpp.p = mpp.v * mpp.i;
+  return mpp;
+}
+
+OperatingPoint Harvester::shifted_mpp(Volts shift) const {
+  const Volts voc = open_circuit_voltage();
+  const double s = shift.value();
+  if (voc.value() <= s) return OperatingPoint{};
+  // Search over the source voltage u in [s, Voc]; the combiner terminal sees
+  // v = u - s while the source conducts I(u).
+  const double u_star = golden_max_fn(
+      [this, s](double u) {
+        return (u - s) * current_at(Volts{u}).value();
+      },
+      s, voc.value());
+  OperatingPoint mpp;
+  mpp.v = Volts{u_star - s};
+  mpp.i = current_at(Volts{u_star});
   mpp.p = mpp.v * mpp.i;
   return mpp;
 }

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -92,6 +93,33 @@ class Harvester {
   /// compute_mpp() because identical conditions define an identical curve.
   [[nodiscard]] OperatingPoint maximum_power_point() const;
 
+  /// Exact Thevenin equivalent of the current curve under the latched
+  /// conditions, when the curve is exactly linear (TEG, vibration, RF,
+  /// AC/DC, an uncapped turbine, and their fault wrappers). nullopt means
+  /// "not representable" (PV diode knee, a power-capped turbine). Composite
+  /// harvesters use this to solve their own MPP in closed form region by
+  /// region instead of searching the summed curve.
+  [[nodiscard]] virtual std::optional<TheveninSource> thevenin_equivalent()
+      const {
+    return std::nullopt;
+  }
+
+  /// Maximum of (u - shift) * I(u) over the source voltage u — the operating
+  /// point a diode-OR combiner would pick were this source alone conducting
+  /// behind a diode of forward drop @p shift. Reported at the *combiner*
+  /// terminal: v = u - shift, i = I(u), p = v * i. The default runs the
+  /// golden-section fallback; transducers with a closed-form knee override
+  /// it (PvPanel: shifted log-domain Newton). shift = 0 reduces to the
+  /// plain MPP.
+  [[nodiscard]] virtual OperatingPoint shifted_mpp(Volts shift) const;
+
+  /// Monotone count of curve changes: bumped whenever the latched conditions
+  /// change and whenever invalidate_mpp_cache() fires (fault-mode
+  /// transitions, intermittent flips, hot-swaps). Composites such as
+  /// DiodeOrCombiner watch their sources' revisions to drop their own cached
+  /// MPP on changes their conditions key cannot see.
+  [[nodiscard]] std::uint64_t curve_revision() const { return curve_revision_; }
+
   // ---- MPP cache instrumentation and control ------------------------------
 
   /// Times maximum_power_point() was answered from the cache / recomputed.
@@ -118,11 +146,15 @@ class Harvester {
 
   /// Drops the cached MPP. For curve changes invisible to the conditions
   /// key — fault-mode transitions, hot-swapped internals.
-  void invalidate_mpp_cache() const { mpp_valid_ = false; }
+  void invalidate_mpp_cache() const {
+    mpp_valid_ = false;
+    ++curve_revision_;
+  }
 
  private:
   mutable OperatingPoint mpp_cache_;
   mutable bool mpp_valid_{false};
+  mutable std::uint64_t curve_revision_{0};
   mutable std::uint64_t mpp_hits_{0};
   mutable std::uint64_t mpp_recomputes_{0};
   bool mpp_key_set_{false};

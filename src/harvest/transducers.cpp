@@ -96,6 +96,35 @@ OperatingPoint PvPanel::compute_mpp() const {
   return mpp;
 }
 
+OperatingPoint PvPanel::shifted_mpp(Volts shift) const {
+  const double s = shift.value();
+  if (s <= 0.0) return maximum_power_point();
+  if (photo_current_.value() <= 0.0 ||
+      open_circuit_voltage().value() <= s)
+    return OperatingPoint{};
+  // Maximize (u - s) I(u) over the panel voltage u. Stationarity on the
+  // single-diode curve gives e^x (1 + x - d) = K with x = u/Vt, d = s/Vt,
+  // K = (Iph + I0)/I0 — the same log-domain Newton as compute_mpp with the
+  // knee shifted by the diode drop: g(x) = x + log1p(x - d) - ln K.
+  const double vt = thermal_voltage();
+  const double d = s / vt;
+  const double ln_k =
+      std::log1p(photo_current_.value() / saturation_current_.value());
+  double x = ln_k;  // = Voc/Vt > d here, so g(x0) >= 0 and 1 + x0 - d > 1
+  for (int i = 0; i < 16; ++i) {
+    const double g = x + std::log1p(x - d) - ln_k;
+    const double step = g / (1.0 + 1.0 / (1.0 + x - d));
+    x -= step;
+    if (x < d) x = d;
+    if (std::fabs(step) <= 1e-15 * std::max(1.0, x)) break;
+  }
+  OperatingPoint mpp;
+  mpp.v = Volts{vt * x - s};
+  mpp.i = current_at(Volts{vt * x});
+  mpp.p = mpp.v * mpp.i;
+  return mpp;
+}
+
 // ---------------------------------------------------------------------------
 // WindTurbine
 // ---------------------------------------------------------------------------
@@ -156,6 +185,41 @@ Volts WindTurbine::open_circuit_voltage() const {
   return available_.value() > 0.0 ? source_.voc : Volts{0.0};
 }
 
+
+std::optional<TheveninSource> WindTurbine::thevenin_equivalent() const {
+  if (available_.value() <= 0.0)
+    return TheveninSource{Volts{0.0}, params_.internal_resistance};
+  if (source_.max_power().value() <= available_.value()) return source_;
+  return std::nullopt;  // aero cap carves a plateau into the curve
+}
+
+OperatingPoint WindTurbine::shifted_mpp(Volts shift) const {
+  const double s = shift.value();
+  if (s <= 0.0) return maximum_power_point();
+  const double voc = open_circuit_voltage().value();
+  if (voc <= s) return OperatingPoint{};
+  const double r = params_.internal_resistance.value();
+  // Shifted Thevenin objective (u - s)(Voc - u)/R peaks at (Voc + s)/2; if
+  // the aero cap bites, the objective is increasing across the constant-power
+  // plateau, so its upper edge is the only other candidate. Evaluate both
+  // through the authoritative (capped) curve and keep the better.
+  double best_u = std::clamp(0.5 * (voc + s), s, voc);
+  double best_p = (best_u - s) * current_at(Volts{best_u}).value();
+  const double disc = voc * voc - 4.0 * r * available_.value();
+  if (disc > 0.0) {
+    const double edge = std::clamp(0.5 * (voc + std::sqrt(disc)), s, voc);
+    const double p = (edge - s) * current_at(Volts{edge}).value();
+    if (p > best_p) {
+      best_p = p;
+      best_u = edge;
+    }
+  }
+  OperatingPoint mpp;
+  mpp.v = Volts{best_u - s};
+  mpp.i = current_at(Volts{best_u});
+  mpp.p = mpp.v * mpp.i;
+  return mpp;
+}
 
 OperatingPoint WindTurbine::compute_mpp() const {
   if (available_.value() <= 0.0 || source_.voc.value() <= 0.0)

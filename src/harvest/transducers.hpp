@@ -36,6 +36,7 @@ class PvPanel final : public Harvester {
   }
   [[nodiscard]] Amps current_at(Volts v) const override;
   [[nodiscard]] Volts open_circuit_voltage() const override;
+  [[nodiscard]] OperatingPoint shifted_mpp(Volts shift) const override;
 
  protected:
   void do_set_conditions(const env::AmbientConditions& c) override;
@@ -75,6 +76,11 @@ class WindTurbine final : public Harvester {
   [[nodiscard]] HarvesterKind kind() const override { return kind_; }
   [[nodiscard]] Amps current_at(Volts v) const override;
   [[nodiscard]] Volts open_circuit_voltage() const override;
+  /// Thevenin only while the aero cap is slack (Voc^2/4R <= available);
+  /// a capped turbine's plateau is not a linear curve.
+  [[nodiscard]] std::optional<TheveninSource> thevenin_equivalent()
+      const override;
+  [[nodiscard]] OperatingPoint shifted_mpp(Volts shift) const override;
 
  protected:
   void do_set_conditions(const env::AmbientConditions& c) override;
@@ -115,6 +121,10 @@ class Teg final : public Harvester {
   }
   [[nodiscard]] Amps current_at(Volts v) const override;
   [[nodiscard]] Volts open_circuit_voltage() const override;
+  [[nodiscard]] std::optional<TheveninSource> thevenin_equivalent()
+      const override {
+    return source_;
+  }
 
  protected:
   void do_set_conditions(const env::AmbientConditions& c) override;
@@ -151,6 +161,10 @@ class VibrationHarvester final : public Harvester {
   [[nodiscard]] HarvesterKind kind() const override { return kind_; }
   [[nodiscard]] Amps current_at(Volts v) const override;
   [[nodiscard]] Volts open_circuit_voltage() const override;
+  [[nodiscard]] std::optional<TheveninSource> thevenin_equivalent()
+      const override {
+    return source_;
+  }
 
  protected:
   void do_set_conditions(const env::AmbientConditions& c) override;
@@ -190,6 +204,10 @@ class RfHarvester final : public Harvester {
   [[nodiscard]] HarvesterKind kind() const override { return HarvesterKind::kRf; }
   [[nodiscard]] Amps current_at(Volts v) const override;
   [[nodiscard]] Volts open_circuit_voltage() const override;
+  [[nodiscard]] std::optional<TheveninSource> thevenin_equivalent()
+      const override {
+    return source_;
+  }
 
  protected:
   void do_set_conditions(const env::AmbientConditions& c) override;
@@ -220,6 +238,11 @@ class AcDcSource final : public Harvester {
   [[nodiscard]] HarvesterKind kind() const override { return HarvesterKind::kAcDc; }
   [[nodiscard]] Amps current_at(Volts v) const override;
   [[nodiscard]] Volts open_circuit_voltage() const override;
+  [[nodiscard]] std::optional<TheveninSource> thevenin_equivalent()
+      const override {
+    if (!energized_) return TheveninSource{Volts{0.0}, Ohms{1.0}};
+    return TheveninSource{params_.rectified_voc, params_.internal_resistance};
+  }
 
  protected:
   void do_set_conditions(const env::AmbientConditions& c) override;

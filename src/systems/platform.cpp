@@ -22,6 +22,14 @@ std::size_t Platform::add_storage(std::unique_ptr<storage::StorageDevice> device
                                   int priority) {
   require_spec(device != nullptr, "add_storage: null device");
   stores_.push_back(StorageSlot{std::move(device), priority});
+  // push_back may reallocate: rebuild the cached order from scratch.
+  priority_order_.clear();
+  priority_order_.reserve(stores_.size());
+  for (auto& slot : stores_) priority_order_.push_back(&slot);
+  std::stable_sort(priority_order_.begin(), priority_order_.end(),
+                   [](const StorageSlot* a, const StorageSlot* b) {
+                     return a->priority < b->priority;
+                   });
   return stores_.size() - 1;
 }
 
@@ -74,15 +82,9 @@ void Platform::add_module_port(std::unique_ptr<bus::ModulePort> port) {
   ports_.push_back(std::move(port));
 }
 
-std::vector<Platform::StorageSlot*> Platform::by_priority() {
-  std::vector<StorageSlot*> order;
-  order.reserve(stores_.size());
-  for (auto& slot : stores_) order.push_back(&slot);
-  std::stable_sort(order.begin(), order.end(),
-                   [](const StorageSlot* a, const StorageSlot* b) {
-                     return a->priority < b->priority;
-                   });
-  return order;
+const std::vector<Platform::StorageSlot*>& Platform::by_priority() {
+  // Rebuilt by add_storage; slot swaps (hot-swap) keep the pointers valid.
+  return priority_order_;
 }
 
 Volts Platform::bus_voltage() const {

@@ -182,11 +182,14 @@ class Platform {
     int priority{0};
   };
 
-  [[nodiscard]] std::vector<StorageSlot*> by_priority();
+  /// Storage slots in discharge/charge order. Cached: add_storage rebuilds
+  /// it, and in-place device swaps leave the slot addresses stable.
+  [[nodiscard]] const std::vector<StorageSlot*>& by_priority();
 
   PlatformSpec spec_;
   std::vector<std::unique_ptr<power::InputChain>> inputs_;
   std::vector<StorageSlot> stores_;
+  std::vector<StorageSlot*> priority_order_;  ///< stores_ sorted by priority
   std::optional<power::OutputChain> output_;
   std::unique_ptr<node::SensorNode> node_;
   std::unique_ptr<manager::EnergyMonitor> monitor_;

@@ -56,6 +56,12 @@ RunResult run_platform(Platform& platform, env::EnvironmentModel& environment,
   Simulation sim(options.dt);
 
   RunningStats input_stats;
+  // The (now, dt) pairs handed to the environment here are the anchor for
+  // env::CompiledTrace: now is always the k-fold accumulated sum of dt
+  // starting from zero, one advance() per step, before the platform steps.
+  // A compiled snapshot replays this sequence slot for slot, so any change
+  // to the stepping scheme must be mirrored in CompiledTrace's compile loop
+  // or compiled campaigns lose byte-identity with live synthesis.
   sim.on_step([&](Seconds now, Seconds dt) {
     const auto conditions = environment.advance(now, dt);
     platform.step(conditions, now, dt);

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "campaign/campaign.hpp"
+#include "campaign/export.hpp"
+#include "core/csv.hpp"
 #include "core/error.hpp"
 #include "env/environment.hpp"
 #include "fault/injector.hpp"
@@ -241,6 +243,140 @@ TEST(Campaign, AccessorsRejectUseBeforeRun) {
   EXPECT_THROW((void)c.results(), SpecError);
   EXPECT_THROW((void)c.at(0, 0, 0), SpecError);
   EXPECT_THROW((void)c.seed_stats(0, 0), SpecError);
+}
+
+TEST(Campaign, CompiledTracesOnVsOffByteIdentical) {
+  // The trace cache is a pure replay optimization: every reported byte must
+  // be identical to live per-job synthesis, at any thread count.
+  std::vector<std::vector<std::string>> all;
+  for (const bool compiled : {true, false}) {
+    for (const unsigned threads : {1u, 4u}) {
+      auto spec = small_grid(threads);
+      spec.compile_traces = compiled;
+      Campaign c(std::move(spec));
+      c.run();
+      // One compile per (scenario, seed) — platforms share — or none at all.
+      EXPECT_EQ(c.trace_compiles(), compiled ? 4u : 0u);
+      all.push_back(reports(c));
+    }
+  }
+  for (std::size_t i = 1; i < all.size(); ++i) EXPECT_EQ(all[0], all[i]);
+}
+
+TEST(Campaign, FaultedCompiledOnVsOffByteIdentical) {
+  // Fault injection perturbs the platform, never the environment, so a
+  // compiled ambient trace must not change a single byte of a faulted run.
+  auto compiled_spec = faulted_grid(2);
+  compiled_spec.compile_traces = true;
+  Campaign compiled(std::move(compiled_spec));
+  compiled.run();
+  EXPECT_EQ(compiled.trace_compiles(), 3u);  // one scenario x three seeds
+
+  auto live_spec = faulted_grid(2);
+  live_spec.compile_traces = false;
+  Campaign live(std::move(live_spec));
+  live.run();
+  EXPECT_EQ(reports(compiled), reports(live));
+}
+
+TEST(Campaign, LongestFirstOrderingNeverChangesBytes) {
+  // Make the grid length-skewed so LPT actually reorders the pop sequence,
+  // then prove the bytes (and grid-order slots) are scheduling-invariant.
+  std::vector<std::vector<std::string>> all;
+  for (const bool lpt : {true, false}) {
+    for (const unsigned threads : {1u, 4u}) {
+      auto spec = small_grid(threads);
+      spec.scenarios[1].duration = Seconds{7200.0};
+      spec.longest_first = lpt;
+      Campaign c(std::move(spec));
+      const auto& jobs = c.run();
+      all.push_back(reports(c));
+      // Slots stay in grid order regardless of execution order.
+      EXPECT_EQ(jobs[1].scenario_index, 0u);
+      EXPECT_DOUBLE_EQ(jobs[2].result.duration.value(), 7200.0);
+    }
+  }
+  for (std::size_t i = 1; i < all.size(); ++i) EXPECT_EQ(all[0], all[i]);
+}
+
+TEST(Campaign, ValidatesDtUpFront) {
+  auto zero_dt = small_grid(1);
+  zero_dt.scenarios[0].options.dt = Seconds{0.0};
+  EXPECT_THROW(Campaign{zero_dt}, SpecError);
+  auto negative_dt = small_grid(1);
+  negative_dt.scenarios[1].options.dt = Seconds{-5.0};
+  EXPECT_THROW(Campaign{negative_dt}, SpecError);
+}
+
+TEST(CampaignExport, ResultsCsvRoundTripsBitExactly) {
+  Campaign c(small_grid(2));
+  c.run();
+  const auto csv = parse_csv(results_csv(c));
+  const auto& fields = run_result_fields();
+  ASSERT_EQ(csv.headers.size(), 4 + fields.size());
+  EXPECT_EQ(csv.headers[0], "platform");
+  EXPECT_EQ(csv.headers[3], "seed");
+  ASSERT_EQ(csv.rows.size(), c.results().size());
+  for (std::size_t j = 0; j < csv.rows.size(); ++j) {
+    const auto& job = c.results()[j];
+    const auto& row = csv.rows[j];
+    EXPECT_EQ(row[0], static_cast<double>(job.platform_index));
+    EXPECT_EQ(row[1], static_cast<double>(job.scenario_index));
+    EXPECT_EQ(row[2], static_cast<double>(job.seed_index));
+    EXPECT_EQ(row[3], static_cast<double>(job.seed));
+    for (std::size_t f = 0; f < fields.size(); ++f) {
+      // %.17g survives the text round trip bit-for-bit.
+      EXPECT_EQ(row[4 + f], fields[f].get(job.result)) << fields[f].name;
+      EXPECT_EQ(csv.headers[4 + f], fields[f].name);
+    }
+  }
+}
+
+TEST(CampaignExport, SeedStatsCsvRoundTripsBitExactly) {
+  Campaign c(small_grid(2));
+  c.run();
+  const auto csv = parse_csv(seed_stats_csv(c));
+  const auto& fields = run_result_fields();
+  ASSERT_EQ(csv.headers.size(), 2 + 4 * fields.size());
+  ASSERT_EQ(csv.rows.size(), 4u);  // 2 platforms x 2 scenarios
+  std::size_t row_i = 0;
+  for (std::size_t p = 0; p < 2; ++p) {
+    for (std::size_t s = 0; s < 2; ++s, ++row_i) {
+      const auto stats = c.seed_stats(p, s);
+      const auto& row = csv.rows[row_i];
+      EXPECT_EQ(row[0], static_cast<double>(p));
+      EXPECT_EQ(row[1], static_cast<double>(s));
+      for (std::size_t f = 0; f < fields.size(); ++f) {
+        EXPECT_EQ(row[2 + 4 * f + 0], stats[f].mean) << fields[f].name;
+        EXPECT_EQ(row[2 + 4 * f + 1], stats[f].stddev);
+        EXPECT_EQ(row[2 + 4 * f + 2], stats[f].min);
+        EXPECT_EQ(row[2 + 4 * f + 3], stats[f].max);
+      }
+      EXPECT_EQ(csv.headers[2], std::string(fields[0].name) + ".mean");
+    }
+  }
+}
+
+TEST(CampaignExport, JsonCarriesNamesAndFields) {
+  Campaign c(small_grid(2));
+  c.run();
+  const auto json = results_json(c);
+  for (const char* needle :
+       {"\"mini\"", "\"mini2\"", "\"hour-a\"", "\"hour-b\"", "\"seeds\": [7, 11]",
+        "\"jobs\":", "\"seed_stats\":", "\"harvested_j\":", "\"stddev\":"})
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+}
+
+TEST(CampaignExport, WritersRoundTripThroughFiles) {
+  Campaign c(small_grid(2));
+  c.run();
+  const std::string dir = ::testing::TempDir();
+  write_results_csv(c, dir + "/results.csv");
+  write_seed_stats_csv(c, dir + "/stats.csv");
+  write_results_json(c, dir + "/results.json");
+  EXPECT_EQ(read_csv(dir + "/results.csv").rows.size(), c.results().size());
+  EXPECT_EQ(read_csv(dir + "/stats.csv").rows.size(), 4u);
+  EXPECT_THROW(write_results_csv(c, dir + "/no/such/dir/x.csv"), SpecError);
 }
 
 TEST(Campaign, RunIsIdempotent) {

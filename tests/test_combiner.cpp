@@ -1,10 +1,13 @@
 // Diode-OR source combiner (the EH-Link single-input architecture).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
 #include <vector>
 
 #include "core/error.hpp"
+#include "fault/faulty_harvester.hpp"
 #include "harvest/combiner.hpp"
 #include "harvest/transducers.hpp"
 
@@ -59,10 +62,14 @@ TEST(DiodeOr, DominantSourceFollowsConditions) {
 }
 
 TEST(DiodeOr, WeakerSourceIsReverseBlocked) {
-  // At the combiner's MPP, the low-voltage TEG sees terminal + drop above
-  // its own Voc and contributes nothing: OR-ing wastes the weaker source.
+  // At the combiner's MPP, a TEG whose Voc (0.25 V at 5 K) is below even the
+  // diode drop sees terminal + drop above its own Voc and contributes
+  // nothing: OR-ing wastes the weaker source. (A hotter TEG is a different
+  // story: its low internal resistance can make the combined curve's global
+  // maximum sit below the TEG cutoff, with the piezo lobe only a local one —
+  // see ClosedFormFindsGlobalMppAcrossCrossover.)
   auto combiner = piezo_or_teg();
-  combiner->set_conditions(shaking_and_hot(3.0, 10.0));
+  combiner->set_conditions(shaking_and_hot(3.0, 5.0));
   const auto mpp = combiner->maximum_power_point();
   const Amps teg_alone =
       combiner->source(1).current_at(mpp.v + Volts{0.3});
@@ -107,6 +114,111 @@ TEST(DiodeOr, PowerCurveNonNegativeUpToVoc) {
   const double voc = combiner->open_circuit_voltage().value();
   for (double v = 0.0; v <= voc * 1.1; v += voc / 40.0)
     EXPECT_GE(combiner->power_at(Volts{v}).value(), 0.0) << v;
+}
+
+TEST(DiodeOrMpp, ClosedFormMatchesGoldenAcrossCrossover) {
+  // Piezo (Voc 6.6 V) OR-ed with a high-impedance TEG whose Voc sweeps
+  // through the piezo's as the gradient rises (crossover near 13.2 K). The
+  // conduction cutoffs stay within 2x of each other across the sweep, which
+  // keeps the summed curve unimodal — so the 80-probe golden-section search
+  // is a trustworthy oracle for the piecewise closed form.
+  for (const double dt_kelvin :
+       {7.0, 9.0, 11.0, 13.0, 13.2, 14.0, 17.0, 20.0, 24.0}) {
+    std::vector<std::unique_ptr<Harvester>> sources;
+    sources.push_back(
+        std::make_unique<VibrationHarvester>(VibrationHarvester::piezo("pz")));
+    Teg::Params tp;
+    tp.seebeck_per_kelvin = Volts{0.5};
+    tp.internal_resistance = Ohms{8000.0};
+    sources.push_back(std::make_unique<Teg>("teg", tp));
+    DiodeOrCombiner combiner("or", std::move(sources), Volts{0.3});
+    combiner.set_conditions(shaking_and_hot(3.0, dt_kelvin));
+    const auto closed = combiner.maximum_power_point();
+    const auto golden = combiner.golden_section_mpp();
+    ASSERT_GT(golden.p.value(), 0.0) << dt_kelvin;
+    EXPECT_NEAR(closed.p.value() / golden.p.value(), 1.0, 1e-9) << dt_kelvin;
+    EXPECT_NEAR(closed.v.value(), golden.v.value(), 1e-6) << dt_kelvin;
+    // The closed form may only ever beat the search, never trail it.
+    EXPECT_GE(closed.p.value(), golden.p.value() * (1.0 - 1e-12)) << dt_kelvin;
+  }
+}
+
+TEST(DiodeOrMpp, ClosedFormMatchesGoldenWithPvDominant) {
+  // A PV knee (no Thevenin equivalent) behind the diode: the closed form
+  // must route through PvPanel's shifted log-domain Newton.
+  std::vector<std::unique_ptr<Harvester>> sources;
+  sources.push_back(
+      std::make_unique<PvPanel>("pv", PvPanel::Params{}));
+  Teg::Params tp;
+  tp.seebeck_per_kelvin = Volts{0.05};
+  tp.internal_resistance = Ohms{5.0};
+  sources.push_back(std::make_unique<Teg>("teg", tp));
+  DiodeOrCombiner combiner("or", std::move(sources), Volts{0.3});
+  env::AmbientConditions c;
+  c.solar_irradiance = WattsPerSquareMeter{800.0};
+  c.thermal_gradient = Kelvin{2.0};  // TEG Voc 0.1 V < drop: never conducts
+  combiner.set_conditions(c);
+  const auto closed = combiner.maximum_power_point();
+  const auto golden = combiner.golden_section_mpp();
+  ASSERT_GT(golden.p.value(), 0.0);
+  EXPECT_NEAR(closed.p.value() / golden.p.value(), 1.0, 1e-9);
+  EXPECT_GE(closed.p.value(), golden.p.value() * (1.0 - 1e-12));
+}
+
+TEST(DiodeOrMpp, FindsGlobalMppTheSearchMisses) {
+  // The hot-TEG piezo mixture is bimodal: the piezo lobe near 3.15 V is only
+  // local, while the low-impedance TEG pushes the global maximum below its
+  // 0.2 V cutoff. The closed form must find the global one.
+  auto combiner = piezo_or_teg();
+  combiner->set_conditions(shaking_and_hot(3.0, 10.0));
+  const auto mpp = combiner->maximum_power_point();
+  EXPECT_LT(mpp.v.value(), 0.2);
+  // Strictly more power than the piezo-lobe stationary point.
+  const double piezo_lobe = combiner->power_at(Volts{3.15}).value();
+  EXPECT_GT(mpp.p.value(), piezo_lobe * 1.5);
+  // And it is the curve's true maximum on a fine sweep.
+  double best = 0.0;
+  const double voc = combiner->open_circuit_voltage().value();
+  for (double v = 0.0; v <= voc; v += voc / 20000.0)
+    best = std::max(best, combiner->power_at(Volts{v}).value());
+  EXPECT_GE(mpp.p.value(), best * (1.0 - 1e-9));
+}
+
+TEST(DiodeOrMpp, FaultedSourceTransitionInvalidatesMppCache) {
+  Teg::Params tp;
+  tp.seebeck_per_kelvin = Volts{0.05};
+  tp.internal_resistance = Ohms{5.0};
+  auto faulty = std::make_unique<fault::FaultyHarvester>(
+      std::make_unique<Teg>("teg", tp), 99);
+  auto* handle = faulty.get();
+  std::vector<std::unique_ptr<Harvester>> sources;
+  sources.push_back(std::move(faulty));
+  DiodeOrCombiner combiner("or", std::move(sources), Volts{0.3});
+
+  const auto c = shaking_and_hot(0.0, 10.0);  // TEG Voc 0.5 V, cutoff 0.2 V
+  combiner.set_conditions(c);
+  const auto before = combiner.maximum_power_point();
+  ASSERT_GT(before.p.value(), 0.0);
+
+  // Degrade the wrapped source between two identical-conditions steps: the
+  // combiner's conditions key does not change, so only the source-revision
+  // tracking can drop the stale cached point.
+  handle->degrade(0.25);
+  combiner.set_conditions(c);
+  const auto degraded = combiner.maximum_power_point();
+  // Uniform current scaling leaves the argmax and scales power by exactly f.
+  EXPECT_DOUBLE_EQ(degraded.v.value(), before.v.value());
+  EXPECT_DOUBLE_EQ(degraded.p.value(), 0.25 * before.p.value());
+  const auto golden = combiner.golden_section_mpp();
+  EXPECT_NEAR(degraded.p.value() / golden.p.value(), 1.0, 1e-9);
+
+  // Healing is a transition too — the cache must not serve the degraded
+  // point, and the recomputed one is bit-identical to the original.
+  handle->heal();
+  combiner.set_conditions(c);
+  const auto healed = combiner.maximum_power_point();
+  EXPECT_EQ(healed.v.value(), before.v.value());
+  EXPECT_EQ(healed.p.value(), before.p.value());
 }
 
 }  // namespace

@@ -1,11 +1,12 @@
 // Environment generators: determinism, physical plausibility, presets,
-// trace playback.
+// trace playback, compiled-trace snapshots.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 #include "core/error.hpp"
 #include "env/channels.hpp"
+#include "env/compiled_trace.hpp"
 #include "env/environment.hpp"
 
 namespace msehsim::env {
@@ -255,6 +256,103 @@ TEST(TraceEnvironment, MissingColumnsReadZero) {
 TEST(TraceEnvironment, RequiresTimeColumn) {
   const auto csv = msehsim::parse_csv("x,y\n1,2\n3,4\n");
   EXPECT_THROW(TraceEnvironment{csv}, msehsim::SpecError);
+}
+
+TEST(TraceEnvironment, LoopBoundaryRoundingPlaysFirstRowNotEndMarker) {
+  // fl(0.4 - 0.1) rounds the duration UP to 0.30000000000000004, so for
+  // now = 0.3 (mathematically exactly one full loop, phase 0) the sampler
+  // used to compute t = 0.1 + fmod(0.3, 0.30000000000000004) = 0.4 and
+  // binary-search onto the end-marker row — playing the final sample for a
+  // step that should restart the loop.
+  const auto csv = msehsim::parse_csv(
+      "time,solar_irradiance\n0.1,100\n0.25,200\n0.4,300\n");
+  TraceEnvironment trace(csv);
+  EXPECT_DOUBLE_EQ(
+      trace.advance(Seconds{0.3}, Seconds{0.1}).solar_irradiance.value(),
+      100.0);
+  // now == duration() exactly is the same phase-zero case.
+  EXPECT_DOUBLE_EQ(trace.advance(Seconds{trace.duration().value()}, Seconds{0.1})
+                       .solar_irradiance.value(),
+                   100.0);
+  // Mid-loop samples are untouched by the clamp.
+  EXPECT_DOUBLE_EQ(
+      trace.advance(Seconds{0.2}, Seconds{0.1}).solar_irradiance.value(),
+      200.0);
+  EXPECT_DOUBLE_EQ(
+      trace.advance(Seconds{0.05}, Seconds{0.1}).solar_irradiance.value(),
+      100.0);
+}
+
+TEST(CompiledTrace, PlaybackMatchesLiveSynthesisBitForBit) {
+  const Seconds dt{60.0};
+  const Seconds duration{6.0 * 3600.0};
+  auto live = Environment::indoor_industrial(42);
+  auto source = Environment::indoor_industrial(42);
+  const auto trace = CompiledTrace::compile(source, dt, duration);
+  CompiledEnvironment playback(trace);
+  // Exactly core::Simulation's accumulation scheme, which is what campaigns
+  // replay through.
+  std::size_t steps = 0;
+  for (Seconds now{0.0}; now + dt * 0.5 < duration; now += dt) {
+    const auto a = live.advance(now, dt);
+    const auto b = playback.advance(now, dt);
+    EXPECT_TRUE(a == b) << "step " << steps;
+    ++steps;
+  }
+  EXPECT_EQ(trace->step_count(), steps);
+  EXPECT_DOUBLE_EQ(trace->dt().value(), dt.value());
+  EXPECT_DOUBLE_EQ(trace->duration().value(), duration.value());
+  EXPECT_EQ(playback.description(),
+            "compiled:" + live.description());
+}
+
+TEST(CompiledTrace, ElidesIdenticallyZeroChannels) {
+  // The outdoor preset drives only sun + wind; the other six channels are
+  // identically zero and must not be stored per step.
+  auto source = Environment::outdoor(7);
+  const auto trace =
+      CompiledTrace::compile(source, Seconds{60.0}, Seconds{86400.0});
+  EXPECT_EQ(trace->stored_channels(), 2);
+  EXPECT_LT(trace->memory_bytes(),
+            3 * trace->step_count() * sizeof(double));
+  // Elided channels still read back as exactly +0.0.
+  const auto c = trace->at(0);
+  EXPECT_EQ(c.illuminance.value(), 0.0);
+  EXPECT_FALSE(std::signbit(c.illuminance.value()));
+  EXPECT_EQ(c.water_flow.value(), 0.0);
+}
+
+TEST(CompiledEnvironment, WrapsPastTheCompiledHorizon) {
+  auto source = Environment::outdoor(3);
+  const Seconds dt{30.0};
+  const Seconds duration{3600.0};
+  const auto trace = CompiledTrace::compile(source, dt, duration);
+  CompiledEnvironment playback(trace);
+  const auto n = trace->step_count();
+  // Keep accumulating past the horizon: slot k wraps to k mod n.
+  Seconds now{0.0};
+  for (std::size_t k = 0; k < 2 * n + 5; ++k, now += dt) {
+    const auto c = playback.advance(now, dt);
+    EXPECT_TRUE(c == trace->at(k % n)) << k;
+  }
+}
+
+TEST(CompiledEnvironment, RejectsMismatchedDt) {
+  auto source = Environment::outdoor(5);
+  const auto trace =
+      CompiledTrace::compile(source, Seconds{60.0}, Seconds{3600.0});
+  CompiledEnvironment playback(trace);
+  EXPECT_THROW(playback.advance(Seconds{0.0}, Seconds{30.0}),
+               msehsim::SpecError);
+}
+
+TEST(CompiledTrace, RejectsBadSpec) {
+  auto source = Environment::outdoor(1);
+  EXPECT_THROW(CompiledTrace::compile(source, Seconds{0.0}, Seconds{100.0}),
+               msehsim::SpecError);
+  EXPECT_THROW(CompiledTrace::compile(source, Seconds{1.0}, Seconds{0.0}),
+               msehsim::SpecError);
+  EXPECT_THROW(CompiledEnvironment{nullptr}, msehsim::SpecError);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/error.hpp"
+#include "core/solve.hpp"
 #include "harvest/transducers.hpp"
 
 namespace msehsim::harvest {
@@ -533,6 +534,96 @@ TEST(MppCache, CachesAcrossAllTransducerKinds) {
     EXPECT_EQ(h->mpp_recomputes(), 1u) << h->name();
     EXPECT_EQ(h->mpp_cache_hits(), 1u) << h->name();
   }
+}
+
+/// Golden-section oracle for the shifted objective (u - s) I(u) over the
+/// source voltage u — what a diode-OR combiner extracts behind a drop of s.
+double golden_shifted_power(const Harvester& h, double s) {
+  const double voc = h.open_circuit_voltage().value();
+  if (voc <= s) return 0.0;
+  const double u_star = golden_max_fn(
+      [&h, s](double u) { return (u - s) * h.current_at(Volts{u}).value(); }, s,
+      voc);
+  return (u_star - s) * h.current_at(Volts{u_star}).value();
+}
+
+TEST(ShiftedMpp, PvNewtonMatchesGoldenSearch) {
+  PvPanel pv("pv", {});
+  pv.set_conditions(sunny(800.0));
+  for (const double drop : {0.05, 0.15, 0.3, 0.6, 1.0}) {
+    const auto closed = pv.shifted_mpp(Volts{drop});
+    const double oracle = golden_shifted_power(pv, drop);
+    ASSERT_GT(oracle, 0.0) << drop;
+    EXPECT_NEAR(closed.p.value() / oracle, 1.0, 1e-9) << drop;
+  }
+  // Zero shift reduces to the plain (cached) MPP bit-for-bit.
+  const auto plain = pv.maximum_power_point();
+  const auto zero = pv.shifted_mpp(Volts{0.0});
+  EXPECT_EQ(zero.v.value(), plain.v.value());
+  EXPECT_EQ(zero.p.value(), plain.p.value());
+}
+
+TEST(ShiftedMpp, WindPlateauClosedFormMatchesGoldenSearch) {
+  WindTurbine wt("wt", {});
+  // 5 m/s: the aero cap bites (Thevenin max 0.34 W > 0.19 W available), so
+  // the closed form must use the plateau's upper edge, not just the vertex.
+  wt.set_conditions(windy(5.0));
+  ASSERT_FALSE(wt.thevenin_equivalent().has_value());
+  for (const double drop : {0.05, 0.3, 0.7}) {
+    const auto closed = wt.shifted_mpp(Volts{drop});
+    const double oracle = golden_shifted_power(wt, drop);
+    ASSERT_GT(oracle, 0.0) << drop;
+    EXPECT_NEAR(closed.p.value() / oracle, 1.0, 1e-9) << drop;
+  }
+  // 9.5 m/s: cap slack, the curve is exactly the Thevenin source again.
+  wt.set_conditions(windy(9.5));
+  const auto eq = wt.thevenin_equivalent();
+  ASSERT_TRUE(eq.has_value());
+  EXPECT_DOUBLE_EQ(eq->voc.value(), wt.open_circuit_voltage().value());
+  const auto closed = wt.shifted_mpp(Volts{0.3});
+  const double oracle = golden_shifted_power(wt, 0.3);
+  EXPECT_NEAR(closed.p.value() / oracle, 1.0, 1e-9);
+}
+
+TEST(TheveninEquivalent, LinearSourcesExposeExactSource) {
+  Teg::Params tp;
+  tp.seebeck_per_kelvin = Volts{0.05};
+  tp.internal_resistance = Ohms{5.0};
+  Teg teg("teg", tp);
+  teg.set_conditions(hot(10.0));
+  const auto eq = teg.thevenin_equivalent();
+  ASSERT_TRUE(eq.has_value());
+  EXPECT_DOUBLE_EQ(eq->voc.value(), 0.5);
+  EXPECT_DOUBLE_EQ(eq->r.value(), 5.0);
+  // The equivalent reproduces the curve exactly at any voltage.
+  for (const double v : {0.0, 0.1, 0.25, 0.4})
+    EXPECT_DOUBLE_EQ(eq->current_at(Volts{v}).value(),
+                     teg.current_at(Volts{v}).value());
+
+  PvPanel pv("pv", {});
+  pv.set_conditions(sunny(800.0));
+  EXPECT_FALSE(pv.thevenin_equivalent().has_value());  // diode knee
+
+  AcDcSource::Params ap;
+  AcDcSource acdc("ac", ap);
+  acdc.set_conditions(shaking(1.0));  // above machinery threshold: energized
+  const auto on = acdc.thevenin_equivalent();
+  ASSERT_TRUE(on.has_value());
+  EXPECT_DOUBLE_EQ(on->voc.value(), ap.rectified_voc.value());
+  acdc.set_conditions(shaking(0.0));
+  const auto off = acdc.thevenin_equivalent();
+  ASSERT_TRUE(off.has_value());
+  EXPECT_DOUBLE_EQ(off->voc.value(), 0.0);
+}
+
+TEST(CurveRevision, BumpsOnConditionChangeNotOnRepeat) {
+  Teg teg("teg", {});
+  teg.set_conditions(hot(10.0));
+  const auto r1 = teg.curve_revision();
+  teg.set_conditions(hot(10.0));  // identical key: no bump
+  EXPECT_EQ(teg.curve_revision(), r1);
+  teg.set_conditions(hot(12.0));  // curve changed
+  EXPECT_GT(teg.curve_revision(), r1);
 }
 
 TEST(HarvesterKindNames, Coverage) {
