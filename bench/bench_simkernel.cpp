@@ -9,6 +9,7 @@
 
 #include "campaign/campaign.hpp"
 #include "env/environment.hpp"
+#include "obs/trace.hpp"
 #include "harvest/transducers.hpp"
 #include "power/chain.hpp"
 #include "power/converter.hpp"
@@ -149,6 +150,28 @@ void BM_SystemA_DayRun(benchmark::State& state) {
                           static_cast<int64_t>(kDay / kDt));
 }
 BENCHMARK(BM_SystemA_DayRun)->Unit(benchmark::kMillisecond);
+
+void BM_SystemA_DayRun_Traced(benchmark::State& state) {
+  // Same kernel with the span collector live at default 1-in-1024 sampling:
+  // the acceptance gate is that this stays within noise of BM_SystemA_DayRun
+  // (the hot sites pay one relaxed atomic increment per step when sampled
+  // out, a mutexed append only on the sampled one-in-a-thousand).
+  constexpr double kDt = 5.0;
+  constexpr double kDay = 86400.0;
+  obs::TraceCollector::instance().enable();
+  for (auto _ : state) {
+    auto platform = systems::build_system_a(1);
+    auto env = env::Environment::outdoor(1);
+    systems::RunOptions options;
+    options.dt = Seconds{kDt};
+    benchmark::DoNotOptimize(
+        run_platform(*platform, env, Seconds{kDay}, options));
+  }
+  obs::TraceCollector::instance().disable();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kDay / kDt));
+}
+BENCHMARK(BM_SystemA_DayRun_Traced)->Unit(benchmark::kMillisecond);
 
 /// A minimal probe platform (one cheap linear-source chain into a supercap,
 /// no node): the kind of parameter-sweep variant a design-space campaign

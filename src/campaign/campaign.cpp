@@ -7,63 +7,9 @@
 #include <thread>
 
 #include "core/error.hpp"
+#include "obs/trace.hpp"
 
 namespace msehsim::campaign {
-
-namespace {
-
-double u64(std::uint64_t v) { return static_cast<double>(v); }
-
-}  // namespace
-
-const std::vector<RunResultField>& run_result_fields() {
-  using R = systems::RunResult;
-  static const std::vector<RunResultField> kFields = {
-      {"duration_s", [](const R& r) { return r.duration.value(); }},
-      {"harvested_j", [](const R& r) { return r.harvested.value(); }},
-      {"load_j", [](const R& r) { return r.load.value(); }},
-      {"quiescent_j", [](const R& r) { return r.quiescent.value(); }},
-      {"wasted_j", [](const R& r) { return r.wasted.value(); }},
-      {"unmet_j", [](const R& r) { return r.unmet.value(); }},
-      {"packets", [](const R& r) { return u64(r.packets); }},
-      {"queries_received", [](const R& r) { return u64(r.queries_received); }},
-      {"queries_answered", [](const R& r) { return u64(r.queries_answered); }},
-      {"reboots", [](const R& r) { return u64(r.reboots); }},
-      {"brownouts", [](const R& r) { return u64(r.brownouts); }},
-      {"availability", [](const R& r) { return r.availability; }},
-      {"generation_fraction", [](const R& r) { return r.generation_fraction; }},
-      {"final_ambient_soc", [](const R& r) { return r.final_ambient_soc; }},
-      {"final_stored_j", [](const R& r) { return r.final_stored.value(); }},
-      {"faults.injected.harvester",
-       [](const R& r) { return u64(r.faults.injected.harvester); }},
-      {"faults.injected.converter",
-       [](const R& r) { return u64(r.faults.injected.converter); }},
-      {"faults.injected.storage",
-       [](const R& r) { return u64(r.faults.injected.storage); }},
-      {"faults.injected.bus",
-       [](const R& r) { return u64(r.faults.injected.bus); }},
-      {"faults.harvester_faulted_steps",
-       [](const R& r) { return u64(r.faults.harvester_faulted_steps); }},
-      {"faults.harvester_transitions",
-       [](const R& r) { return u64(r.faults.harvester_transitions); }},
-      {"faults.converter_shutdowns",
-       [](const R& r) { return u64(r.faults.converter_shutdowns); }},
-      {"faults.converter_shutdown_steps",
-       [](const R& r) { return u64(r.faults.converter_shutdown_steps); }},
-      {"faults.bus_fault_hits",
-       [](const R& r) { return u64(r.faults.bus_fault_hits); }},
-      {"faults.bus_naks", [](const R& r) { return u64(r.faults.bus_naks); }},
-      {"faults.retry_attempts",
-       [](const R& r) { return u64(r.faults.retry_attempts); }},
-      {"faults.retry_retries",
-       [](const R& r) { return u64(r.faults.retry_retries); }},
-      {"faults.retry_give_ups",
-       [](const R& r) { return u64(r.faults.retry_give_ups); }},
-      {"faults.failovers", [](const R& r) { return u64(r.faults.failovers); }},
-      {"faults.failbacks", [](const R& r) { return u64(r.faults.failbacks); }},
-  };
-  return kFields;
-}
 
 FieldStats field_stats(const std::vector<JobResult>& jobs,
                        double (*get)(const systems::RunResult&)) {
@@ -122,6 +68,7 @@ std::shared_ptr<const env::CompiledTrace> Campaign::compiled_trace(
     std::size_t scenario_index, std::size_t seed_index) {
   auto& slot = trace_slots_[scenario_index * spec_.seeds.size() + seed_index];
   std::call_once(slot.once, [&] {
+    OBS_SPAN("campaign.compile_trace", "campaign");
     try {
       const auto& scenario = spec_.scenarios[scenario_index];
       auto source = scenario.environment(spec_.seeds[seed_index]);
@@ -144,6 +91,14 @@ std::shared_ptr<const env::CompiledTrace> Campaign::compiled_trace(
 void Campaign::run_job(JobResult& job) {
   const auto& variant = spec_.platforms[job.platform_index];
   const auto& scenario = spec_.scenarios[job.scenario_index];
+
+  // Coarse span, one per job: always recorded while tracing is on. The
+  // args identify the grid point so a Perfetto timeline reads directly as
+  // the schedule. Wall-clock only — never feeds any result byte.
+  obs::Span job_span{"campaign.job", "campaign",
+                     "\"platform\": \"" + variant.name + "\", \"scenario\": \"" +
+                         scenario.name +
+                         "\", \"seed\": " + std::to_string(job.seed)};
 
   auto platform = variant.make(job.seed);
   require_spec(platform != nullptr,
@@ -211,11 +166,28 @@ const std::vector<JobResult>& Campaign::run() {
   // that job), so no synchronization beyond the join is needed.
   std::vector<std::string> errors(total);
   std::atomic<std::size_t> next{0};
-  const auto worker = [this, total, &next, &errors, &order] {
+  auto& collector = obs::TraceCollector::instance();
+  const double pool_start_us = collector.enabled() ? collector.now_us() : 0.0;
+  const auto worker = [this, total, &next, &errors, &order, &collector,
+                       pool_start_us](unsigned worker_index) {
+    if (collector.enabled())
+      collector.set_thread_name("worker-" + std::to_string(worker_index));
     for (;;) {
       const std::size_t n = next.fetch_add(1, std::memory_order_relaxed);
       if (n >= total) return;
       const std::size_t i = order[n];
+      if (collector.enabled()) {
+        // Queue wait: how long this grid point sat ready before a worker
+        // popped it — the LPT schedule made visible per job.
+        obs::TraceEvent wait;
+        wait.name = "campaign.job_wait";
+        wait.category = "campaign";
+        wait.ts_us = pool_start_us;
+        wait.dur_us = collector.now_us() - pool_start_us;
+        wait.tid = collector.thread_id();
+        wait.args_json = "\"grid_index\": " + std::to_string(i);
+        collector.record(std::move(wait));
+      }
       try {
         run_job(results_[i]);
       } catch (const std::exception& e) {
@@ -232,11 +204,11 @@ const std::vector<JobResult>& Campaign::run() {
   if (threads > total) threads = static_cast<unsigned>(total);
 
   if (threads <= 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
     for (auto& t : pool) t.join();
   }
 
@@ -271,6 +243,18 @@ const JobResult& Campaign::at(std::size_t platform, std::size_t scenario,
                    seed_index < spec_.seeds.size(),
                "Campaign::at index out of range");
   return results_[flat_index(platform, scenario, seed_index)];
+}
+
+obs::MetricsSnapshot Campaign::metrics() const {
+  require_spec(ran_, "Campaign::metrics before run()");
+  obs::MetricsSnapshot merged;
+  for (const auto& job : results_)
+    merged.merge(systems::metrics_snapshot(job.result));
+  obs::Registry campaign_level;
+  campaign_level.counter("campaign.jobs").add(results_.size());
+  campaign_level.counter("campaign.trace_compiles").add(trace_compiles());
+  merged.merge(campaign_level.snapshot());
+  return merged;
 }
 
 std::vector<FieldStats> Campaign::seed_stats(std::size_t platform,

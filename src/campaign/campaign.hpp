@@ -27,6 +27,7 @@
 
 #include "core/units.hpp"
 #include "env/compiled_trace.hpp"
+#include "obs/metrics.hpp"
 #include "env/environment.hpp"
 #include "fault/injector.hpp"
 #include "systems/platform.hpp"
@@ -103,15 +104,17 @@ struct FieldStats {
   double max{0.0};
 };
 
-/// Name + accessor for every scalar RunResult field the aggregator reports,
-/// in to_string(RunResult) order.
-struct RunResultField {
-  const char* name;
-  double (*get)(const systems::RunResult&);
-};
+/// The authoritative field table lives with RunResult itself
+/// (systems::run_result_fields) so to_string, the exporters, and the
+/// metrics snapshot can never disagree; campaign re-exports it under its
+/// historical names.
+using RunResultField = systems::RunResultField;
 
-/// The full field table (duration through fault counters).
-[[nodiscard]] const std::vector<RunResultField>& run_result_fields();
+/// The full field table (duration through fault counters and ledger rows),
+/// in to_string(RunResult) order.
+[[nodiscard]] inline const std::vector<RunResultField>& run_result_fields() {
+  return systems::run_result_fields();
+}
 
 /// Aggregates @p get over @p jobs. Plain sequential code over the
 /// deterministic grid order, so aggregates are as reproducible as the runs.
@@ -153,6 +156,13 @@ class Campaign {
   [[nodiscard]] std::uint64_t trace_compiles() const {
     return trace_compiles_.load(std::memory_order_relaxed);
   }
+
+  /// Every job's metrics_snapshot merged in grid order (counters and
+  /// histograms sum, gauges keep their max), plus campaign-level counters
+  /// (campaign.jobs, campaign.trace_compiles). Valid after run();
+  /// deterministic across thread counts because the merge walks the stored
+  /// grid order, never the scheduling order.
+  [[nodiscard]] obs::MetricsSnapshot metrics() const;
 
  private:
   struct TraceSlot {

@@ -122,7 +122,9 @@ std::string results_json(const Campaign& campaign) {
     if (k) out += ", ";
     out += num(static_cast<double>(spec.seeds[k]));
   }
-  out += "],\n  \"jobs\": [";
+  out += "],\n  \"trace_compiles\": " +
+         num(static_cast<double>(campaign.trace_compiles()));
+  out += ",\n  \"jobs\": [";
   bool first_job = true;
   for (const auto& job : campaign.results()) {
     out += first_job ? "\n" : ",\n";
@@ -136,7 +138,23 @@ std::string results_json(const Campaign& campaign) {
       out += '"' + json_escape(fields[f].name) +
              "\": " + num(fields[f].get(job.result));
     }
-    out += "}}";
+    out += "}, \"sources\": [";
+    const auto& sources = job.result.ledger.sources;
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      const auto& src = sources[i];
+      if (i) out += ", ";
+      out += "{\"name\": \"" + json_escape(src.name) + "\", \"kind\": \"" +
+             json_escape(src.kind) + "\", \"transducer_j\": " +
+             num(src.transducer_j) + ", \"conversion_loss_j\": " +
+             num(src.conversion_loss_j) + ", \"tracker_overhead_j\": " +
+             num(src.tracker_overhead_j) + ", \"delivered_j\": " +
+             num(src.delivered_j) + ", \"share\": " + num(src.share) +
+             ", \"mpp_cache_hits\": " +
+             num(static_cast<double>(src.mpp_cache_hits)) +
+             ", \"mpp_recomputes\": " +
+             num(static_cast<double>(src.mpp_recomputes)) + '}';
+    }
+    out += "]}";
   }
   out += "\n  ],\n  \"seed_stats\": [";
   bool first_cell = true;
@@ -171,6 +189,14 @@ void write_seed_stats_csv(const Campaign& campaign, const std::string& path) {
 
 void write_results_json(const Campaign& campaign, const std::string& path) {
   write_text(path, results_json(campaign));
+}
+
+std::string metrics_csv(const Campaign& campaign) {
+  return campaign.metrics().csv();
+}
+
+void write_metrics_csv(const Campaign& campaign, const std::string& path) {
+  write_text(path, metrics_csv(campaign));
 }
 
 }  // namespace msehsim::campaign

@@ -24,12 +24,20 @@ namespace msehsim::campaign {
 [[nodiscard]] std::string seed_stats_csv(const Campaign& campaign);
 
 /// The whole campaign as one JSON document: platform/scenario/seed axes by
-/// name, every job's fields, and the per-cell seed statistics.
+/// name, the engine's trace_compiles counter, every job's fields plus its
+/// per-source ledger rows, and the per-cell seed statistics.
 [[nodiscard]] std::string results_json(const Campaign& campaign);
+
+/// Campaign::metrics() as two-column `metric,value` CSV — every job's
+/// metrics snapshot merged in grid order plus the campaign-level counters
+/// (campaign.jobs, campaign.trace_compiles). Deterministic across thread
+/// counts.
+[[nodiscard]] std::string metrics_csv(const Campaign& campaign);
 
 /// File-writing conveniences (throw SpecError on I/O failure).
 void write_results_csv(const Campaign& campaign, const std::string& path);
 void write_seed_stats_csv(const Campaign& campaign, const std::string& path);
 void write_results_json(const Campaign& campaign, const std::string& path);
+void write_metrics_csv(const Campaign& campaign, const std::string& path);
 
 }  // namespace msehsim::campaign

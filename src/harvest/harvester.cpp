@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "core/solve.hpp"
+#include "obs/trace.hpp"
 
 namespace msehsim::harvest {
 
@@ -48,6 +49,7 @@ OperatingPoint Harvester::maximum_power_point() const {
     ++mpp_hits_;
     return mpp_cache_;
   }
+  OBS_SPAN_SAMPLED("harvest.mpp_solve", "harvest");
   const OperatingPoint mpp = compute_mpp();
   ++mpp_recomputes_;
   if (mpp_cache_enabled()) {

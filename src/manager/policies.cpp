@@ -88,6 +88,10 @@ void FailoverPolicy::update(Seconds now, Watts primary_power, double ambient_soc
   if (!cell.enabled() && (primary_down_ || low_soc)) {
     cell.set_enabled(true);
     ++failovers_;
+    if (outage_since_.has_value()) {
+      failover_latency_total_ += now - *outage_since_;
+      ++failover_latency_count_;
+    }
     return;
   }
   const bool recovered = recovery_since_.has_value() &&

@@ -107,6 +107,29 @@ class FailoverPolicy {
   /// True while the policy considers the primary sources dead.
   [[nodiscard]] bool primary_down() const { return primary_down_; }
 
+  // ---- Failover latency (the ROADMAP mean-time-to-failover metric) --------
+  // Measured from fault onset — the first update that saw the primaries
+  // dead — to the switch-in that covered it. Pure-SoC switch-ins (buffer
+  // drained with healthy sources) have no onset and are excluded from the
+  // mean, so the metric isolates how fast the *fault* path reacts.
+
+  /// Total onset-to-switch-in latency across counted failovers.
+  [[nodiscard]] Seconds failover_latency_total() const {
+    return failover_latency_total_;
+  }
+  /// Failovers with a measurable onset (outage-triggered).
+  [[nodiscard]] std::uint64_t failover_latency_count() const {
+    return failover_latency_count_;
+  }
+  /// Mean onset-to-switch-in latency; 0 when no outage-triggered failover
+  /// occurred.
+  [[nodiscard]] Seconds mean_time_to_failover() const {
+    return failover_latency_count_ == 0
+               ? Seconds{0.0}
+               : Seconds{failover_latency_total_.value() /
+                         static_cast<double>(failover_latency_count_)};
+  }
+
  private:
   Params params_;
   std::optional<Seconds> outage_since_;
@@ -114,6 +137,8 @@ class FailoverPolicy {
   bool primary_down_{false};
   std::uint64_t failovers_{0};
   std::uint64_t failbacks_{0};
+  Seconds failover_latency_total_{0.0};
+  std::uint64_t failover_latency_count_{0};
 };
 
 /// Fuel-cell fallback with hysteresis (System A): switch the stack in when

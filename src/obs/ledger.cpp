@@ -1,0 +1,79 @@
+#include "obs/ledger.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace msehsim::obs {
+
+namespace {
+
+void line(std::string& out, const char* name, double v) {
+  char buf[96];
+  const int n = std::snprintf(buf, sizeof buf, "%s=%.17g\n", name, v);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace
+
+double EnergyLedger::residual_j() const {
+  const double inflow = harvested_j + storage_discharged_j + unserved_j;
+  const double outflow =
+      quiescent_j + bus_load_j + storage_charged_j + wasted_j;
+  return inflow - outflow;
+}
+
+double EnergyLedger::relative_residual() const {
+  const double gross = harvested_j + storage_discharged_j + unserved_j +
+                       quiescent_j + bus_load_j + storage_charged_j + wasted_j;
+  return std::fabs(residual_j()) / std::max(1.0, gross);
+}
+
+double EnergyLedger::source_residual_j(std::size_t i) const {
+  const auto& s = sources.at(i);
+  return s.transducer_j -
+         (s.conversion_loss_j + s.tracker_overhead_j + s.delivered_j);
+}
+
+std::string EnergyLedger::to_string() const {
+  std::string out;
+  line(out, "ledger.harvested_j", harvested_j);
+  line(out, "ledger.storage_discharged_j", storage_discharged_j);
+  line(out, "ledger.unserved_j", unserved_j);
+  line(out, "ledger.quiescent_j", quiescent_j);
+  line(out, "ledger.bus_load_j", bus_load_j);
+  line(out, "ledger.storage_charged_j", storage_charged_j);
+  line(out, "ledger.wasted_j", wasted_j);
+  line(out, "ledger.rail_load_j", rail_load_j);
+  line(out, "ledger.output_loss_j", output_loss_j);
+  line(out, "ledger.initial_stored_j", initial_stored_j);
+  line(out, "ledger.final_stored_j", final_stored_j);
+  line(out, "ledger.storage_delta_j", storage_delta_j);
+  line(out, "ledger.storage_loss_j", storage_loss_j);
+  line(out, "ledger.transducer_j", transducer_j);
+  line(out, "ledger.conversion_loss_j", conversion_loss_j);
+  line(out, "ledger.tracker_overhead_j", tracker_overhead_j);
+  line(out, "ledger.residual_j", residual_j());
+  out += sources_to_string();
+  return out;
+}
+
+std::string EnergyLedger::sources_to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const auto& s = sources[i];
+    const std::string prefix = "ledger.source[" + std::to_string(i) + "].";
+    out += prefix + "name=" + s.name + "\n";
+    out += prefix + "kind=" + s.kind + "\n";
+    line(out, (prefix + "transducer_j").c_str(), s.transducer_j);
+    line(out, (prefix + "conversion_loss_j").c_str(), s.conversion_loss_j);
+    line(out, (prefix + "tracker_overhead_j").c_str(), s.tracker_overhead_j);
+    line(out, (prefix + "delivered_j").c_str(), s.delivered_j);
+    line(out, (prefix + "share").c_str(), s.share);
+    out += prefix + "mpp_cache_hits=" + std::to_string(s.mpp_cache_hits) + "\n";
+    out += prefix + "mpp_recomputes=" + std::to_string(s.mpp_recomputes) + "\n";
+  }
+  return out;
+}
+
+}  // namespace msehsim::obs

@@ -1,0 +1,216 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/error.hpp"
+
+namespace msehsim::obs {
+
+namespace {
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string_view kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+/// Appends one row as `name<sep>value` lines to @p out.
+void append_row(std::string& out, const MetricRow& row, char sep) {
+  switch (row.kind) {
+    case MetricKind::kCounter:
+      out += row.name;
+      out += sep;
+      out += std::to_string(row.count);
+      out += '\n';
+      break;
+    case MetricKind::kGauge:
+      out += row.name;
+      out += sep;
+      out += num(row.value);
+      out += '\n';
+      break;
+    case MetricKind::kHistogram: {
+      const auto line = [&out, &row, sep](const char* suffix,
+                                          const std::string& value) {
+        out += row.name;
+        out += suffix;
+        out += sep;
+        out += value;
+        out += '\n';
+      };
+      line(".count", std::to_string(row.count));
+      line(".sum", num(row.sum));
+      line(".min", num(row.min));
+      line(".max", num(row.max));
+      for (std::size_t b = 0; b < row.buckets.size(); ++b) {
+        const std::string le =
+            b < row.bounds.size() ? num(row.bounds[b]) : std::string("inf");
+        line((".le_" + le).c_str(), std::to_string(row.buckets[b]));
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1, 0) {
+  require_spec(std::is_sorted(bounds_.begin(), bounds_.end()),
+               "histogram bounds must be sorted ascending");
+  require_spec(std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                   bounds_.end(),
+               "histogram bounds must be distinct");
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  ++count_;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  auto [it, inserted] = metrics_.try_emplace(name, Slot{MetricKind::kCounter,
+                                                        {}, {}, {}});
+  require_spec(it->second.kind == MetricKind::kCounter,
+               "metric '" + name + "' already registered as " +
+                   std::string(kind_name(it->second.kind)));
+  return it->second.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  auto [it, inserted] =
+      metrics_.try_emplace(name, Slot{MetricKind::kGauge, {}, {}, {}});
+  require_spec(it->second.kind == MetricKind::kGauge,
+               "metric '" + name + "' already registered as " +
+                   std::string(kind_name(it->second.kind)));
+  return it->second.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> upper_bounds) {
+  auto [it, inserted] =
+      metrics_.try_emplace(name, Slot{MetricKind::kHistogram, {}, {}, {}});
+  require_spec(it->second.kind == MetricKind::kHistogram,
+               "metric '" + name + "' already registered as " +
+                   std::string(kind_name(it->second.kind)));
+  if (inserted) {
+    it->second.histogram.emplace_back(std::move(upper_bounds));
+  } else {
+    require_spec(it->second.histogram.front().bounds() == upper_bounds,
+                 "metric '" + name + "' re-registered with different bounds");
+  }
+  return it->second.histogram.front();
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.rows.reserve(metrics_.size());
+  for (const auto& [name, slot] : metrics_) {
+    MetricRow row;
+    row.name = name;
+    row.kind = slot.kind;
+    switch (slot.kind) {
+      case MetricKind::kCounter:
+        row.count = slot.counter.value();
+        break;
+      case MetricKind::kGauge:
+        row.value = slot.gauge.value();
+        break;
+      case MetricKind::kHistogram: {
+        const auto& h = slot.histogram.front();
+        row.count = h.count();
+        row.sum = h.sum();
+        row.min = h.min();
+        row.max = h.max();
+        row.bounds = h.bounds();
+        row.buckets = h.buckets();
+        break;
+      }
+    }
+    snap.rows.push_back(std::move(row));
+  }
+  return snap;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  std::vector<MetricRow> merged;
+  merged.reserve(rows.size() + other.rows.size());
+  auto a = rows.begin();
+  auto b = other.rows.begin();
+  while (a != rows.end() || b != other.rows.end()) {
+    if (b == other.rows.end() || (a != rows.end() && a->name < b->name)) {
+      merged.push_back(std::move(*a++));
+      continue;
+    }
+    if (a == rows.end() || b->name < a->name) {
+      merged.push_back(*b++);
+      continue;
+    }
+    require_spec(a->kind == b->kind, "metrics merge: '" + a->name +
+                                         "' has mismatched kinds");
+    MetricRow row = std::move(*a++);
+    switch (row.kind) {
+      case MetricKind::kCounter:
+        row.count += b->count;
+        break;
+      case MetricKind::kGauge:
+        row.value = std::max(row.value, b->value);
+        break;
+      case MetricKind::kHistogram:
+        require_spec(row.bounds == b->bounds, "metrics merge: '" + row.name +
+                                                  "' has mismatched bounds");
+        for (std::size_t i = 0; i < row.buckets.size(); ++i)
+          row.buckets[i] += b->buckets[i];
+        if (b->count > 0) {
+          row.min = row.count > 0 ? std::min(row.min, b->min) : b->min;
+          row.max = row.count > 0 ? std::max(row.max, b->max) : b->max;
+        }
+        row.count += b->count;
+        row.sum += b->sum;
+        break;
+    }
+    merged.push_back(std::move(row));
+    ++b;
+  }
+  rows = std::move(merged);
+}
+
+const MetricRow* MetricsSnapshot::find(const std::string& name) const {
+  const auto it = std::lower_bound(
+      rows.begin(), rows.end(), name,
+      [](const MetricRow& row, const std::string& n) { return row.name < n; });
+  return it != rows.end() && it->name == name ? &*it : nullptr;
+}
+
+std::string MetricsSnapshot::to_string() const {
+  std::string out;
+  for (const auto& row : rows) append_row(out, row, '=');
+  return out;
+}
+
+std::string MetricsSnapshot::csv() const {
+  std::string out = "metric,value\n";
+  for (const auto& row : rows) append_row(out, row, ',');
+  return out;
+}
+
+}  // namespace msehsim::obs

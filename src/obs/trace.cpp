@@ -1,0 +1,167 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/error.hpp"
+
+namespace msehsim::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+TraceCollector& TraceCollector::instance() {
+  static TraceCollector collector;
+  return collector;
+}
+
+void TraceCollector::enable(std::uint32_t sample_every) {
+#if MSEHSIM_OBS_ENABLED
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  thread_names_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+  sample_every_.store(sample_every == 0 ? 1 : sample_every,
+                      std::memory_order_relaxed);
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+#else
+  (void)sample_every;  // compiled out: tracing stays off
+#endif
+}
+
+void TraceCollector::disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+double TraceCollector::now_us() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration<double, std::micro>(elapsed).count();
+}
+
+std::uint32_t TraceCollector::thread_id() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = thread_ids_.try_emplace(
+      std::this_thread::get_id(),
+      static_cast<std::uint32_t>(thread_ids_.size()));
+  return it->second;
+}
+
+void TraceCollector::set_thread_name(const std::string& name) {
+  const std::uint32_t tid = thread_id();
+  std::lock_guard<std::mutex> lock(mutex_);
+  thread_names_.emplace_back(tid, name);
+}
+
+void TraceCollector::record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::size_t TraceCollector::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::string TraceCollector::chrome_trace_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n\"traceEvents\": [";
+  bool first = true;
+  for (const auto& [tid, name] : thread_names_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": " +
+           std::to_string(tid) + ", \"args\": {\"name\": \"" +
+           json_escape(name) + "\"}}";
+  }
+  for (const auto& e : events_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"name\": \"" + json_escape(e.name) + "\", \"cat\": \"" +
+           json_escape(e.category) + "\", \"ph\": \"X\", \"ts\": " +
+           num(e.ts_us) + ", \"dur\": " + num(e.dur_us) +
+           ", \"pid\": 1, \"tid\": " + std::to_string(e.tid);
+    if (!e.args_json.empty()) out += ", \"args\": {" + e.args_json + "}";
+    out += "}";
+  }
+  out += "\n],\n\"displayTimeUnit\": \"ms\"\n}\n";
+  return out;
+}
+
+void TraceCollector::write_chrome_trace(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary);
+  require_spec(file.good(), "trace export: cannot open '" + path + "'");
+  file << chrome_trace_json();
+  require_spec(file.good(), "trace export: write to '" + path + "' failed");
+}
+
+Span::Span(const char* name, const char* category, std::string args_json)
+    : name_(name), category_(category), args_json_(std::move(args_json)) {
+  if (name_ == nullptr) return;
+  auto& collector = TraceCollector::instance();
+  if (!collector.enabled()) return;
+  start_us_ = collector.now_us();
+  active_ = true;
+}
+
+Span::~Span() {
+  if (!active_) return;
+  auto& collector = TraceCollector::instance();
+  if (!collector.enabled()) return;  // disabled mid-span: drop it
+  TraceEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.ts_us = start_us_;
+  event.dur_us = collector.now_us() - start_us_;
+  event.tid = collector.thread_id();
+  event.args_json = std::move(args_json_);
+  collector.record(std::move(event));
+}
+
+namespace detail {
+
+bool should_sample(std::atomic<std::uint64_t>& site_counter) {
+  auto& collector = TraceCollector::instance();
+  if (!collector.enabled()) return false;
+  const std::uint64_t n =
+      site_counter.fetch_add(1, std::memory_order_relaxed);
+  return n % collector.sample_every() == 0;
+}
+
+}  // namespace detail
+
+}  // namespace msehsim::obs

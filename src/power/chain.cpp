@@ -87,6 +87,8 @@ Watts InputChain::step(const env::AmbientConditions& conditions, Volts bus_volta
   const Watts net{std::max(0.0, out.value() - overhead_now)};
 
   delivered_ += net * dt;
+  conversion_loss_ += (effective - out) * dt;
+  overhead_paid_ += (out - net) * dt;
   harvested_at_setpoint_ += effective * dt;
   harvestable_at_mpp_ += harvester_->maximum_power_point().p * dt;
   return net;

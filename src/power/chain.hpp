@@ -52,6 +52,21 @@ class InputChain {
   [[nodiscard]] Joules delivered_energy() const { return delivered_; }
   /// Accumulated tracker overhead energy.
   [[nodiscard]] Joules tracker_overhead_energy() const { return overhead_; }
+
+  // ---- Energy-flow ledger probes (obs::EnergyLedger) ----------------------
+  // Per-boundary accumulators with the exact chain identity
+  // transducer = conversion_loss + tracker_paid + delivered, summed from
+  // the same per-step quantities the power flow already computes.
+
+  /// Energy extracted from the transducer at the operating point (after the
+  /// tracker's sampling duty cycle).
+  [[nodiscard]] Joules transducer_energy() const { return harvested_at_setpoint_; }
+  /// Energy lost in the input converter (efficiency curve + fault droop).
+  [[nodiscard]] Joules conversion_loss_energy() const { return conversion_loss_; }
+  /// Tracker overhead actually paid from the converter output (differs from
+  /// tracker_overhead_energy() when the output could not cover the full
+  /// amortized overhead — the shortfall was never drawn).
+  [[nodiscard]] Joules tracker_paid_energy() const { return overhead_paid_; }
   /// Tracking efficiency vs the true MPP, over time (1.0 = perfect).
   [[nodiscard]] double tracking_efficiency() const;
 
@@ -88,6 +103,8 @@ class InputChain {
   Watts transducer_power_{0.0};
   Joules delivered_{0.0};
   Joules overhead_{0.0};
+  Joules conversion_loss_{0.0};
+  Joules overhead_paid_{0.0};
   Joules harvested_at_setpoint_{0.0};
   Joules harvestable_at_mpp_{0.0};
   bool started_{false};

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/error.hpp"
+#include "obs/trace.hpp"
 
 namespace msehsim::systems {
 
@@ -128,6 +129,7 @@ Joules Platform::harvested_energy() const {
 
 void Platform::step(const env::AmbientConditions& conditions, Seconds now,
                     Seconds dt) {
+  OBS_SPAN_SAMPLED("platform.step", "systems");
   const Volts bus_v = bus_voltage();
 
   // 1. Input chains deliver into the bus.
@@ -158,6 +160,7 @@ void Platform::step(const env::AmbientConditions& conditions, Seconds now,
     if (rail_on) {
       p_bus_load = output_->required_bus_power(p_rail, bus_v);
       load_energy_ += p_rail * dt;
+      bus_load_energy_ += p_bus_load * dt;
     }
   }
 
@@ -170,6 +173,7 @@ void Platform::step(const env::AmbientConditions& conditions, Seconds now,
       if (surplus.value() <= 0.0) break;
       surplus -= slot->device->charge(surplus, dt);
     }
+    storage_charged_energy_ += Watts{net - surplus.value()} * dt;
     wasted_energy_ += surplus * dt;  // nothing could absorb it
   } else {
     Watts deficit{-net};
@@ -177,10 +181,13 @@ void Platform::step(const env::AmbientConditions& conditions, Seconds now,
       if (deficit.value() <= 1e-12) break;
       deficit -= slot->device->discharge(deficit, dt);
     }
+    storage_discharged_energy_ += Watts{-net - deficit.value()} * dt;
+    unserved_energy_ += deficit * dt;
     if (deficit.value() > 1e-9) {
       unmet_energy_ += deficit * dt;
       brownout_latch_ = true;  // rail drops next step
       ++brownouts_;
+      if (first_brownout_time_.value() < 0.0) first_brownout_time_ = now;
     }
   }
 
@@ -194,12 +201,14 @@ void Platform::step(const env::AmbientConditions& conditions, Seconds now,
     Watts offer = cell->max_discharge_power();
     if (offer.value() <= 0.0) continue;
     const Watts drawn = cell->discharge(offer, dt);
+    storage_discharged_energy_ += drawn * dt;
     Watts remaining = drawn;
     for (auto* target : by_priority()) {
       if (target->device.get() == slot.device.get()) continue;
       if (remaining.value() <= 0.0) break;
       remaining -= target->device->charge(remaining, dt);
     }
+    storage_charged_energy_ += (drawn - remaining) * dt;
     wasted_energy_ += remaining * dt;
   }
 

@@ -176,6 +176,35 @@ class Platform {
   [[nodiscard]] Joules unmet_energy() const { return unmet_energy_; }
   [[nodiscard]] std::uint64_t brownouts() const { return brownouts_; }
 
+  // ---- Energy-flow ledger probes (obs::EnergyLedger) ----------------------
+  // Every bus-boundary flow, integrated per step so the run-end ledger
+  // balances exactly: harvested + discharged + unserved ==
+  // quiescent + bus_load + charged + wasted (modulo FP summation order).
+
+  /// Energy the output conditioner drew from the bus for the rail.
+  [[nodiscard]] Joules bus_load_energy() const { return bus_load_energy_; }
+  /// Output-converter loss: bus_load_energy() minus load_energy().
+  [[nodiscard]] Joules output_loss_energy() const {
+    return bus_load_energy_ - load_energy_;
+  }
+  /// Energy the bus pushed into stores (charging, incl. fuel-cell refills).
+  [[nodiscard]] Joules storage_charged_energy() const {
+    return storage_charged_energy_;
+  }
+  /// Energy stores delivered into the bus (discharge, incl. the fuel cell).
+  [[nodiscard]] Joules storage_discharged_energy() const {
+    return storage_discharged_energy_;
+  }
+  /// Untruncated unserved deficit. unmet_energy() drops leftovers below the
+  /// brownout threshold (1e-9 W); this row keeps them so the ledger's bus
+  /// identity stays exact.
+  [[nodiscard]] Joules unserved_energy() const { return unserved_energy_; }
+  /// Simulation time of the first brownout, or negative when none occurred
+  /// (the ROADMAP time-to-first-brownout metric).
+  [[nodiscard]] Seconds first_brownout_time() const {
+    return first_brownout_time_;
+  }
+
  private:
   struct StorageSlot {
     std::unique_ptr<storage::StorageDevice> device;
@@ -210,6 +239,11 @@ class Platform {
   Joules load_energy_{0.0};
   Joules wasted_energy_{0.0};
   Joules unmet_energy_{0.0};
+  Joules bus_load_energy_{0.0};
+  Joules storage_charged_energy_{0.0};
+  Joules storage_discharged_energy_{0.0};
+  Joules unserved_energy_{0.0};
+  Seconds first_brownout_time_{-1.0};
   std::uint64_t brownouts_{0};
 };
 

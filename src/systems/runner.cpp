@@ -5,6 +5,7 @@
 
 #include "core/random.hpp"
 #include "fault/faulty_harvester.hpp"
+#include "obs/trace.hpp"
 
 namespace msehsim::systems {
 
@@ -35,11 +36,159 @@ FaultReport collect_faults(Platform& platform, const RunOptions& options) {
   if (const auto* failover = platform.failover_policy()) {
     f.failovers = failover->failovers();
     f.failbacks = failover->failbacks();
+    f.failover_latency_count = failover->failover_latency_count();
+    f.failover_latency_total_s = failover->failover_latency_total().value();
   }
   return f;
 }
 
+/// Fills the energy-flow ledger (and the MPP counters riding on its source
+/// rows) from the accumulators the platform integrated during the run.
+obs::EnergyLedger collect_ledger(Platform& platform, Joules initial_stored) {
+  obs::EnergyLedger ledger;
+  ledger.harvested_j = platform.harvested_energy().value();
+  ledger.storage_discharged_j = platform.storage_discharged_energy().value();
+  ledger.unserved_j = platform.unserved_energy().value();
+  ledger.quiescent_j = platform.quiescent_energy().value();
+  ledger.bus_load_j = platform.bus_load_energy().value();
+  ledger.storage_charged_j = platform.storage_charged_energy().value();
+  ledger.wasted_j = platform.wasted_energy().value();
+  ledger.rail_load_j = platform.load_energy().value();
+  ledger.output_loss_j = platform.output_loss_energy().value();
+  ledger.initial_stored_j = initial_stored.value();
+  ledger.final_stored_j = platform.total_stored().value();
+  ledger.storage_delta_j = ledger.final_stored_j - ledger.initial_stored_j;
+  ledger.storage_loss_j = ledger.storage_charged_j -
+                          ledger.storage_discharged_j - ledger.storage_delta_j;
+  ledger.sources.reserve(platform.input_count());
+  for (std::size_t i = 0; i < platform.input_count(); ++i) {
+    const auto& chain = platform.input(i);
+    obs::SourceRow row;
+    row.name = std::string(chain.harvester().name());
+    row.kind = std::string(harvest::to_string(chain.harvester().kind()));
+    row.transducer_j = chain.transducer_energy().value();
+    row.conversion_loss_j = chain.conversion_loss_energy().value();
+    row.tracker_overhead_j = chain.tracker_paid_energy().value();
+    row.delivered_j = chain.delivered_energy().value();
+    row.mpp_cache_hits = chain.harvester().mpp_cache_hits();
+    row.mpp_recomputes = chain.harvester().mpp_recomputes();
+    ledger.transducer_j += row.transducer_j;
+    ledger.conversion_loss_j += row.conversion_loss_j;
+    ledger.tracker_overhead_j += row.tracker_overhead_j;
+    ledger.sources.push_back(std::move(row));
+  }
+  const double total_delivered = ledger.harvested_j;
+  if (total_delivered > 0.0) {
+    for (auto& row : ledger.sources) row.share = row.delivered_j / total_delivered;
+  }
+  return ledger;
+}
+
+double u64(std::uint64_t v) { return static_cast<double>(v); }
+
 }  // namespace
+
+const std::vector<RunResultField>& run_result_fields() {
+  using R = RunResult;
+  static const std::vector<RunResultField> kFields = {
+      {"duration_s", [](const R& r) { return r.duration.value(); }, false},
+      {"harvested_j", [](const R& r) { return r.harvested.value(); }, false},
+      {"load_j", [](const R& r) { return r.load.value(); }, false},
+      {"quiescent_j", [](const R& r) { return r.quiescent.value(); }, false},
+      {"wasted_j", [](const R& r) { return r.wasted.value(); }, false},
+      {"unmet_j", [](const R& r) { return r.unmet.value(); }, false},
+      {"packets", [](const R& r) { return u64(r.packets); }, true},
+      {"queries_received", [](const R& r) { return u64(r.queries_received); },
+       true},
+      {"queries_answered", [](const R& r) { return u64(r.queries_answered); },
+       true},
+      {"reboots", [](const R& r) { return u64(r.reboots); }, true},
+      {"brownouts", [](const R& r) { return u64(r.brownouts); }, true},
+      {"availability", [](const R& r) { return r.availability; }, false},
+      {"generation_fraction",
+       [](const R& r) { return r.generation_fraction; }, false},
+      {"final_ambient_soc", [](const R& r) { return r.final_ambient_soc; },
+       false},
+      {"final_stored_j", [](const R& r) { return r.final_stored.value(); },
+       false},
+      {"time_to_first_brownout_s",
+       [](const R& r) { return r.time_to_first_brownout_s; }, false},
+      {"mpp_cache_hits", [](const R& r) { return u64(r.mpp_cache_hits); },
+       true},
+      {"mpp_recomputes", [](const R& r) { return u64(r.mpp_recomputes); },
+       true},
+      {"faults.injected.harvester",
+       [](const R& r) { return u64(r.faults.injected.harvester); }, true},
+      {"faults.injected.converter",
+       [](const R& r) { return u64(r.faults.injected.converter); }, true},
+      {"faults.injected.storage",
+       [](const R& r) { return u64(r.faults.injected.storage); }, true},
+      {"faults.injected.bus",
+       [](const R& r) { return u64(r.faults.injected.bus); }, true},
+      {"faults.harvester_faulted_steps",
+       [](const R& r) { return u64(r.faults.harvester_faulted_steps); }, true},
+      {"faults.harvester_transitions",
+       [](const R& r) { return u64(r.faults.harvester_transitions); }, true},
+      {"faults.converter_shutdowns",
+       [](const R& r) { return u64(r.faults.converter_shutdowns); }, true},
+      {"faults.converter_shutdown_steps",
+       [](const R& r) { return u64(r.faults.converter_shutdown_steps); }, true},
+      {"faults.bus_fault_hits",
+       [](const R& r) { return u64(r.faults.bus_fault_hits); }, true},
+      {"faults.bus_naks", [](const R& r) { return u64(r.faults.bus_naks); },
+       true},
+      {"faults.retry_attempts",
+       [](const R& r) { return u64(r.faults.retry_attempts); }, true},
+      {"faults.retry_retries",
+       [](const R& r) { return u64(r.faults.retry_retries); }, true},
+      {"faults.retry_give_ups",
+       [](const R& r) { return u64(r.faults.retry_give_ups); }, true},
+      {"faults.failovers", [](const R& r) { return u64(r.faults.failovers); },
+       true},
+      {"faults.failbacks", [](const R& r) { return u64(r.faults.failbacks); },
+       true},
+      {"faults.failover_latency_count",
+       [](const R& r) { return u64(r.faults.failover_latency_count); }, true},
+      {"faults.failover_latency_total_s",
+       [](const R& r) { return r.faults.failover_latency_total_s; }, false},
+      {"faults.mean_time_to_failover_s",
+       [](const R& r) { return r.faults.mean_time_to_failover_s(); }, false},
+      {"ledger.harvested_j", [](const R& r) { return r.ledger.harvested_j; },
+       false},
+      {"ledger.storage_discharged_j",
+       [](const R& r) { return r.ledger.storage_discharged_j; }, false},
+      {"ledger.unserved_j", [](const R& r) { return r.ledger.unserved_j; },
+       false},
+      {"ledger.quiescent_j", [](const R& r) { return r.ledger.quiescent_j; },
+       false},
+      {"ledger.bus_load_j", [](const R& r) { return r.ledger.bus_load_j; },
+       false},
+      {"ledger.storage_charged_j",
+       [](const R& r) { return r.ledger.storage_charged_j; }, false},
+      {"ledger.wasted_j", [](const R& r) { return r.ledger.wasted_j; }, false},
+      {"ledger.rail_load_j", [](const R& r) { return r.ledger.rail_load_j; },
+       false},
+      {"ledger.output_loss_j",
+       [](const R& r) { return r.ledger.output_loss_j; }, false},
+      {"ledger.initial_stored_j",
+       [](const R& r) { return r.ledger.initial_stored_j; }, false},
+      {"ledger.final_stored_j",
+       [](const R& r) { return r.ledger.final_stored_j; }, false},
+      {"ledger.storage_delta_j",
+       [](const R& r) { return r.ledger.storage_delta_j; }, false},
+      {"ledger.storage_loss_j",
+       [](const R& r) { return r.ledger.storage_loss_j; }, false},
+      {"ledger.transducer_j", [](const R& r) { return r.ledger.transducer_j; },
+       false},
+      {"ledger.conversion_loss_j",
+       [](const R& r) { return r.ledger.conversion_loss_j; }, false},
+      {"ledger.tracker_overhead_j",
+       [](const R& r) { return r.ledger.tracker_overhead_j; }, false},
+      {"ledger.residual_j", [](const R& r) { return r.ledger.residual_j(); },
+       false},
+  };
+  return kFields;
+}
 
 void TraceRecorder::reserve_for(Seconds duration) {
   if (period.value() <= 0.0 || duration.value() <= 0.0) return;
@@ -53,7 +202,9 @@ void TraceRecorder::reserve_for(Seconds duration) {
 
 RunResult run_platform(Platform& platform, env::EnvironmentModel& environment,
                        Seconds duration, const RunOptions& options) {
+  OBS_SPAN("run_platform", "systems");
   Simulation sim(options.dt);
+  const Joules initial_stored = platform.total_stored();
 
   RunningStats input_stats;
   // The (now, dt) pairs handed to the environment here are the anchor for
@@ -111,68 +262,55 @@ RunResult run_platform(Platform& platform, env::EnvironmentModel& environment,
   }
   r.final_ambient_soc = platform.ambient_soc();
   r.final_stored = platform.total_stored();
+  r.time_to_first_brownout_s = platform.first_brownout_time().value();
   r.faults = collect_faults(platform, options);
+  r.ledger = collect_ledger(platform, initial_stored);
+  for (const auto& source : r.ledger.sources) {
+    r.mpp_cache_hits += source.mpp_cache_hits;
+    r.mpp_recomputes += source.mpp_recomputes;
+  }
   return r;
 }
 
 std::string to_string(const RunResult& r) {
-  char buf[4096];
-  const int n = std::snprintf(
-      buf, sizeof buf,
-      "duration_s=%.17g\n"
-      "harvested_j=%.17g\n"
-      "load_j=%.17g\n"
-      "quiescent_j=%.17g\n"
-      "wasted_j=%.17g\n"
-      "unmet_j=%.17g\n"
-      "packets=%llu\n"
-      "queries_received=%llu\n"
-      "queries_answered=%llu\n"
-      "reboots=%llu\n"
-      "brownouts=%llu\n"
-      "availability=%.17g\n"
-      "generation_fraction=%.17g\n"
-      "final_ambient_soc=%.17g\n"
-      "final_stored_j=%.17g\n"
-      "faults.injected.harvester=%llu\n"
-      "faults.injected.converter=%llu\n"
-      "faults.injected.storage=%llu\n"
-      "faults.injected.bus=%llu\n"
-      "faults.harvester_faulted_steps=%llu\n"
-      "faults.harvester_transitions=%llu\n"
-      "faults.converter_shutdowns=%llu\n"
-      "faults.converter_shutdown_steps=%llu\n"
-      "faults.bus_fault_hits=%llu\n"
-      "faults.bus_naks=%llu\n"
-      "faults.retry_attempts=%llu\n"
-      "faults.retry_retries=%llu\n"
-      "faults.retry_give_ups=%llu\n"
-      "faults.failovers=%llu\n"
-      "faults.failbacks=%llu\n",
-      r.duration.value(), r.harvested.value(), r.load.value(),
-      r.quiescent.value(), r.wasted.value(), r.unmet.value(),
-      static_cast<unsigned long long>(r.packets),
-      static_cast<unsigned long long>(r.queries_received),
-      static_cast<unsigned long long>(r.queries_answered),
-      static_cast<unsigned long long>(r.reboots),
-      static_cast<unsigned long long>(r.brownouts), r.availability,
-      r.generation_fraction, r.final_ambient_soc, r.final_stored.value(),
-      static_cast<unsigned long long>(r.faults.injected.harvester),
-      static_cast<unsigned long long>(r.faults.injected.converter),
-      static_cast<unsigned long long>(r.faults.injected.storage),
-      static_cast<unsigned long long>(r.faults.injected.bus),
-      static_cast<unsigned long long>(r.faults.harvester_faulted_steps),
-      static_cast<unsigned long long>(r.faults.harvester_transitions),
-      static_cast<unsigned long long>(r.faults.converter_shutdowns),
-      static_cast<unsigned long long>(r.faults.converter_shutdown_steps),
-      static_cast<unsigned long long>(r.faults.bus_fault_hits),
-      static_cast<unsigned long long>(r.faults.bus_naks),
-      static_cast<unsigned long long>(r.faults.retry_attempts),
-      static_cast<unsigned long long>(r.faults.retry_retries),
-      static_cast<unsigned long long>(r.faults.retry_give_ups),
-      static_cast<unsigned long long>(r.faults.failovers),
-      static_cast<unsigned long long>(r.faults.failbacks));
-  return std::string(buf, n > 0 ? static_cast<std::size_t>(n) : 0);
+  std::string out;
+  out.reserve(2048);
+  char buf[96];
+  for (const auto& field : run_result_fields()) {
+    int n;
+    if (field.integral) {
+      n = std::snprintf(
+          buf, sizeof buf, "%s=%llu\n", field.name,
+          static_cast<unsigned long long>(field.get(r)));
+    } else {
+      n = std::snprintf(buf, sizeof buf, "%s=%.17g\n", field.name,
+                        field.get(r));
+    }
+    if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+  }
+  out += r.ledger.sources_to_string();
+  return out;
+}
+
+obs::MetricsSnapshot metrics_snapshot(const RunResult& r) {
+  obs::Registry registry;
+  for (const auto& field : run_result_fields()) {
+    if (field.integral) {
+      registry.counter(field.name)
+          .add(static_cast<std::uint64_t>(field.get(r)));
+    } else {
+      registry.gauge(field.name).set(field.get(r));
+    }
+  }
+  for (std::size_t i = 0; i < r.ledger.sources.size(); ++i) {
+    const auto& s = r.ledger.sources[i];
+    const std::string prefix = "ledger.source[" + std::to_string(i) + "].";
+    registry.gauge(prefix + "delivered_j").set(s.delivered_j);
+    registry.gauge(prefix + "share").set(s.share);
+    registry.counter(prefix + "mpp_cache_hits").add(s.mpp_cache_hits);
+    registry.counter(prefix + "mpp_recomputes").add(s.mpp_recomputes);
+  }
+  return registry.snapshot();
 }
 
 }  // namespace msehsim::systems

@@ -7,11 +7,14 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/simulation.hpp"
 #include "core/stats.hpp"
 #include "env/environment.hpp"
 #include "fault/injector.hpp"
+#include "obs/ledger.hpp"
+#include "obs/metrics.hpp"
 #include "systems/platform.hpp"
 
 namespace msehsim::systems {
@@ -31,6 +34,19 @@ struct FaultReport {
   std::uint64_t retry_give_ups{0};          ///< polls abandoned after the ladder
   std::uint64_t failovers{0};               ///< backup switch-ins
   std::uint64_t failbacks{0};               ///< backup switch-outs
+  /// Outage-triggered failovers with a measurable onset, and their total
+  /// fault-onset -> switch-in latency (manager::FailoverPolicy).
+  std::uint64_t failover_latency_count{0};
+  double failover_latency_total_s{0.0};
+
+  /// Mean fault-onset -> switch-in latency (the ROADMAP mean-time-to-
+  /// failover metric); 0 when no outage-triggered failover occurred.
+  [[nodiscard]] double mean_time_to_failover_s() const {
+    return failover_latency_count == 0
+               ? 0.0
+               : failover_latency_total_s /
+                     static_cast<double>(failover_latency_count);
+  }
 };
 
 struct RunResult {
@@ -52,13 +68,45 @@ struct RunResult {
   double generation_fraction{0.0};
   double final_ambient_soc{0.0};
   Joules final_stored{0.0};
+  /// Simulation time of the first brownout; -1 when none occurred.
+  double time_to_first_brownout_s{-1.0};
+  /// MPP memoization counters summed over the platform's input chains
+  /// (per-chain values are in ledger.sources).
+  std::uint64_t mpp_cache_hits{0};
+  std::uint64_t mpp_recomputes{0};
   FaultReport faults;
+  /// Per-run energy-conservation accounting (obs pillar 2). Filled from
+  /// accumulators the run integrates anyway, so its bytes are identical
+  /// with observability compiled in or out.
+  obs::EnergyLedger ledger;
 };
+
+/// Name + accessor (+ integer formatting flag) for every scalar RunResult
+/// field, in canonical report order. THE single authoritative field list:
+/// to_string(RunResult), the campaign CSV/JSON exporters, and
+/// metrics_snapshot() all iterate it, so a field added here propagates to
+/// every surface at once and the byte-identity contract cannot silently
+/// drift from the struct.
+struct RunResultField {
+  const char* name;
+  double (*get)(const RunResult&);
+  bool integral{false};  ///< rendered as unsigned decimal in to_string
+};
+
+[[nodiscard]] const std::vector<RunResultField>& run_result_fields();
 
 /// Full-precision textual form of a RunResult (every float via %.17g), so
 /// two runs of the same seeded schedule can be compared byte-for-byte —
-/// the determinism contract of the fault layer.
+/// the determinism contract of the fault layer. Generated from
+/// run_result_fields(), followed by the variable-length per-source ledger
+/// rows.
 [[nodiscard]] std::string to_string(const RunResult& result);
+
+/// The run folded onto the metrics registry (obs pillar 1) under the
+/// canonical field names: integral fields become counters, the rest
+/// gauges, per-source ledger rows keyed by source index. Deterministic,
+/// and mergeable across a campaign's jobs.
+[[nodiscard]] obs::MetricsSnapshot metrics_snapshot(const RunResult& result);
 
 /// Optional time-series capture during a run.
 struct TraceRecorder {

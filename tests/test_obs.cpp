@@ -1,0 +1,407 @@
+// Observability layer: metrics registry semantics, energy-ledger
+// conservation on the surveyed systems (with and without faults armed),
+// span tracing, and the derived failover / brownout metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "env/environment.hpp"
+#include "fault/injector.hpp"
+#include "manager/policies.hpp"
+#include "obs/ledger.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "storage/fuel_cell.hpp"
+#include "systems/catalog.hpp"
+#include "systems/runner.hpp"
+
+namespace msehsim {
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+TEST(Registry, CountersAccumulateAndSnapshotSorted) {
+  obs::Registry reg;
+  reg.counter("z.events").add(3);
+  reg.counter("a.events").add();
+  reg.counter("z.events").add(2);
+  reg.gauge("m.level").set(1.5);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.rows.size(), 3u);
+  EXPECT_EQ(snap.rows[0].name, "a.events");
+  EXPECT_EQ(snap.rows[1].name, "m.level");
+  EXPECT_EQ(snap.rows[2].name, "z.events");
+  EXPECT_EQ(snap.rows[2].count, 5u);
+  EXPECT_DOUBLE_EQ(snap.find("m.level")->value, 1.5);
+  EXPECT_EQ(snap.find("missing"), nullptr);
+}
+
+TEST(Registry, TypeCollisionThrows) {
+  obs::Registry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), SpecError);
+  EXPECT_THROW(reg.histogram("x", {1.0}), SpecError);
+  reg.histogram("h", {1.0, 2.0});
+  EXPECT_THROW(reg.histogram("h", {1.0, 3.0}), SpecError);  // bounds drifted
+  EXPECT_NO_THROW(reg.histogram("h", {1.0, 2.0}));
+}
+
+TEST(Histogram, BucketsObservationsAgainstSortedBounds) {
+  obs::Histogram h({1.0, 10.0, 100.0});
+  EXPECT_THROW(obs::Histogram({2.0, 1.0}), SpecError);      // unsorted
+  EXPECT_THROW(obs::Histogram({1.0, 1.0}), SpecError);      // duplicate
+  for (const double x : {0.5, 1.0, 5.0, 50.0, 1e6}) h.observe(x);
+  ASSERT_EQ(h.buckets().size(), 4u);
+  EXPECT_EQ(h.buckets()[0], 2u);  // <= 1
+  EXPECT_EQ(h.buckets()[1], 1u);  // <= 10
+  EXPECT_EQ(h.buckets()[2], 1u);  // <= 100
+  EXPECT_EQ(h.buckets()[3], 1u);  // overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1e6);
+}
+
+TEST(MetricsSnapshot, MergeAddsCountersAndKeepsGaugeMax) {
+  obs::Registry a, b;
+  a.counter("n").add(2);
+  a.gauge("peak").set(3.0);
+  a.histogram("lat", {1.0, 2.0}).observe(0.5);
+  b.counter("n").add(5);
+  b.counter("only_b").add(1);
+  b.gauge("peak").set(7.0);
+  b.histogram("lat", {1.0, 2.0}).observe(1.5);
+
+  auto merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.find("n")->count, 7u);
+  EXPECT_EQ(merged.find("only_b")->count, 1u);
+  EXPECT_DOUBLE_EQ(merged.find("peak")->value, 7.0);
+  const auto* lat = merged.find("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, 2u);
+  EXPECT_EQ(lat->buckets[0], 1u);
+  EXPECT_EQ(lat->buckets[1], 1u);
+  EXPECT_DOUBLE_EQ(lat->min, 0.5);
+  EXPECT_DOUBLE_EQ(lat->max, 1.5);
+
+  // Merge is insensitive to which side a row came from (counter sums
+  // commute; gauge max commutes).
+  auto flipped = b.snapshot();
+  flipped.merge(a.snapshot());
+  EXPECT_EQ(merged.to_string(), flipped.to_string());
+
+  obs::Registry mismatched;
+  mismatched.gauge("n");
+  auto bad = a.snapshot();
+  EXPECT_THROW(bad.merge(mismatched.snapshot()), SpecError);
+}
+
+TEST(MetricsSnapshot, TextFormatsExpandHistograms) {
+  obs::Registry reg;
+  reg.counter("c").add(2);
+  reg.histogram("h", {1.0}).observe(0.5);
+  const auto snap = reg.snapshot();
+  const auto text = snap.to_string();
+  EXPECT_NE(text.find("c=2\n"), std::string::npos);
+  EXPECT_NE(text.find("h.count=1\n"), std::string::npos);
+  EXPECT_NE(text.find("h.le_1="), std::string::npos);
+  EXPECT_NE(text.find("h.le_inf="), std::string::npos);
+  const auto csv = snap.csv();
+  EXPECT_EQ(csv.rfind("metric,value\n", 0), 0u);
+  EXPECT_NE(csv.find("c,2\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Energy-flow ledger: conservation on the surveyed systems
+// ---------------------------------------------------------------------------
+
+/// Checks every conservation identity the ledger publishes, at the 1e-9
+/// relative gate from the issue's acceptance criteria.
+void expect_ledger_balances(const systems::RunResult& r) {
+  const auto& ledger = r.ledger;
+  EXPECT_LT(ledger.relative_residual(), 1e-9)
+      << "bus residual " << ledger.residual_j() << " J";
+  // Survey-level books: everything harvested (plus what loads demanded in
+  // vain) is load + overhead + losses + waste + what the stores kept.
+  const double books =
+      ledger.harvested_j + ledger.unserved_j -
+      (ledger.quiescent_j + ledger.rail_load_j + ledger.output_loss_j +
+       ledger.wasted_j + ledger.storage_delta_j + ledger.storage_loss_j);
+  EXPECT_LT(std::fabs(books) / std::max(1.0, ledger.harvested_j), 1e-9);
+  // Each chain's joules split exactly across its own boundary.
+  for (std::size_t i = 0; i < ledger.sources.size(); ++i) {
+    EXPECT_LT(std::fabs(ledger.source_residual_j(i)) /
+                  std::max(1.0, ledger.sources[i].transducer_j),
+              1e-9)
+        << ledger.sources[i].name;
+  }
+  // Shares partition delivered energy whenever anything flowed.
+  if (ledger.harvested_j > 0.0) {
+    double share_sum = 0.0;
+    double delivered_sum = 0.0;
+    for (const auto& s : ledger.sources) {
+      EXPECT_GE(s.share, 0.0);
+      share_sum += s.share;
+      delivered_sum += s.delivered_j;
+    }
+    EXPECT_NEAR(share_sum, delivered_sum / ledger.harvested_j, 1e-12);
+  }
+  // The ledger's mirror of the headline numbers matches the headline.
+  EXPECT_DOUBLE_EQ(ledger.harvested_j, r.harvested.value());
+  EXPECT_DOUBLE_EQ(ledger.rail_load_j, r.load.value());
+  EXPECT_DOUBLE_EQ(ledger.quiescent_j, r.quiescent.value());
+  EXPECT_DOUBLE_EQ(ledger.wasted_j, r.wasted.value());
+  EXPECT_DOUBLE_EQ(ledger.final_stored_j, r.final_stored.value());
+  // unserved keeps the sub-threshold leftovers unmet drops, so it can only
+  // be the larger of the two.
+  EXPECT_GE(ledger.unserved_j + 1e-15, r.unmet.value());
+}
+
+TEST(EnergyLedger, SystemAConservesEnergyOverSixHours) {
+  auto a = systems::build_system_a(kSeed);
+  auto env = env::Environment::outdoor(kSeed);
+  systems::RunOptions o;
+  o.dt = Seconds{5.0};
+  const auto r = systems::run_platform(*a, env, Seconds{6.0 * 3600.0}, o);
+  EXPECT_GT(r.ledger.harvested_j, 0.0);
+  EXPECT_EQ(r.ledger.sources.size(), a->input_count());
+  expect_ledger_balances(r);
+}
+
+TEST(EnergyLedger, SystemBConservesEnergyOverSixHours) {
+  auto b = systems::build_system_b(kSeed);
+  auto env = env::Environment::indoor_industrial(kSeed);
+  systems::RunOptions o;
+  o.dt = Seconds{5.0};
+  const auto r = systems::run_platform(*b, env, Seconds{6.0 * 3600.0}, o);
+  EXPECT_GT(r.ledger.harvested_j, 0.0);
+  expect_ledger_balances(r);
+}
+
+TEST(EnergyLedger, SystemAConservesEnergyUnderFaultInjection) {
+  auto a = systems::build_system_a(kSeed);
+  auto env = env::Environment::outdoor(kSeed);
+  fault::FaultInjector inj(kSeed);
+  inj.harvester_intermittent(Seconds{3600.0}, a->input(0), 0.3);
+  inj.harvester_degrade(Seconds{7200.0}, a->input(1), 0.4);
+  inj.converter_thermal_shutdown(Seconds{10000.0}, a->input(2),
+                                 Seconds{2000.0});
+  inj.storage_leakage_spike(Seconds{12000.0}, a->store(0), 20.0,
+                            Seconds{4000.0});
+  systems::RunOptions o;
+  o.dt = Seconds{5.0};
+  o.injector = &inj;
+  const auto r = systems::run_platform(*a, env, Seconds{6.0 * 3600.0}, o);
+  EXPECT_GT(r.faults.injected.total(), 0u);
+  expect_ledger_balances(r);
+}
+
+TEST(EnergyLedger, SystemBConservesEnergyUnderFaultInjection) {
+  auto b = systems::build_system_b(kSeed);
+  auto env = env::Environment::indoor_industrial(kSeed);
+  fault::FaultInjector inj(kSeed);
+  inj.harvester_intermittent(Seconds{600.0}, b->input(0), 0.6);
+  inj.harvester_stuck_short(Seconds{5400.0}, b->input(1));
+  systems::RunOptions o;
+  o.dt = Seconds{5.0};
+  o.injector = &inj;
+  const auto r = systems::run_platform(*b, env, Seconds{6.0 * 3600.0}, o);
+  EXPECT_GT(r.faults.injected.total(), 0u);
+  expect_ledger_balances(r);
+}
+
+TEST(EnergyLedger, ToStringCarriesAggregateAndSourceRows) {
+  auto a = systems::build_system_a(kSeed);
+  auto env = env::Environment::outdoor(kSeed);
+  systems::RunOptions o;
+  o.dt = Seconds{5.0};
+  const auto r = systems::run_platform(*a, env, Seconds{3600.0}, o);
+  const auto text = r.ledger.to_string();
+  for (const char* needle :
+       {"ledger.harvested_j=", "ledger.residual_j=", "ledger.source[0].name=",
+        "ledger.source[0].share=", "ledger.source[0].mpp_cache_hits="})
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  // And the canonical report embeds the same per-source block.
+  EXPECT_NE(systems::to_string(r).find("ledger.source[0].name="),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Derived metrics: mean time to failover, time to first brownout
+// ---------------------------------------------------------------------------
+
+TEST(MeanTimeToFailover, PolicyMeasuresOnsetToSwitchInLatency) {
+  manager::FailoverPolicy::Params p;
+  p.dead_time = Seconds{600.0};
+  manager::FailoverPolicy policy(p);
+  storage::FuelCell cell("fc", storage::FuelCell::Params{});
+  // Outage begins at t=100; the debounced switch-in lands at t=700.
+  policy.update(Seconds{0.0}, Watts{1e-3}, 0.8, cell);
+  policy.update(Seconds{100.0}, Watts{0.0}, 0.8, cell);
+  policy.update(Seconds{700.0}, Watts{0.0}, 0.8, cell);
+  ASSERT_TRUE(cell.enabled());
+  EXPECT_EQ(policy.failover_latency_count(), 1u);
+  EXPECT_DOUBLE_EQ(policy.failover_latency_total().value(), 600.0);
+  EXPECT_DOUBLE_EQ(policy.mean_time_to_failover().value(), 600.0);
+}
+
+TEST(MeanTimeToFailover, SocOnlyFailoverHasNoMeasurableOnset) {
+  manager::FailoverPolicy policy;
+  storage::FuelCell cell("fc", storage::FuelCell::Params{});
+  // Primary healthy, buffer low: failover fires but no outage started it.
+  policy.update(Seconds{0.0}, Watts{1e-3}, 0.1, cell);
+  ASSERT_TRUE(cell.enabled());
+  EXPECT_EQ(policy.failovers(), 1u);
+  EXPECT_EQ(policy.failover_latency_count(), 0u);
+  EXPECT_DOUBLE_EQ(policy.mean_time_to_failover().value(), 0.0);
+}
+
+TEST(MeanTimeToFailover, SurfacesThroughRunResult) {
+  auto a = systems::build_system_a(kSeed);
+  manager::FailoverPolicy::Params fp;
+  fp.dead_time = Seconds{600.0};
+  a->set_failover_policy(manager::FailoverPolicy(fp), 2);
+  auto env = env::Environment::outdoor(kSeed);
+  fault::FaultInjector inj(kSeed);
+  inj.harvester_stuck_short(Seconds{7200.0}, a->input(0));
+  inj.harvester_stuck_short(Seconds{7200.0}, a->input(1));
+  inj.harvester_stuck_short(Seconds{7200.0}, a->input(2));
+  systems::RunOptions o;
+  o.dt = Seconds{5.0};
+  o.injector = &inj;
+  const auto r = systems::run_platform(*a, env, Seconds{86400.0}, o);
+  ASSERT_GE(r.faults.failovers, 1u);
+  ASSERT_GE(r.faults.failover_latency_count, 1u);
+  // Latency is at least the debounce dead time and is the mean of totals.
+  EXPECT_GE(r.faults.mean_time_to_failover_s(), 600.0 - 1e-9);
+  EXPECT_DOUBLE_EQ(
+      r.faults.mean_time_to_failover_s(),
+      r.faults.failover_latency_total_s /
+          static_cast<double>(r.faults.failover_latency_count));
+  EXPECT_NE(systems::to_string(r).find("faults.mean_time_to_failover_s="),
+            std::string::npos);
+  expect_ledger_balances(r);
+}
+
+TEST(TimeToFirstBrownout, MinusOneWhenNoneAndWithinRunWhenSome) {
+  auto a = systems::build_system_a(kSeed);
+  auto env = env::Environment::outdoor(kSeed);
+  systems::RunOptions o;
+  o.dt = Seconds{5.0};
+  const auto r = systems::run_platform(*a, env, Seconds{3600.0}, o);
+  if (r.brownouts == 0) {
+    EXPECT_DOUBLE_EQ(r.time_to_first_brownout_s, -1.0);
+  } else {
+    EXPECT_GE(r.time_to_first_brownout_s, 0.0);
+    EXPECT_LE(r.time_to_first_brownout_s, r.duration.value());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// metrics_snapshot: runs fold onto the registry deterministically
+// ---------------------------------------------------------------------------
+
+TEST(MetricsSnapshotOfRun, CoversEveryFieldAndRepeatsByteForByte) {
+  auto a = systems::build_system_a(kSeed);
+  auto env = env::Environment::outdoor(kSeed);
+  systems::RunOptions o;
+  o.dt = Seconds{5.0};
+  const auto r = systems::run_platform(*a, env, Seconds{3600.0}, o);
+  const auto snap = systems::metrics_snapshot(r);
+  for (const auto& field : systems::run_result_fields()) {
+    const auto* row = snap.find(field.name);
+    ASSERT_NE(row, nullptr) << field.name;
+    if (field.integral) {
+      EXPECT_EQ(static_cast<double>(row->count), field.get(r)) << field.name;
+    } else {
+      EXPECT_DOUBLE_EQ(row->value, field.get(r)) << field.name;
+    }
+  }
+  EXPECT_NE(snap.find("ledger.source[0].share"), nullptr);
+  EXPECT_EQ(snap.to_string(), systems::metrics_snapshot(r).to_string());
+}
+
+// ---------------------------------------------------------------------------
+// Span tracing
+// ---------------------------------------------------------------------------
+
+TEST(TraceCollector, DisabledByDefaultAndRecordsNothing) {
+  auto& collector = obs::TraceCollector::instance();
+  ASSERT_FALSE(collector.enabled());
+  { obs::Span span{"ignored", "test"}; }
+  EXPECT_EQ(collector.event_count(), 0u);
+}
+
+#if MSEHSIM_OBS_ENABLED
+
+TEST(TraceCollector, CapturesSpansAndEmitsChromeJson) {
+  auto& collector = obs::TraceCollector::instance();
+  collector.enable();
+  collector.set_thread_name("test-main");
+  {
+    obs::Span outer{"outer", "test", "\"k\": 1"};
+    obs::Span inner{"inner", "test"};
+  }
+  EXPECT_EQ(collector.event_count(), 2u);
+  const auto json = collector.chrome_trace_json();
+  collector.disable();
+  for (const char* needle :
+       {"\"traceEvents\"", "\"ph\": \"X\"", "\"ph\": \"M\"", "\"outer\"",
+        "\"inner\"", "\"test-main\"", "\"k\": 1", "\"displayTimeUnit\""})
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  // Inner closed first, so it precedes outer in the buffer and nests inside
+  // its parent's interval.
+  EXPECT_LT(json.find("\"inner\""), json.find("\"outer\""));
+}
+
+TEST(TraceCollector, EnableResetsBufferAndCapacityCapsIt) {
+  auto& collector = obs::TraceCollector::instance();
+  collector.enable();
+  { obs::Span span{"stale", "test"}; }
+  EXPECT_EQ(collector.event_count(), 1u);
+  collector.enable();  // re-enable starts a fresh trace
+  EXPECT_EQ(collector.event_count(), 0u);
+
+  collector.set_capacity(2);
+  for (int i = 0; i < 5; ++i) obs::Span span{"burst", "test"};
+  EXPECT_EQ(collector.event_count(), 2u);
+  EXPECT_EQ(collector.dropped(), 3u);
+  collector.set_capacity(1u << 20);
+  collector.disable();
+}
+
+TEST(TraceCollector, SampledSpansRecordOneInEveryStride) {
+  auto& collector = obs::TraceCollector::instance();
+  collector.enable(8);
+  for (int i = 0; i < 64; ++i) {
+    OBS_SPAN_SAMPLED("hot", "test");
+  }
+  EXPECT_EQ(collector.event_count(), 8u);
+  collector.disable();
+}
+
+TEST(TraceCollector, RunPlatformEmitsSpansWhenEnabled) {
+  auto& collector = obs::TraceCollector::instance();
+  collector.enable(64);
+  auto a = systems::build_system_a(kSeed);
+  auto env = env::Environment::outdoor(kSeed);
+  systems::RunOptions o;
+  o.dt = Seconds{5.0};
+  (void)systems::run_platform(*a, env, Seconds{3600.0}, o);
+  const auto json = collector.chrome_trace_json();
+  collector.disable();
+  EXPECT_NE(json.find("\"run_platform\""), std::string::npos);
+  EXPECT_NE(json.find("\"platform.step\""), std::string::npos);
+}
+
+#endif  // MSEHSIM_OBS_ENABLED
+
+}  // namespace
+}  // namespace msehsim
