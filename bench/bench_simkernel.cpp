@@ -4,6 +4,7 @@
 // subsystem) so users can size year-scale studies.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
 #include <memory>
 #include <string>
 
@@ -281,6 +282,38 @@ void BM_Campaign_Grid_Resynth(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(jobs) * 3600);
 }
 BENCHMARK(BM_Campaign_Grid_Resynth)->Unit(benchmark::kMillisecond);
+
+void BM_Campaign_Grid_WarmCache(benchmark::State& state) {
+  // Same grid as BM_Campaign_Grid, but every (scenario, seed) timeline is
+  // served from the persistent on-disk cache, memory-mapped instead of
+  // synthesized. A cold campaign populates the cache before timing starts;
+  // the timed iterations then never run an environment generator at all.
+  // The gap to BM_Campaign_Grid is the persistent cache's whole-campaign
+  // win on re-runs.
+  const std::string dir =
+      std::filesystem::temp_directory_path() / "msehsim_bench_trace_cache";
+  std::filesystem::remove_all(dir);
+  {
+    auto warmup = probe_grid(true);
+    warmup.trace_cache_dir = dir;
+    campaign::Campaign cold(warmup);
+    cold.run();
+  }
+  std::uint64_t jobs = 0;
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    auto spec = probe_grid(true);
+    spec.trace_cache_dir = dir;
+    campaign::Campaign c(spec);
+    jobs += c.run().size();
+    hits += c.trace_cache_stats().hits;
+    benchmark::DoNotOptimize(c.results().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(jobs) * 3600);
+  state.counters["cache_hits"] = static_cast<double>(hits);
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_Campaign_Grid_WarmCache)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

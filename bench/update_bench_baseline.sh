@@ -56,6 +56,14 @@ if grid is not None:
         }
         record["campaign_trace_speedup"] = (
             resynth["real_time"] / grid["real_time"])
+    warm = find("BM_Campaign_Grid_WarmCache")
+    if warm is not None:
+        record["BM_Campaign_Grid_WarmCache"] = {
+            "real_time_ms": warm["real_time"],
+            "steps_per_second": warm["items_per_second"],
+        }
+        record["campaign_warm_cache_speedup"] = (
+            grid["real_time"] / warm["real_time"])
 history.append(record)
 
 json.dump({"history": history, "current": run}, open(out_path, "w"), indent=1)
@@ -65,5 +73,8 @@ if grid is not None and resynth is not None:
     print(f"  BM_Campaign_Grid: {grid['real_time']:.1f} ms vs "
           f"{resynth['real_time']:.1f} ms resynth "
           f"({resynth['real_time'] / grid['real_time']:.2f}x)")
+if grid is not None and warm is not None:
+    print(f"  BM_Campaign_Grid_WarmCache: {warm['real_time']:.1f} ms "
+          f"({grid['real_time'] / warm['real_time']:.2f}x vs in-memory compile)")
 EOF
 rm -f "$TMP"

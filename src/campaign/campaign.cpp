@@ -42,6 +42,10 @@ Campaign::Campaign(CampaignSpec spec) : spec_(std::move(spec)) {
   for (const auto& p : spec_.platforms)
     require_spec(static_cast<bool>(p.make),
                  "Campaign platform variant '" + p.name + "' has no factory");
+  if (spec_.compile_traces && !spec_.trace_cache_dir.empty()) {
+    trace_cache_ = std::make_unique<env::TraceCache>(
+        spec_.trace_cache_dir, spec_.trace_cache_max_bytes);
+  }
   for (const auto& s : spec_.scenarios) {
     require_spec(static_cast<bool>(s.environment),
                  "Campaign scenario '" + s.name + "' has no environment factory");
@@ -71,6 +75,15 @@ std::shared_ptr<const env::CompiledTrace> Campaign::compiled_trace(
     OBS_SPAN("campaign.compile_trace", "campaign");
     try {
       const auto& scenario = spec_.scenarios[scenario_index];
+      const env::TraceCacheKey key{scenario.name, spec_.seeds[seed_index],
+                                   scenario.options.dt, scenario.duration};
+      if (trace_cache_) {
+        // A mapped hit skips environment construction entirely — that is
+        // the win. Any invalid or missing entry falls through to a live
+        // compile below, so a corrupt cache can never change a result.
+        slot.trace = trace_cache_->load(key);
+        if (slot.trace) return;
+      }
       auto source = scenario.environment(spec_.seeds[seed_index]);
       require_spec(source != nullptr,
                    "Campaign environment factory '" + scenario.name +
@@ -78,6 +91,7 @@ std::shared_ptr<const env::CompiledTrace> Campaign::compiled_trace(
       slot.trace = env::CompiledTrace::compile(*source, scenario.options.dt,
                                                scenario.duration);
       trace_compiles_.fetch_add(1, std::memory_order_relaxed);
+      if (trace_cache_) trace_cache_->store(key, *slot.trace);
     } catch (const std::exception& e) {
       slot.error = e.what();
     } catch (...) {
@@ -253,8 +267,23 @@ obs::MetricsSnapshot Campaign::metrics() const {
   obs::Registry campaign_level;
   campaign_level.counter("campaign.jobs").add(results_.size());
   campaign_level.counter("campaign.trace_compiles").add(trace_compiles());
+  if (trace_cache_) {
+    // Cache behavior is allowed to differ run to run (cold vs warm) — these
+    // rows exist for exactly that diagnosis, unlike the result exports,
+    // which stay byte-identical across cache states.
+    const env::TraceCacheStats cs = trace_cache_->stats();
+    campaign_level.counter("trace_cache.hits").add(cs.hits);
+    campaign_level.counter("trace_cache.misses").add(cs.misses);
+    campaign_level.counter("trace_cache.evictions").add(cs.evictions);
+    campaign_level.gauge("trace_cache.bytes_mapped")
+        .set(static_cast<double>(cs.bytes_mapped));
+  }
   merged.merge(campaign_level.snapshot());
   return merged;
+}
+
+env::TraceCacheStats Campaign::trace_cache_stats() const {
+  return trace_cache_ ? trace_cache_->stats() : env::TraceCacheStats{};
 }
 
 std::vector<FieldStats> Campaign::seed_stats(std::size_t platform,

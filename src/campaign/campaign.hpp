@@ -27,6 +27,7 @@
 
 #include "core/units.hpp"
 #include "env/compiled_trace.hpp"
+#include "env/trace_cache.hpp"
 #include "obs/metrics.hpp"
 #include "env/environment.hpp"
 #include "fault/injector.hpp"
@@ -81,6 +82,19 @@ struct CampaignSpec {
   /// shares one snapshot. Kill switch for determinism audits: results are
   /// byte-identical either way.
   bool compile_traces{true};
+  /// Directory for the persistent env::TraceCache. Empty (the default)
+  /// keeps today's in-memory-only behavior. Non-empty: each (scenario,
+  /// seed) snapshot is probed on disk first — a valid entry is
+  /// memory-mapped read-only instead of synthesized, and fresh compiles are
+  /// written back for the next run. Results are byte-identical either way;
+  /// the cache can only trade disk for compile time. Keyed by scenario
+  /// *name* (plus seed/dt/duration/library version), so scenarios whose
+  /// generator recipe changes must change name or directory. Only consulted
+  /// when compile_traces is on.
+  std::string trace_cache_dir;
+  /// Byte cap for trace_cache_dir (oldest entries evicted after each
+  /// store); 0 means unbounded.
+  std::uint64_t trace_cache_max_bytes{0};
   /// Pop jobs longest-expected-duration-first (expected steps =
   /// duration / dt) so a long scenario cannot strand the pool tail on one
   /// worker. Results stay in grid order; this flag never changes a byte.
@@ -152,10 +166,15 @@ class Campaign {
 
   /// Ambient timelines actually compiled (0 with compile_traces off). Every
   /// platform variant shares the same (scenario, seed) snapshot, so after a
-  /// full run this equals scenarios x seeds however many variants ran.
+  /// full run this equals scenarios x seeds however many variants ran —
+  /// minus the slots served from the persistent cache, which count under
+  /// trace_cache_stats().hits instead.
   [[nodiscard]] std::uint64_t trace_compiles() const {
     return trace_compiles_.load(std::memory_order_relaxed);
   }
+
+  /// Persistent-cache counters (all zero when trace_cache_dir is empty).
+  [[nodiscard]] env::TraceCacheStats trace_cache_stats() const;
 
   /// Every job's metrics_snapshot merged in grid order (counters and
   /// histograms sum, gauges keep their max), plus campaign-level counters
@@ -184,6 +203,7 @@ class Campaign {
   std::vector<JobResult> results_;
   // once_flag is neither movable nor copyable, hence the raw array.
   std::unique_ptr<TraceSlot[]> trace_slots_;
+  std::unique_ptr<env::TraceCache> trace_cache_;
   std::atomic<std::uint64_t> trace_compiles_{0};
   bool ran_{false};
 };

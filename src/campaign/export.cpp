@@ -4,17 +4,18 @@
 #include <fstream>
 
 #include "core/error.hpp"
+#include "core/fmt.hpp"
 
 namespace msehsim::campaign {
 
 namespace {
 
-/// Same full-precision format as to_string(RunResult): %.17g round-trips
-/// every double bit-exactly through parse_csv.
+/// Same locale-independent shortest round-trip format as
+/// to_string(RunResult): every double survives parse_csv bit-exactly, and
+/// the bytes cannot vary with the process locale (snprintf %g under a
+/// de_DE-style LC_NUMERIC emitted ',' separators — invalid CSV/JSON).
 std::string num(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
+  return format_double(v);
 }
 
 std::string json_escape(const std::string& s) {
@@ -122,8 +123,13 @@ std::string results_json(const Campaign& campaign) {
     if (k) out += ", ";
     out += num(static_cast<double>(spec.seeds[k]));
   }
+  // Timelines materialized, regardless of provenance: live compiles plus
+  // persistent-cache hits. Counting hits in keeps this document
+  // byte-identical between a cold run (all compiles) and a warm one (all
+  // hits) — the export byte-identity contract must not see cache state.
   out += "],\n  \"trace_compiles\": " +
-         num(static_cast<double>(campaign.trace_compiles()));
+         num(static_cast<double>(campaign.trace_compiles() +
+                                 campaign.trace_cache_stats().hits));
   out += ",\n  \"jobs\": [";
   bool first_job = true;
   for (const auto& job : campaign.results()) {

@@ -3,8 +3,9 @@
 // Serializes a finished Campaign grid — per-job RunResults and the
 // per-(platform, scenario) seed statistics — to CSV and JSON for offline
 // analysis. The CSV flavors are fully numeric (grid coordinates as indices,
-// every value via %.17g) so core's parse_csv round-trips them bit-exactly;
-// the JSON carries the human-readable platform/scenario names alongside.
+// every value in the locale-independent shortest round-trip form of
+// core/fmt) so core's parse_csv round-trips them bit-exactly; the JSON
+// carries the human-readable platform/scenario names alongside.
 #pragma once
 
 #include <string>
@@ -24,8 +25,10 @@ namespace msehsim::campaign {
 [[nodiscard]] std::string seed_stats_csv(const Campaign& campaign);
 
 /// The whole campaign as one JSON document: platform/scenario/seed axes by
-/// name, the engine's trace_compiles counter, every job's fields plus its
-/// per-source ledger rows, and the per-cell seed statistics.
+/// name, the count of materialized timelines (live compiles plus persistent
+/// trace-cache hits, so the document is byte-identical across cache
+/// states), every job's fields plus its per-source ledger rows, and the
+/// per-cell seed statistics.
 [[nodiscard]] std::string results_json(const Campaign& campaign);
 
 /// Campaign::metrics() as two-column `metric,value` CSV — every job's

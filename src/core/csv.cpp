@@ -1,10 +1,10 @@
 #include "core/csv.hpp"
 
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "core/error.hpp"
+#include "core/fmt.hpp"
 #include "core/stats.hpp"
 
 namespace msehsim {
@@ -19,14 +19,25 @@ void write_csv(const std::string& path, const std::vector<const Series*>& series
   }
   std::ofstream out(path);
   require_spec(out.good(), "write_csv: cannot open " + path);
-  out << "time";
-  for (const auto* s : series) out << ',' << s->name();
-  out << '\n';
-  for (std::size_t i = 0; i < times.size(); ++i) {
-    out << times[i];
-    for (const auto* s : series) out << ',' << s->values()[i];
-    out << '\n';
+  // Locale-independent shortest round-trip forms (core/fmt) — ostream
+  // operator<< would both truncate to 6 significant digits and honor an
+  // imbued locale's decimal separator.
+  std::string text = "time";
+  for (const auto* s : series) {
+    text += ',';
+    text += s->name();
   }
+  text += '\n';
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    append_double(text, times[i]);
+    for (const auto* s : series) {
+      text += ',';
+      append_double(text, s->values()[i]);
+    }
+    text += '\n';
+  }
+  out << text;
+  require_spec(out.good(), "write_csv: write to " + path + " failed");
 }
 
 std::size_t CsvData::column(const std::string& name) const {
@@ -63,10 +74,12 @@ CsvData parse_csv(const std::string& text) {
     std::vector<double> row;
     row.reserve(cells.size());
     for (const auto& cell : cells) {
-      char* end = nullptr;
-      const double v = std::strtod(cell.c_str(), &end);
-      require_spec(end != cell.c_str(), "parse_csv: non-numeric cell '" + cell + "'");
-      row.push_back(v);
+      // from_chars-based parse (core/fmt): locale-independent — strtod under
+      // a ',' decimal locale silently truncated "3.14" to 3 — and strict
+      // about trailing junk, so a mis-localized cell fails loudly instead.
+      const auto v = parse_double(cell);
+      require_spec(v.has_value(), "parse_csv: non-numeric cell '" + cell + "'");
+      row.push_back(*v);
     }
     data.rows.push_back(std::move(row));
   }

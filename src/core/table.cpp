@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "core/error.hpp"
+#include "core/fmt.hpp"
 
 namespace msehsim {
 
@@ -48,9 +49,7 @@ std::ostream& operator<<(std::ostream& os, const TextTable& t) {
 }
 
 std::string format_fixed(double value, int digits) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
-  return buf;
+  return format_double_fixed(value, digits);
 }
 
 namespace {
@@ -64,9 +63,7 @@ std::string with_prefix(double v, const char* unit) {
   const double mag = std::fabs(v);
   for (const auto& p : kPrefixes) {
     if (mag >= p.scale * 0.9995 || p.scale == 1e-12) {
-      char buf[64];
-      std::snprintf(buf, sizeof buf, "%.3g %s%s", v / p.scale, p.name, unit);
-      return buf;
+      return format_double_general(v / p.scale, 3) + " " + p.name + unit;
     }
   }
   return "0 " + std::string(unit);

@@ -11,21 +11,23 @@ namespace {
 
 /// True only for bit-exact +0.0: eliding -0.0 would swap the sign of a
 /// stored zero and could leak into a "-0"-vs-"0" byte difference in a
-/// %.17g report downstream.
+/// round-trip-exact text report downstream.
 bool all_positive_zero(const std::vector<double>& v) {
   for (const double x : v)
     if (x != 0.0 || std::signbit(x)) return false;
   return true;
 }
 
-void elide_if_zero(std::vector<double>& v) {
-  if (all_positive_zero(v)) {
-    v.clear();
-    v.shrink_to_fit();
-  }
-}
-
 }  // namespace
+
+const std::array<const char*, CompiledTrace::kChannelCount>&
+CompiledTrace::channel_names() {
+  static const std::array<const char*, kChannelCount> names = {
+      "solar_irradiance", "illuminance",    "wind_speed",
+      "thermal_gradient", "vibration_rms",  "vibration_freq",
+      "rf_power_density", "water_flow"};
+  return names;
+}
 
 CompiledTrace::CompiledTrace(EnvironmentModel& source, Seconds dt,
                              Seconds duration)
@@ -34,26 +36,32 @@ CompiledTrace::CompiledTrace(EnvironmentModel& source, Seconds dt,
   require_spec(duration.value() > 0.0, "CompiledTrace: duration must be > 0");
   const auto reserve =
       static_cast<std::size_t>(duration.value() / dt.value()) + 1;
-  for (auto* v : {&solar_, &lux_, &wind_, &thermal_, &vib_, &vibf_, &rf_, &water_})
-    v->reserve(reserve);
+  for (auto& v : owned_) v.reserve(reserve);
   // Exactly core::Simulation's stepping scheme (run_platform starts at
   // now = 0): repeated accumulation, half-step end tolerance. Any deviation
   // here would desynchronize playback from a live run.
   for (Seconds now{0.0}; now + dt * 0.5 < duration; now += dt) {
     const AmbientConditions c = source.advance(now, dt);
-    solar_.push_back(c.solar_irradiance.value());
-    lux_.push_back(c.illuminance.value());
-    wind_.push_back(c.wind_speed.value());
-    thermal_.push_back(c.thermal_gradient.value());
-    vib_.push_back(c.vibration_rms.value());
-    vibf_.push_back(c.vibration_freq.value());
-    rf_.push_back(c.rf_power_density.value());
-    water_.push_back(c.water_flow.value());
+    owned_[0].push_back(c.solar_irradiance.value());
+    owned_[1].push_back(c.illuminance.value());
+    owned_[2].push_back(c.wind_speed.value());
+    owned_[3].push_back(c.thermal_gradient.value());
+    owned_[4].push_back(c.vibration_rms.value());
+    owned_[5].push_back(c.vibration_freq.value());
+    owned_[6].push_back(c.rf_power_density.value());
+    owned_[7].push_back(c.water_flow.value());
   }
-  steps_ = solar_.size();
+  steps_ = owned_[0].size();
   require_spec(steps_ > 0, "CompiledTrace: zero-step timeline");
-  for (auto* v : {&solar_, &lux_, &wind_, &thermal_, &vib_, &vibf_, &rf_, &water_})
-    elide_if_zero(*v);
+  for (std::size_t ch = 0; ch < kChannelCount; ++ch) {
+    if (all_positive_zero(owned_[ch])) {
+      owned_[ch].clear();
+      owned_[ch].shrink_to_fit();
+      view_[ch] = nullptr;
+    } else {
+      view_[ch] = owned_[ch].data();
+    }
+  }
 }
 
 std::shared_ptr<const CompiledTrace> CompiledTrace::compile(
@@ -64,30 +72,28 @@ std::shared_ptr<const CompiledTrace> CompiledTrace::compile(
 AmbientConditions CompiledTrace::at(std::size_t step) const {
   require_spec(step < steps_, "CompiledTrace::at: step out of range");
   AmbientConditions c;
-  c.solar_irradiance = WattsPerSquareMeter{slot(solar_, step)};
-  c.illuminance = Lux{slot(lux_, step)};
-  c.wind_speed = MetersPerSecond{slot(wind_, step)};
-  c.thermal_gradient = Kelvin{slot(thermal_, step)};
-  c.vibration_rms = MetersPerSecondSquared{slot(vib_, step)};
-  c.vibration_freq = Hertz{slot(vibf_, step)};
-  c.rf_power_density = WattsPerSquareMeter{slot(rf_, step)};
-  c.water_flow = MetersPerSecond{slot(water_, step)};
+  c.solar_irradiance = WattsPerSquareMeter{slot(0, step)};
+  c.illuminance = Lux{slot(1, step)};
+  c.wind_speed = MetersPerSecond{slot(2, step)};
+  c.thermal_gradient = Kelvin{slot(3, step)};
+  c.vibration_rms = MetersPerSecondSquared{slot(4, step)};
+  c.vibration_freq = Hertz{slot(5, step)};
+  c.rf_power_density = WattsPerSquareMeter{slot(6, step)};
+  c.water_flow = MetersPerSecond{slot(7, step)};
   return c;
 }
 
 std::size_t CompiledTrace::memory_bytes() const {
+  if (backing_ != nullptr) return mapped_bytes_;
   std::size_t bytes = 0;
-  for (const auto* v :
-       {&solar_, &lux_, &wind_, &thermal_, &vib_, &vibf_, &rf_, &water_})
-    bytes += v->capacity() * sizeof(double);
+  for (const auto& v : owned_) bytes += v.capacity() * sizeof(double);
   return bytes;
 }
 
 int CompiledTrace::stored_channels() const {
   int n = 0;
-  for (const auto* v :
-       {&solar_, &lux_, &wind_, &thermal_, &vib_, &vibf_, &rf_, &water_})
-    if (!v->empty()) ++n;
+  for (const auto* v : view_)
+    if (v != nullptr) ++n;
   return n;
 }
 

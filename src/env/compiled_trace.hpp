@@ -11,6 +11,11 @@
 // per-job CompiledEnvironment cursor for playback that is O(1) per step
 // and dispatches through zero virtual channels.
 //
+// A trace owns its channel arrays when freshly compiled, or views them
+// inside a read-only memory mapping when loaded from the persistent
+// env::TraceCache (trace_cache.hpp) — playback is byte-identical either
+// way, because both paths hold the exact doubles the source produced.
+//
 // Determinism contract: compilation replays exactly the stepping scheme of
 // systems::run_platform (now accumulated from zero by repeated += dt, one
 // advance(now, dt) per step), and playback returns the stored doubles
@@ -18,6 +23,7 @@
 // over the freshly synthesized source environment.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <memory>
 #include <string>
@@ -34,6 +40,13 @@ namespace msehsim::env {
 /// a two-channel outdoor site does not pay eight arrays of storage.
 class CompiledTrace {
  public:
+  /// One array per AmbientConditions field, in declaration order. This is
+  /// the channel schema the TraceCache hashes into its invalidation key: a
+  /// new field means a new schema means every old cache entry misses.
+  static constexpr int kChannelCount = 8;
+  [[nodiscard]] static const std::array<const char*, kChannelCount>&
+  channel_names();
+
   /// Compiles @p source over [0, duration) at @p dt, mutating the source's
   /// generator state exactly as a live run would.
   CompiledTrace(EnvironmentModel& source, Seconds dt, Seconds duration);
@@ -43,6 +56,11 @@ class CompiledTrace {
                                                       Seconds dt,
                                                       Seconds duration);
 
+  // view_ points into owned_ (or a mapping); copying/moving would dangle it.
+  // Traces live behind shared_ptr<const CompiledTrace> anyway.
+  CompiledTrace(const CompiledTrace&) = delete;
+  CompiledTrace& operator=(const CompiledTrace&) = delete;
+
   [[nodiscard]] std::size_t step_count() const { return steps_; }
   [[nodiscard]] Seconds dt() const { return dt_; }
   [[nodiscard]] Seconds duration() const { return duration_; }
@@ -51,22 +69,44 @@ class CompiledTrace {
   /// Conditions of slot @p step (elided channels read +0.0).
   [[nodiscard]] AmbientConditions at(std::size_t step) const;
 
-  /// Bytes held by the channel arrays after zero-channel elision.
+  /// Bytes held by the channel arrays after zero-channel elision (owned
+  /// traces), or the size of the read-only mapping (cache-loaded traces).
   [[nodiscard]] std::size_t memory_bytes() const;
 
   /// Channels that survived elision (diagnostics / tests).
   [[nodiscard]] int stored_channels() const;
 
+  /// True when the arrays live in a TraceCache memory mapping rather than
+  /// owned vectors.
+  [[nodiscard]] bool mapped() const { return backing_ != nullptr; }
+
+  /// Channel @p ch's step_count() doubles, or nullptr when elided. The
+  /// serialization surface used by env::TraceCache.
+  [[nodiscard]] const double* channel(int ch) const {
+    return view_[static_cast<std::size_t>(ch)];
+  }
+
  private:
-  static double slot(const std::vector<double>& v, std::size_t i) {
-    return v.empty() ? 0.0 : v[i];
+  friend class TraceCache;
+  CompiledTrace() = default;  // mapped-construction path (TraceCache::load)
+
+  [[nodiscard]] double slot(int ch, std::size_t i) const {
+    const double* v = view_[static_cast<std::size_t>(ch)];
+    return v == nullptr ? 0.0 : v[i];
   }
 
   Seconds dt_{1.0};
   Seconds duration_{0.0};
   std::size_t steps_{0};
   std::string description_;
-  std::vector<double> solar_, lux_, wind_, thermal_, vib_, vibf_, rf_, water_;
+  /// Owned storage for freshly compiled traces (all empty when mapped).
+  std::array<std::vector<double>, kChannelCount> owned_{};
+  /// Per-channel data pointer: into owned_ or into the mapping; nullptr for
+  /// an elided channel.
+  std::array<const double*, kChannelCount> view_{};
+  /// Keep-alive for the read-only file mapping backing view_ (mapped path).
+  std::shared_ptr<const void> backing_;
+  std::size_t mapped_bytes_{0};
 };
 
 /// Lightweight playback cursor over a shared CompiledTrace. Each campaign

@@ -5,6 +5,8 @@
 // transduces. A channel that is absent at a site is simply zero.
 #pragma once
 
+#include <cmath>
+
 #include "core/units.hpp"
 
 namespace msehsim::env {
@@ -33,5 +35,24 @@ struct AmbientConditions {
   friend bool operator==(const AmbientConditions&,
                          const AmbientConditions&) = default;
 };
+
+/// @p c with every NaN channel replaced by +0.0. A NaN ambient reading is a
+/// sensor artifact, not a physical level — and because NaN != NaN, a NaN
+/// channel would make any conditions-keyed memo (the MPP cache in
+/// harvest::Harvester) compare unequal to itself and recompute every step
+/// while the curve itself got poisoned. Zero is the "channel absent"
+/// convention everywhere else in env.
+[[nodiscard]] inline AmbientConditions sanitized(AmbientConditions c) {
+  const auto fix = [](double v) { return std::isnan(v) ? 0.0 : v; };
+  c.solar_irradiance = WattsPerSquareMeter{fix(c.solar_irradiance.value())};
+  c.illuminance = Lux{fix(c.illuminance.value())};
+  c.wind_speed = MetersPerSecond{fix(c.wind_speed.value())};
+  c.thermal_gradient = Kelvin{fix(c.thermal_gradient.value())};
+  c.vibration_rms = MetersPerSecondSquared{fix(c.vibration_rms.value())};
+  c.vibration_freq = Hertz{fix(c.vibration_freq.value())};
+  c.rf_power_density = WattsPerSquareMeter{fix(c.rf_power_density.value())};
+  c.water_flow = MetersPerSecond{fix(c.water_flow.value())};
+  return c;
+}
 
 }  // namespace msehsim::env

@@ -1,0 +1,115 @@
+// Persistent on-disk cache of CompiledTrace snapshots.
+//
+// Campaign grids re-run constantly during parameter sweeps and CI, and every
+// cold start re-synthesizes the same (scenario, seed) ambient timelines the
+// previous run already compiled. A TraceCache persists each compiled
+// structure-of-arrays snapshot to a versioned binary file and, on the next
+// run, memory-maps it read-only instead of re-synthesizing — the mapped
+// doubles are the exact bytes the compiler produced, so playback (and
+// therefore every downstream report) is byte-identical to a live synthesis.
+//
+// File format (little-endian, the only byte order this simulator targets):
+//
+//   [0,  8)  magic "MSEHTRC1"
+//   [8, 12)  u32 format version (kFormatVersion)
+//   [12,16)  u32 channel mask (bit i = channel i present, in
+//            CompiledTrace::channel_names() order; elided channels stay
+//            elided on disk)
+//   [16,24)  u64 key hash — FNV-1a over the full invalidation key, see
+//            key_hash(); must match the probe's expectation
+//   [24,32)  u64 step count
+//   [32,40)  f64 dt      (exact bit pattern)
+//   [40,48)  f64 duration
+//   [48,52)  u32 description length
+//   [52,56)  u32 payload offset — 8-byte-aligned file offset of the first
+//            channel array (mmap bases are page-aligned, so every double
+//            load from the mapping stays aligned)
+//   [56,64)  u64 payload bytes (= popcount(mask) * steps * 8)
+//   [64, 64 + desc_len)           description string
+//   [payload offset, + payload)   present channels' doubles, ascending bit
+//
+// Every entry is written atomically (temp file + rename) so a concurrent
+// reader never sees a half-written file. Every validation failure on load —
+// short file, wrong magic, version skew, key-hash mismatch, size mismatch —
+// is a silent miss: the caller falls back to live synthesis and the stats
+// record the miss. A corrupt cache can cost time, never correctness.
+//
+// Invalidation is by key: the hash covers the library version, the format
+// version, the channel schema, the scenario id, the seed, and the exact bit
+// patterns of dt and duration. Anything that could change the synthesized
+// bytes must be part of the scenario id (the cache cannot see inside an
+// EnvironmentFactory), so use one cache directory per campaign definition —
+// or bump the scenario name when its generator recipe changes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/units.hpp"
+#include "env/compiled_trace.hpp"
+
+namespace msehsim::env {
+
+/// Identity of one cache entry. `scenario` is the stable scenario id (the
+/// campaign uses Scenario::name); the rest pins the compilation request.
+struct TraceCacheKey {
+  std::string scenario;
+  std::uint64_t seed{0};
+  Seconds dt{1.0};
+  Seconds duration{0.0};
+};
+
+/// Monotone counters, surfaced by campaign::Campaign::metrics() as
+/// trace_cache.{hits,misses,evictions,bytes_mapped}.
+struct TraceCacheStats {
+  std::uint64_t hits{0};        ///< loads served from a mapped file
+  std::uint64_t misses{0};      ///< absent entries + every validation failure
+  std::uint64_t evictions{0};   ///< entries removed to respect max_bytes
+  std::uint64_t bytes_mapped{0};///< total bytes mapped across all hits
+};
+
+/// Thread-safe (internally locked) persistent store of compiled traces.
+/// Directory-backed: one `<key-hash>.mtrc` file per entry, created on
+/// demand. All I/O failures degrade to cache misses / dropped stores.
+class TraceCache {
+ public:
+  /// @p max_bytes caps the directory's total entry size; 0 means unbounded.
+  /// After each store, oldest-mtime entries are evicted until under the cap.
+  explicit TraceCache(std::string dir, std::uint64_t max_bytes = 0);
+
+  /// Probes for @p key. Returns a read-only memory-mapped CompiledTrace on
+  /// a valid hit, nullptr on any miss (absent, unreadable, or failing any
+  /// header/size/hash validation).
+  [[nodiscard]] std::shared_ptr<const CompiledTrace> load(
+      const TraceCacheKey& key);
+
+  /// Persists @p trace under @p key (atomic temp + rename), then enforces
+  /// max_bytes. Best-effort: failures leave the cache unchanged and are not
+  /// errors. Mapped traces round-trip unchanged.
+  void store(const TraceCacheKey& key, const CompiledTrace& trace);
+
+  [[nodiscard]] TraceCacheStats stats() const;
+
+  /// The file a key maps to (exposed for corruption tests and tooling).
+  [[nodiscard]] std::string entry_path(const TraceCacheKey& key) const;
+
+  /// FNV-1a 64-bit over the full invalidation key (library version, format
+  /// version, channel schema, scenario id, seed, dt/duration bit patterns).
+  [[nodiscard]] static std::uint64_t key_hash(const TraceCacheKey& key);
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+ private:
+  void evict_over_cap();
+
+  std::string dir_;
+  std::uint64_t max_bytes_;
+  mutable std::mutex mu_;  ///< guards stats_ only; file ops are atomic
+  TraceCacheStats stats_;
+};
+
+}  // namespace msehsim::env

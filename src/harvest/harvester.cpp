@@ -36,12 +36,17 @@ std::string_view to_string(HarvesterKind kind) {
 }
 
 void Harvester::set_conditions(const env::AmbientConditions& c) {
-  if (!mpp_key_set_ || !(c == mpp_key_)) {
+  // Normalize NaN channels to +0.0 before keying: NaN != NaN, so a NaN
+  // channel would defeat the memo key forever (recompute every step, hit
+  // counter flat) and feed NaN into the curve itself. Sanitizing here keeps
+  // the key reflexive and the MPP finite.
+  const env::AmbientConditions clean = env::sanitized(c);
+  if (!mpp_key_set_ || !(clean == mpp_key_)) {
     invalidate_mpp_cache();
-    mpp_key_ = c;
+    mpp_key_ = clean;
     mpp_key_set_ = true;
   }
-  do_set_conditions(c);
+  do_set_conditions(clean);
 }
 
 OperatingPoint Harvester::maximum_power_point() const {

@@ -73,6 +73,8 @@ class Harvester {
   [[nodiscard]] virtual HarvesterKind kind() const = 0;
 
   /// Latches the ambient conditions for the current timestep. Non-virtual:
+  /// normalizes NaN channels to +0.0 (a NaN key never equals itself, so it
+  /// would defeat the memo and poison the curve — see env::sanitized),
   /// manages the MPP cache key, then dispatches to do_set_conditions().
   void set_conditions(const env::AmbientConditions& c);
 

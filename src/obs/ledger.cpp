@@ -2,16 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
+
+#include "core/fmt.hpp"
 
 namespace msehsim::obs {
 
 namespace {
 
 void line(std::string& out, const char* name, double v) {
-  char buf[96];
-  const int n = std::snprintf(buf, sizeof buf, "%s=%.17g\n", name, v);
-  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+  out += name;
+  out += '=';
+  append_double(out, v);  // locale-independent, round-trip exact (core/fmt)
+  out += '\n';
 }
 
 }  // namespace

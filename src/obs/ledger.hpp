@@ -83,7 +83,8 @@ struct EnergyLedger {
   /// Signed transducer-boundary residual for source @p i.
   [[nodiscard]] double source_residual_j(std::size_t i) const;
 
-  /// `ledger.x=%.17g` lines plus per-source blocks, byte-comparable across
+  /// `ledger.x=<round-trip-exact double>` lines plus per-source blocks
+  /// (locale-independent via core/fmt), byte-comparable across
   /// runs (the same determinism contract as to_string(RunResult)).
   [[nodiscard]] std::string to_string() const;
 

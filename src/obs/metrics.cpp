@@ -1,18 +1,17 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
-#include <cstdio>
 
 #include "core/error.hpp"
+#include "core/fmt.hpp"
 
 namespace msehsim::obs {
 
 namespace {
 
 std::string num(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return buf;
+  // Locale-independent shortest round-trip form (core/fmt).
+  return format_double(v);
 }
 
 std::string_view kind_name(MetricKind kind) {

@@ -98,7 +98,8 @@ struct MetricsSnapshot {
 
   [[nodiscard]] const MetricRow* find(const std::string& name) const;
 
-  /// `name=value` lines (full %.17g precision); histograms expand into
+  /// `name=value` lines (locale-independent shortest round-trip-exact
+  /// doubles via core/fmt); histograms expand into
   /// .count/.sum/.min/.max/.le_* lines. Byte-comparable across runs.
   [[nodiscard]] std::string to_string() const;
 

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "core/error.hpp"
+#include "core/fmt.hpp"
 
 namespace msehsim::obs {
 
@@ -33,9 +34,9 @@ std::string json_escape(const std::string& s) {
 }
 
 std::string num(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.6f", v);
-  return buf;
+  // Microsecond timestamps at fixed precision. to_chars is always in the C
+  // locale — snprintf %f under a ',' decimal locale emitted invalid JSON.
+  return format_double_fixed(v, 6);
 }
 
 }  // namespace

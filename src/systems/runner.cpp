@@ -1,8 +1,8 @@
 #include "systems/runner.hpp"
 
 #include <algorithm>
-#include <cstdio>
 
+#include "core/fmt.hpp"
 #include "core/random.hpp"
 #include "fault/faulty_harvester.hpp"
 #include "obs/trace.hpp"
@@ -275,18 +275,18 @@ RunResult run_platform(Platform& platform, env::EnvironmentModel& environment,
 std::string to_string(const RunResult& r) {
   std::string out;
   out.reserve(2048);
-  char buf[96];
   for (const auto& field : run_result_fields()) {
-    int n;
+    out += field.name;
+    out += '=';
     if (field.integral) {
-      n = std::snprintf(
-          buf, sizeof buf, "%s=%llu\n", field.name,
+      out += std::to_string(
           static_cast<unsigned long long>(field.get(r)));
     } else {
-      n = std::snprintf(buf, sizeof buf, "%s=%.17g\n", field.name,
-                        field.get(r));
+      // Locale-independent shortest round-trip form (core/fmt) — snprintf
+      // %g honors LC_NUMERIC and would break byte-comparability.
+      append_double(out, field.get(r));
     }
-    if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+    out += '\n';
   }
   out += r.ledger.sources_to_string();
   return out;

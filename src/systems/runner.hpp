@@ -95,7 +95,8 @@ struct RunResultField {
 
 [[nodiscard]] const std::vector<RunResultField>& run_result_fields();
 
-/// Full-precision textual form of a RunResult (every float via %.17g), so
+/// Full-precision textual form of a RunResult (every float in the
+/// locale-independent shortest round-trip form of core/fmt), so
 /// two runs of the same seeded schedule can be compared byte-for-byte —
 /// the determinism contract of the fault layer. Generated from
 /// run_result_fields(), followed by the variable-length per-source ledger

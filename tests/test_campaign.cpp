@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <clocale>
 #include <cmath>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -363,7 +365,8 @@ TEST(CampaignExport, ResultsCsvRoundTripsBitExactly) {
     EXPECT_EQ(row[2], static_cast<double>(job.seed_index));
     EXPECT_EQ(row[3], static_cast<double>(job.seed));
     for (std::size_t f = 0; f < fields.size(); ++f) {
-      // %.17g survives the text round trip bit-for-bit.
+      // The shortest round-trip form survives the text round trip
+      // bit-for-bit.
       EXPECT_EQ(row[4 + f], fields[f].get(job.result)) << fields[f].name;
       EXPECT_EQ(csv.headers[4 + f], fields[f].name);
     }
@@ -498,6 +501,196 @@ TEST(CampaignExport, JsonCarriesObservabilitySurfaces) {
   const auto metrics = metrics_csv(c);
   EXPECT_NE(metrics.find("metric,value"), std::string::npos);
   EXPECT_NE(metrics.find("campaign.jobs,"), std::string::npos);
+}
+
+/// Fresh per-test cache directory under the gtest temp root.
+std::filesystem::path cache_dir(const std::string& name) {
+  const auto dir =
+      std::filesystem::path(::testing::TempDir()) / ("msehsim_cc_" + name);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(CampaignTraceCache, ColdThenWarmRunsAreByteIdenticalEverywhere) {
+  const auto dir = cache_dir("cold_warm");
+
+  auto cold_spec = small_grid(1);
+  cold_spec.trace_cache_dir = dir.string();
+  Campaign cold(cold_spec);
+  cold.run();
+  EXPECT_EQ(cold.trace_compiles(), 4u);  // 2 scenarios x 2 seeds
+  EXPECT_EQ(cold.trace_cache_stats().hits, 0u);
+  EXPECT_EQ(cold.trace_cache_stats().misses, 4u);
+
+  // Warm run on a different thread count: every slot must map from disk.
+  auto warm_spec = small_grid(4);
+  warm_spec.trace_cache_dir = dir.string();
+  Campaign warm(warm_spec);
+  warm.run();
+  EXPECT_EQ(warm.trace_compiles(), 0u);
+  EXPECT_EQ(warm.trace_cache_stats().hits, 4u);
+  EXPECT_EQ(warm.trace_cache_stats().misses, 0u);
+  EXPECT_GT(warm.trace_cache_stats().bytes_mapped, 0u);
+
+  // The byte-identity gate: reports and every result export, regardless of
+  // cache temperature or thread count.
+  EXPECT_EQ(reports(cold), reports(warm));
+  EXPECT_EQ(results_csv(cold), results_csv(warm));
+  EXPECT_EQ(seed_stats_csv(cold), seed_stats_csv(warm));
+  EXPECT_EQ(results_json(cold), results_json(warm));
+
+  // And both match a cache-less campaign, including the JSON's
+  // trace_compiles (materialized timelines, provenance-independent).
+  Campaign plain(small_grid(2));
+  plain.run();
+  EXPECT_EQ(reports(plain), reports(warm));
+  EXPECT_EQ(results_json(plain), results_json(warm));
+}
+
+TEST(CampaignTraceCache, FaultedGridColdVsWarmByteIdentical) {
+  const auto dir = cache_dir("faulted");
+  auto cold_spec = faulted_grid(1);
+  cold_spec.trace_cache_dir = dir.string();
+  Campaign cold(cold_spec);
+  cold.run();
+  EXPECT_EQ(cold.trace_compiles(), 3u);
+
+  auto warm_spec = faulted_grid(3);
+  warm_spec.trace_cache_dir = dir.string();
+  Campaign warm(warm_spec);
+  warm.run();
+  EXPECT_EQ(warm.trace_compiles(), 0u);
+  EXPECT_EQ(warm.trace_cache_stats().hits, 3u);
+  EXPECT_EQ(reports(cold), reports(warm));
+  EXPECT_EQ(results_csv(cold), results_csv(warm));
+  EXPECT_EQ(results_json(cold), results_json(warm));
+}
+
+TEST(CampaignTraceCache, CorruptEntryFallsBackToLiveSynthesis) {
+  const auto dir = cache_dir("corrupt");
+  auto spec = small_grid(1);
+  spec.trace_cache_dir = dir.string();
+  Campaign cold(spec);
+  cold.run();
+
+  // Truncate one entry mid-header; the warm run must miss on it, recompile
+  // just that slot, and still produce identical bytes.
+  bool truncated = false;
+  for (const auto& de : std::filesystem::directory_iterator(dir)) {
+    if (de.path().extension() != ".mtrc" || truncated) continue;
+    std::filesystem::resize_file(de.path(), 32);
+    truncated = true;
+  }
+  ASSERT_TRUE(truncated);
+
+  Campaign warm(spec);
+  warm.run();
+  EXPECT_EQ(warm.trace_compiles(), 1u);
+  EXPECT_EQ(warm.trace_cache_stats().hits, 3u);
+  EXPECT_EQ(warm.trace_cache_stats().misses, 1u);
+  EXPECT_EQ(reports(cold), reports(warm));
+  EXPECT_EQ(results_json(cold), results_json(warm));
+}
+
+TEST(CampaignTraceCache, MetricsSurfaceCacheCountersOnlyWhenConfigured) {
+  const auto dir = cache_dir("metrics");
+  auto spec = small_grid(1);
+  spec.trace_cache_dir = dir.string();
+  Campaign with_cache(spec);
+  with_cache.run();
+  const auto m = with_cache.metrics();
+  const auto* hits = m.find("trace_cache.hits");
+  const auto* misses = m.find("trace_cache.misses");
+  const auto* evictions = m.find("trace_cache.evictions");
+  const auto* mapped = m.find("trace_cache.bytes_mapped");
+  ASSERT_NE(hits, nullptr);
+  ASSERT_NE(misses, nullptr);
+  ASSERT_NE(evictions, nullptr);
+  ASSERT_NE(mapped, nullptr);
+  EXPECT_EQ(hits->count, 0u);
+  EXPECT_EQ(misses->count, 4u);
+  EXPECT_EQ(evictions->count, 0u);
+  EXPECT_EQ(mapped->value, 0.0);
+
+  Campaign warm(spec);
+  warm.run();
+  const auto wm = warm.metrics();
+  EXPECT_EQ(wm.find("trace_cache.hits")->count, 4u);
+  EXPECT_GT(wm.find("trace_cache.bytes_mapped")->value, 0.0);
+
+  // Without a cache dir the diagnostic rows stay absent, keeping the
+  // metrics export byte-compatible with pre-cache behavior.
+  Campaign plain(small_grid(1));
+  plain.run();
+  EXPECT_EQ(plain.metrics().find("trace_cache.hits"), nullptr);
+  EXPECT_EQ(plain.trace_cache_stats().hits, 0u);
+}
+
+/// Switches LC_ALL to a comma-decimal locale for the scope, or skips the
+/// enclosing test when the host has none installed (CI installs de_DE).
+class CommaLocaleGuard {
+ public:
+  CommaLocaleGuard() {
+    const char* current = std::setlocale(LC_ALL, nullptr);
+    saved_ = current != nullptr ? current : "C";
+    for (const char* name : {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8"}) {
+      if (std::setlocale(LC_ALL, name) != nullptr) {
+        const auto* lc = std::localeconv();
+        if (lc != nullptr && lc->decimal_point != nullptr &&
+            lc->decimal_point[0] == ',') {
+          active_ = true;
+          return;
+        }
+      }
+    }
+    std::setlocale(LC_ALL, saved_.c_str());
+  }
+  ~CommaLocaleGuard() { std::setlocale(LC_ALL, saved_.c_str()); }
+  [[nodiscard]] bool active() const { return active_; }
+
+ private:
+  std::string saved_;
+  bool active_{false};
+};
+
+TEST(CampaignExport, ByteIdenticalUnderCommaDecimalLocale) {
+  // The regression this guards: snprintf %g/%f and strtod honor
+  // LC_NUMERIC, so a de_DE host used to emit "0,5" into CSV/JSON (corrupt
+  // documents) and parse "3.14" as 3 (silent truncation). All export and
+  // parse paths now go through charconv, which no locale can touch.
+  Campaign reference(small_grid(1));
+  reference.run();
+  const std::string csv_c = results_csv(reference);
+  const std::string stats_c = seed_stats_csv(reference);
+  const std::string json_c = results_json(reference);
+  const std::string metrics_c = metrics_csv(reference);
+  const auto reports_c = reports(reference);
+
+  CommaLocaleGuard locale;
+  if (!locale.active())
+    GTEST_SKIP() << "no comma-decimal locale installed on this host";
+
+  EXPECT_EQ(results_csv(reference), csv_c);
+  EXPECT_EQ(seed_stats_csv(reference), stats_c);
+  EXPECT_EQ(results_json(reference), json_c);
+  EXPECT_EQ(metrics_csv(reference), metrics_c);
+  EXPECT_EQ(reports(reference), reports_c);
+
+  // Full campaign executed under the comma locale: identical documents.
+  Campaign under_locale(small_grid(2));
+  under_locale.run();
+  EXPECT_EQ(results_csv(under_locale), csv_c);
+  EXPECT_EQ(results_json(under_locale), json_c);
+
+  // And the CSV parses back bit-exactly despite strtod-hostile cells
+  // ("3.14" would silently truncate to 3 through a de_DE strtod).
+  const auto parsed = parse_csv(csv_c);
+  ASSERT_EQ(parsed.rows.size(), reference.results().size());
+  const auto& fields = run_result_fields();
+  for (std::size_t f = 0; f < fields.size(); ++f)
+    EXPECT_EQ(parsed.rows[0][4 + f],
+              fields[f].get(reference.results()[0].result))
+        << fields[f].name;
 }
 
 }  // namespace

@@ -3,11 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
 
 #include "core/error.hpp"
 #include "env/channels.hpp"
 #include "env/compiled_trace.hpp"
 #include "env/environment.hpp"
+#include "env/trace_cache.hpp"
 
 namespace msehsim::env {
 namespace {
@@ -280,6 +282,49 @@ TEST(TraceEnvironment, LoopBoundaryRoundingPlaysFirstRowNotEndMarker) {
       200.0);
   EXPECT_DOUBLE_EQ(
       trace.advance(Seconds{0.05}, Seconds{0.1}).solar_irradiance.value(),
+      100.0);
+}
+
+TEST(TraceEnvironment, MmapBackedPlaybackWrapsBitIdenticallyAtTheBoundary) {
+  // The same fl(0.4 - 0.1) boundary as above, now through the full
+  // compile -> persist -> mmap pipeline: CSV playback is compiled into a
+  // CompiledTrace (one slot per dt step, clamp applied at compile time),
+  // round-tripped through the on-disk TraceCache, and replayed from the
+  // mapping. The wrap at now = 3 * fl(0.1) (llround(now/dt) % steps) must
+  // reproduce the clamped first row, bit for bit, from the mapped doubles.
+  const auto csv = msehsim::parse_csv(
+      "time,solar_irradiance\n0.1,100\n0.25,200\n0.4,300\n");
+  const Seconds dt{0.1};
+  TraceEnvironment live(csv);
+  const Seconds duration = live.duration();
+
+  TraceEnvironment source(csv);
+  const auto compiled = CompiledTrace::compile(source, dt, duration);
+
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "msehsim_env_wrap_cache";
+  std::filesystem::remove_all(dir);
+  TraceCache cache(dir.string());
+  const TraceCacheKey key{"wrap-trace", 0, dt, duration};
+  cache.store(key, *compiled);
+  const auto mapped = cache.load(key);
+  ASSERT_NE(mapped, nullptr);
+  ASSERT_TRUE(mapped->mapped());
+  ASSERT_EQ(mapped->step_count(), compiled->step_count());
+
+  CompiledEnvironment playback(mapped);
+  // Two full loops of the accumulated-time stepping scheme. Step 3 lands on
+  // now = 0.30000000000000004 — the searched boundary constant — where the
+  // clamp must yield row 0's 100, not the end marker's 300.
+  TraceEnvironment fresh(csv);
+  std::size_t step = 0;
+  for (Seconds now{0.0}; step < 2 * mapped->step_count(); now += dt, ++step) {
+    const auto a = fresh.advance(now, dt);
+    const auto b = playback.advance(now, dt);
+    EXPECT_TRUE(a == b) << "step " << step << " now=" << now.value();
+  }
+  EXPECT_DOUBLE_EQ(
+      playback.advance(Seconds{0.1 + 0.1 + 0.1}, dt).solar_irradiance.value(),
       100.0);
 }
 

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -94,6 +95,49 @@ TEST(PvPanel, CurrentMonotoneNonIncreasingInVoltage) {
     EXPECT_GE(i, 0.0);
     prev = i;
   }
+}
+
+TEST(PvPanel, NanConditionsNeitherThrashTheMppCacheNorPoisonTheCurve) {
+  // NaN != NaN, so an unsanitized NaN channel would make the memo key
+  // compare unequal to itself: every repeated set_conditions would
+  // invalidate, every maximum_power_point would recompute (hit counter
+  // flat), and the NaN would flow into the curve. set_conditions must
+  // normalize NaN channels to +0.0 — "channel absent" — before keying.
+  PvPanel pv("pv", {});
+  env::AmbientConditions nan_sun;
+  nan_sun.solar_irradiance =
+      WattsPerSquareMeter{std::numeric_limits<double>::quiet_NaN()};
+
+  pv.set_conditions(nan_sun);
+  const auto first = pv.maximum_power_point();
+  EXPECT_FALSE(std::isnan(first.p.value()));
+  EXPECT_FALSE(std::isnan(first.v.value()));
+  const auto recomputes_after_first = pv.mpp_recomputes();
+
+  // Re-applying the identical NaN conditions must key as identical: no
+  // further recomputes, hits climbing instead.
+  for (int i = 0; i < 5; ++i) {
+    pv.set_conditions(nan_sun);
+    (void)pv.maximum_power_point();
+  }
+  EXPECT_EQ(pv.mpp_recomputes(), recomputes_after_first);
+  EXPECT_GE(pv.mpp_cache_hits(), 5u);
+
+  // A NaN channel means "absent", so the curve equals the zero-input curve.
+  pv.set_conditions(sunny(0.0));
+  EXPECT_EQ(pv.maximum_power_point().p.value(), first.p.value());
+
+  // NaN in an unused channel must not disturb a live channel's curve either.
+  auto sun = sunny(800.0);
+  pv.set_conditions(sun);
+  const auto clean = pv.maximum_power_point();
+  auto sun_nan = sun;
+  sun_nan.water_flow =
+      MetersPerSecond{std::numeric_limits<double>::quiet_NaN()};
+  pv.set_conditions(sun_nan);
+  const auto with_nan = pv.maximum_power_point();
+  EXPECT_EQ(clean.p.value(), with_nan.p.value());
+  EXPECT_EQ(clean.v.value(), with_nan.v.value());
 }
 
 TEST(PvPanel, MppNearFractionOfVoc) {

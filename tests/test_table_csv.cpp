@@ -1,10 +1,16 @@
 // TextTable rendering and CSV round-trips.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <clocale>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
+#include <string>
 
 #include "core/csv.hpp"
+#include "core/fmt.hpp"
 #include "core/error.hpp"
 #include "core/stats.hpp"
 #include "core/table.hpp"
@@ -119,6 +125,93 @@ TEST(Csv, WriteRejectsMismatchedSeries) {
   Series s2("b");
   s1.push(Seconds{0.0}, 1.0);
   EXPECT_THROW(write_csv(testing::TempDir() + "/x.csv", {&s1, &s2}), SpecError);
+}
+
+// ---------------------------------------------------------------------------
+// core/fmt: locale-independent, round-trip-exact double text
+// ---------------------------------------------------------------------------
+
+TEST(Fmt, ShortestFormRoundTripsBitExactly) {
+  const double cases[] = {0.0,
+                          -0.0,
+                          0.1,
+                          1.0 / 3.0,
+                          0.30000000000000004,
+                          1e308,
+                          5e-324,  // smallest denormal
+                          -123456.789,
+                          3.141592653589793};
+  for (const double x : cases) {
+    const auto parsed = parse_double(format_double(x));
+    ASSERT_TRUE(parsed.has_value()) << format_double(x);
+    // Bit-level comparison so -0.0 vs +0.0 and denormals are covered.
+    EXPECT_EQ(std::signbit(*parsed), std::signbit(x));
+    EXPECT_EQ(*parsed, x) << format_double(x);
+  }
+  // Shortest form, not 17 digits: "0.1" stays "0.1".
+  EXPECT_EQ(format_double(0.1), "0.1");
+  EXPECT_EQ(format_double(-0.0), "-0");
+}
+
+TEST(Fmt, ParseDoubleIsStrictAboutJunk) {
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double("  ").has_value());
+  EXPECT_FALSE(parse_double("abc").has_value());
+  EXPECT_FALSE(parse_double("1.5x").has_value());
+  EXPECT_FALSE(parse_double("1,5").has_value());  // comma is never a decimal
+  EXPECT_DOUBLE_EQ(parse_double(" 2.5 ").value(), 2.5);
+  EXPECT_DOUBLE_EQ(parse_double("+3").value(), 3.0);
+  EXPECT_DOUBLE_EQ(parse_double("-1e-3").value(), -1e-3);
+}
+
+TEST(Fmt, OutputAndParsingIgnoreACommaDecimalLocale) {
+  // snprintf("%g") would print "0,5" under de_DE and strtod would stop at
+  // the '.' in "3.14"; the charconv paths must not care.
+  const char* saved = std::setlocale(LC_ALL, nullptr);
+  const std::string restore = saved != nullptr ? saved : "C";
+  bool found = false;
+  for (const char* name :
+       {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8"}) {
+    if (std::setlocale(LC_ALL, name) != nullptr) {
+      const auto* lc = std::localeconv();
+      if (lc != nullptr && lc->decimal_point != nullptr &&
+          lc->decimal_point[0] == ',') {
+        found = true;
+        break;
+      }
+    }
+  }
+  if (!found) {
+    std::setlocale(LC_ALL, restore.c_str());
+    GTEST_SKIP() << "no comma-decimal locale installed on this host";
+  }
+
+  EXPECT_EQ(format_double(0.5), "0.5");
+  EXPECT_EQ(format_double_fixed(1.25, 2), "1.25");
+  EXPECT_EQ(format_double_general(1234.5, 3), "1.23e+03");
+  EXPECT_DOUBLE_EQ(parse_double("3.14").value(), 3.14);
+  EXPECT_FALSE(parse_double("3,14").has_value());
+
+  // CSV write/read under the hostile locale round-trips bit-exactly.
+  Series s("v");
+  s.push(Seconds{0.1}, 1.0 / 3.0);
+  s.push(Seconds{0.2}, 0.30000000000000004);
+  const std::string path = testing::TempDir() + "/msehsim_fmt_locale.csv";
+  write_csv(path, {&s});
+  std::ifstream in(path);
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  // Two columns -> exactly one separator comma per line; a locale decimal
+  // comma anywhere would add more.
+  EXPECT_EQ(std::count(text.begin(), text.end(), ','), 3);
+  const CsvData back = read_csv(path);
+  ASSERT_EQ(back.rows.size(), 2u);
+  EXPECT_EQ(back.rows[0][0], 0.1);
+  EXPECT_EQ(back.rows[0][1], 1.0 / 3.0);
+  EXPECT_EQ(back.rows[1][1], 0.30000000000000004);
+  std::remove(path.c_str());
+
+  std::setlocale(LC_ALL, restore.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,271 @@
+// Persistent trace cache: round-trip exactness, miss-on-anything-invalid,
+// and eviction. The corruption tests deliberately damage entry files in
+// every way the header validation guards against; each one must degrade to
+// a silent miss (live synthesis still works, stats record the miss) and
+// never crash — this suite runs under the ASan/UBSan CI job.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "env/compiled_trace.hpp"
+#include "env/environment.hpp"
+#include "env/trace_cache.hpp"
+
+namespace fs = std::filesystem;
+using msehsim::Seconds;
+using msehsim::env::CompiledTrace;
+using msehsim::env::Environment;
+using msehsim::env::TraceCache;
+using msehsim::env::TraceCacheKey;
+
+namespace {
+
+/// Fresh per-test directory under the gtest temp root.
+fs::path test_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("msehsim_tc_" + name);
+  fs::remove_all(dir);
+  return dir;
+}
+
+TraceCacheKey outdoor_key(std::uint64_t seed = 42) {
+  return TraceCacheKey{"outdoor", seed, Seconds{60.0}, Seconds{3600.0}};
+}
+
+std::shared_ptr<const CompiledTrace> compile_outdoor(const TraceCacheKey& key) {
+  Environment source = Environment::outdoor(key.seed);
+  return CompiledTrace::compile(source, key.dt, key.duration);
+}
+
+/// Byte-level patch helper for the corruption tests.
+void patch_file(const fs::path& path, std::streamoff offset,
+                const char* bytes, std::size_t n) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.good());
+  f.seekp(offset);
+  f.write(bytes, static_cast<std::streamsize>(n));
+  ASSERT_TRUE(f.good());
+}
+
+void expect_same_timeline(const CompiledTrace& a, const CompiledTrace& b) {
+  ASSERT_EQ(a.step_count(), b.step_count());
+  EXPECT_EQ(a.dt().value(), b.dt().value());
+  EXPECT_EQ(a.duration().value(), b.duration().value());
+  EXPECT_EQ(a.description(), b.description());
+  EXPECT_EQ(a.stored_channels(), b.stored_channels());
+  for (std::size_t i = 0; i < a.step_count(); ++i)
+    EXPECT_EQ(a.at(i), b.at(i)) << "step " << i;
+}
+
+TEST(TraceCache, MappedLoadIsBitExactRoundTrip) {
+  const auto dir = test_dir("roundtrip");
+  TraceCache cache(dir.string());
+  const auto key = outdoor_key();
+  const auto compiled = compile_outdoor(key);
+  ASSERT_FALSE(compiled->mapped());
+
+  cache.store(key, *compiled);
+  const auto mapped = cache.load(key);
+  ASSERT_NE(mapped, nullptr);
+  EXPECT_TRUE(mapped->mapped());
+  expect_same_timeline(*compiled, *mapped);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.bytes_mapped, mapped->memory_bytes());
+  EXPECT_GT(stats.bytes_mapped, 0u);
+}
+
+TEST(TraceCache, ElidedChannelsStayElidedAcrossTheRoundTrip) {
+  const auto dir = test_dir("elision");
+  TraceCache cache(dir.string());
+  const auto key = outdoor_key();
+  const auto compiled = compile_outdoor(key);
+  // An outdoor site stores only its live channels; the rest were elided at
+  // compile time and must come back elided (reading +0.0), not as arrays
+  // of zeros.
+  ASSERT_LT(compiled->stored_channels(), CompiledTrace::kChannelCount);
+  cache.store(key, *compiled);
+  const auto mapped = cache.load(key);
+  ASSERT_NE(mapped, nullptr);
+  for (int ch = 0; ch < CompiledTrace::kChannelCount; ++ch)
+    EXPECT_EQ(compiled->channel(ch) == nullptr, mapped->channel(ch) == nullptr)
+        << "channel " << ch;
+}
+
+TEST(TraceCache, AbsentEntryIsAMiss) {
+  const auto dir = test_dir("absent");
+  TraceCache cache(dir.string());
+  EXPECT_EQ(cache.load(outdoor_key()), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(TraceCache, DistinctKeysGetDistinctEntries) {
+  const auto dir = test_dir("keys");
+  TraceCache cache(dir.string());
+  const auto key_a = outdoor_key(1);
+  const auto key_b = outdoor_key(2);
+  EXPECT_NE(cache.entry_path(key_a), cache.entry_path(key_b));
+  EXPECT_NE(TraceCache::key_hash(key_a), TraceCache::key_hash(key_b));
+  // dt and duration are part of the identity too — a resampled scenario
+  // must never alias a cached timeline.
+  auto key_dt = key_a;
+  key_dt.dt = Seconds{30.0};
+  EXPECT_NE(TraceCache::key_hash(key_a), TraceCache::key_hash(key_dt));
+  auto key_dur = key_a;
+  key_dur.duration = Seconds{7200.0};
+  EXPECT_NE(TraceCache::key_hash(key_a), TraceCache::key_hash(key_dur));
+  auto key_name = key_a;
+  key_name.scenario = "indoor";
+  EXPECT_NE(TraceCache::key_hash(key_a), TraceCache::key_hash(key_name));
+}
+
+TEST(TraceCache, TruncatedFileFallsBackAsMiss) {
+  const auto dir = test_dir("truncated");
+  TraceCache cache(dir.string());
+  const auto key = outdoor_key();
+  cache.store(key, *compile_outdoor(key));
+  const fs::path entry = cache.entry_path(key);
+  const auto full = fs::file_size(entry);
+  fs::resize_file(entry, full / 2);
+  EXPECT_EQ(cache.load(key), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // Shorter than even the header.
+  fs::resize_file(entry, 10);
+  EXPECT_EQ(cache.load(key), nullptr);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(TraceCache, WrongMagicFallsBackAsMiss) {
+  const auto dir = test_dir("magic");
+  TraceCache cache(dir.string());
+  const auto key = outdoor_key();
+  cache.store(key, *compile_outdoor(key));
+  patch_file(cache.entry_path(key), 0, "XSEH", 4);
+  EXPECT_EQ(cache.load(key), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(TraceCache, VersionSkewFallsBackAsMiss) {
+  const auto dir = test_dir("version");
+  TraceCache cache(dir.string());
+  const auto key = outdoor_key();
+  cache.store(key, *compile_outdoor(key));
+  // Format version lives at bytes [8, 12); 0xFF is no version we ship.
+  const char skew[4] = {'\xFF', '\x00', '\x00', '\x00'};
+  patch_file(cache.entry_path(key), 8, skew, 4);
+  EXPECT_EQ(cache.load(key), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(TraceCache, KeyHashMismatchFallsBackAsMiss) {
+  const auto dir = test_dir("hash");
+  TraceCache cache(dir.string());
+  const auto key = outdoor_key();
+  const auto other = outdoor_key(key.seed + 1);
+  cache.store(key, *compile_outdoor(key));
+  // A valid file squatting under another key's path: same format, wrong
+  // identity. The header hash must reject it.
+  fs::copy_file(cache.entry_path(key), cache.entry_path(other));
+  EXPECT_EQ(cache.load(other), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  // The original entry is still a hit.
+  EXPECT_NE(cache.load(key), nullptr);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(TraceCache, GarbageTailFallsBackAsMiss) {
+  const auto dir = test_dir("tail");
+  TraceCache cache(dir.string());
+  const auto key = outdoor_key();
+  cache.store(key, *compile_outdoor(key));
+  // Appended bytes break the size == offset + payload invariant.
+  std::ofstream app(cache.entry_path(key), std::ios::binary | std::ios::app);
+  app << "trailing garbage";
+  app.close();
+  EXPECT_EQ(cache.load(key), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(TraceCache, StoreIntoUnwritableDirIsSilentlyDropped) {
+  // A path that cannot be a directory (a file occupies it): store must be
+  // best-effort, load must keep missing, nothing throws.
+  const auto dir = test_dir("unwritable");
+  fs::create_directories(dir.parent_path());
+  std::ofstream(dir.string()) << "occupied";
+  TraceCache cache(dir.string());
+  const auto key = outdoor_key();
+  EXPECT_NO_THROW(cache.store(key, *compile_outdoor(key)));
+  EXPECT_EQ(cache.load(key), nullptr);
+}
+
+TEST(TraceCache, EvictsOldestEntriesOverTheByteCap) {
+  const auto dir = test_dir("evict");
+  const auto key = outdoor_key(1);
+  const auto probe = compile_outdoor(key);
+  // Cap sized for roughly two entries of this footprint.
+  TraceCache sizing(dir.string());
+  sizing.store(key, *probe);
+  const auto entry_bytes = fs::file_size(sizing.entry_path(key));
+  fs::remove_all(dir);
+
+  TraceCache cache(dir.string(), entry_bytes * 2 + entry_bytes / 2);
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto k = outdoor_key(seed);
+    cache.store(k, *compile_outdoor(k));
+  }
+  EXPECT_GE(cache.stats().evictions, 1u);
+  std::uintmax_t total = 0;
+  std::size_t remaining = 0;
+  for (const auto& de : fs::directory_iterator(dir)) {
+    total += de.file_size();
+    ++remaining;
+  }
+  EXPECT_LE(total, entry_bytes * 2 + entry_bytes / 2);
+  EXPECT_LT(remaining, 4u);
+  // Most-recent entries survive; seed 1 went in first and must be gone.
+  EXPECT_EQ(cache.load(outdoor_key(1)), nullptr);
+  EXPECT_NE(cache.load(outdoor_key(4)), nullptr);
+}
+
+TEST(TraceCache, MappedTraceOutlivesTheCacheObject) {
+  const auto dir = test_dir("lifetime");
+  const auto key = outdoor_key();
+  std::shared_ptr<const CompiledTrace> mapped;
+  std::shared_ptr<const CompiledTrace> compiled = compile_outdoor(key);
+  {
+    TraceCache cache(dir.string());
+    cache.store(key, *compiled);
+    mapped = cache.load(key);
+    ASSERT_NE(mapped, nullptr);
+  }
+  // The mapping's keep-alive rides on the trace, not on the cache: reads
+  // stay valid (ASan would flag a stale mapping here).
+  expect_same_timeline(*compiled, *mapped);
+}
+
+TEST(TraceCache, StoredMappedTraceRoundTripsAgain) {
+  const auto dir_a = test_dir("rt_a");
+  const auto dir_b = test_dir("rt_b");
+  const auto key = outdoor_key();
+  const auto compiled = compile_outdoor(key);
+  TraceCache first(dir_a.string());
+  first.store(key, *compiled);
+  const auto mapped = first.load(key);
+  ASSERT_NE(mapped, nullptr);
+  // A mapped trace is a first-class CompiledTrace: storing it into a second
+  // cache must reproduce the timeline exactly (the serializer reads through
+  // the channel views, not the owned vectors).
+  TraceCache second(dir_b.string());
+  second.store(key, *mapped);
+  const auto remapped = second.load(key);
+  ASSERT_NE(remapped, nullptr);
+  expect_same_timeline(*compiled, *remapped);
+}
+
+}  // namespace
