@@ -286,6 +286,15 @@ env::TraceCacheStats Campaign::trace_cache_stats() const {
   return trace_cache_ ? trace_cache_->stats() : env::TraceCacheStats{};
 }
 
+InjectorFactory schedule_injector(
+    std::shared_ptr<const fault::Schedule> schedule) {
+  require_spec(schedule != nullptr, "schedule_injector: null schedule");
+  return [schedule = std::move(schedule)](std::uint64_t seed,
+                                          systems::Platform& platform) {
+    return schedule->build_injector(seed, platform.fault_targets());
+  };
+}
+
 std::vector<FieldStats> Campaign::seed_stats(std::size_t platform,
                                              std::size_t scenario) const {
   require_spec(ran_, "Campaign::seed_stats before run()");

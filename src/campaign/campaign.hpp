@@ -31,6 +31,7 @@
 #include "obs/metrics.hpp"
 #include "env/environment.hpp"
 #include "fault/injector.hpp"
+#include "fault/schedule.hpp"
 #include "systems/platform.hpp"
 #include "systems/runner.hpp"
 
@@ -49,6 +50,14 @@ using EnvironmentFactory =
 /// platform. Optional; a default-constructed function means no faults.
 using InjectorFactory = std::function<std::unique_ptr<fault::FaultInjector>(
     std::uint64_t seed, systems::Platform& platform)>;
+
+/// InjectorFactory driven by a declarative fault::Schedule: each job
+/// compiles the shared (immutable) schedule against its own platform's
+/// injectable surface with its own seed, so a campaign and a standalone
+/// experiment binary replay the same schedule file bit-identically. The
+/// schedule must outlive the campaign (the shared_ptr keeps it).
+[[nodiscard]] InjectorFactory schedule_injector(
+    std::shared_ptr<const fault::Schedule> schedule);
 
 /// One axis point of the platform grid: a named way to build a system.
 struct PlatformVariant {

@@ -55,4 +55,22 @@ struct AmbientConditions {
   return c;
 }
 
+/// @p c with every channel multiplied by @p gain — a uniformly miscalibrated
+/// ambient-sensing front end (fault::FaultKind::kSensorDrift). Used to feed
+/// operating-point trackers a skewed view of the environment while the
+/// physics keeps seeing the true conditions. gain == 1 returns @p c exactly
+/// (bit-identical, so the unfaulted path is unchanged).
+[[nodiscard]] inline AmbientConditions scaled(AmbientConditions c, double gain) {
+  if (gain == 1.0) return c;
+  c.solar_irradiance *= gain;
+  c.illuminance *= gain;
+  c.wind_speed *= gain;
+  c.thermal_gradient *= gain;
+  c.vibration_rms *= gain;
+  c.vibration_freq *= gain;
+  c.rf_power_density *= gain;
+  c.water_flow *= gain;
+  return c;
+}
+
 }  // namespace msehsim::env

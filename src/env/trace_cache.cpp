@@ -9,6 +9,7 @@
 #include <atomic>
 #include <bit>
 #include <charconv>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -80,7 +81,29 @@ std::size_t round_up8(std::size_t n) { return (n + 7u) & ~std::size_t{7}; }
 }  // namespace
 
 TraceCache::TraceCache(std::string dir, std::uint64_t max_bytes)
-    : dir_(std::move(dir)), max_bytes_(max_bytes) {}
+    : dir_(std::move(dir)), max_bytes_(max_bytes) {
+  sweep_orphaned_temps();
+}
+
+void TraceCache::sweep_orphaned_temps() {
+  // A writer that crashed between ofstream and rename() leaves a
+  // `<hash>.tmp.<pid>.<n>` file behind forever: it never matches the
+  // `.mtrc` probe, so nothing would otherwise reclaim it. Sweep such
+  // orphans when a cache opens the directory. An age floor keeps a live
+  // writer in another process safe — a store takes milliseconds, so
+  // anything older than the floor can only be an orphan.
+  constexpr auto kOrphanAge = std::chrono::minutes(15);
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(dir_, ec)) {
+    if (de.path().filename().string().find(".tmp.") == std::string::npos)
+      continue;
+    std::error_code fec;
+    const auto mtime = de.last_write_time(fec);
+    if (fec) continue;
+    if (fs::file_time_type::clock::now() - mtime < kOrphanAge) continue;
+    fs::remove(de.path(), fec);
+  }
+}
 
 std::uint64_t TraceCache::key_hash(const TraceCacheKey& key) {
   std::uint64_t h = kFnvOffset;
@@ -141,6 +164,9 @@ std::shared_ptr<const CompiledTrace> TraceCache::load(const TraceCacheKey& key) 
   if (h.key_hash != key_hash(key)) return miss();
   if (h.steps == 0 || h.channel_mask >= (1u << CompiledTrace::kChannelCount))
     return miss();
+  // A zero-length payload (no channels present) carries no samples: treat
+  // it as a miss rather than hand playback an all-elided trace.
+  if (h.channel_mask == 0 || h.payload_bytes == 0) return miss();
   const auto present =
       static_cast<std::size_t>(std::popcount(h.channel_mask));
   if (h.payload_offset % 8 != 0 ||
@@ -196,6 +222,9 @@ void TraceCache::store(const TraceCacheKey& key, const CompiledTrace& trace) {
   h.payload_bytes = static_cast<std::uint64_t>(
                         std::popcount(h.channel_mask)) *
                     h.steps * sizeof(double);
+  // Never persist an entry load() would reject: an all-elided or empty
+  // trace has a zero-length payload, which reads back as a miss anyway.
+  if (h.payload_bytes == 0) return;
 
   // Unique temp name per (entry, process, attempt): a concurrent writer of
   // the same entry must never interleave into one temp file. rename() then

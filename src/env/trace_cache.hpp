@@ -105,6 +105,9 @@ class TraceCache {
 
  private:
   void evict_over_cap();
+  /// Removes stale `*.tmp.*` leftovers from crashed writers (age-gated so a
+  /// live writer in another process is never raced). Called on open.
+  void sweep_orphaned_temps();
 
   std::string dir_;
   std::uint64_t max_bytes_;

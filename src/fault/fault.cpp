@@ -15,6 +15,9 @@ std::string_view to_string(FaultKind kind) {
     case FaultKind::kBusNakBurst: return "bus NAK burst";
     case FaultKind::kBusBitErrors: return "bus bit errors";
     case FaultKind::kBusStuck: return "bus stuck";
+    case FaultKind::kNodeFlashWear: return "node flash wear";
+    case FaultKind::kNodeRadioPaDegradation: return "node radio PA degradation";
+    case FaultKind::kSensorDrift: return "sensor drift";
   }
   return "?";
 }

@@ -28,6 +28,9 @@ enum class FaultKind {
   kBusNakBurst,                ///< next N bus transactions NAK
   kBusBitErrors,               ///< per-byte corruption for a while
   kBusStuck,                   ///< bus held low: all transactions fail
+  kNodeFlashWear,              ///< worn log flash: costlier sensor/log writes
+  kNodeRadioPaDegradation,     ///< aged PA: higher TX current per packet
+  kSensorDrift,                ///< ambient sensing drifts; MPPT sees a skewed curve
 };
 
 [[nodiscard]] std::string_view to_string(FaultKind kind);
@@ -40,9 +43,11 @@ struct InjectionCounters {
   std::uint64_t converter{0};
   std::uint64_t storage{0};
   std::uint64_t bus{0};
+  std::uint64_t node{0};         ///< sensor-node faults (flash, radio PA)
+  std::uint64_t environment{0};  ///< ambient-sensing faults (drift)
 
   [[nodiscard]] std::uint64_t total() const {
-    return harvester + converter + storage + bus;
+    return harvester + converter + storage + bus + node + environment;
   }
 };
 

@@ -1,5 +1,6 @@
 #include "fault/injector.hpp"
 
+#include <cmath>
 #include <utility>
 
 #include "core/error.hpp"
@@ -165,6 +166,41 @@ void FaultInjector::bus_stuck(Seconds when, bus::I2cBus& bus, Seconds duration) 
     ++counters_.bus;
   });
   add(when + duration, FaultKind::kBusStuck, [&bus] { bus.set_stuck(false); });
+}
+
+void FaultInjector::node_flash_wear(Seconds when, node::SensorNode& node,
+                                    double factor) {
+  require_spec(factor >= 1.0, "flash wear factor must be >= 1");
+  add(when, FaultKind::kNodeFlashWear, [this, &node, factor] {
+    node.inject_flash_wear(factor);
+    ++counters_.node;
+  });
+}
+
+void FaultInjector::node_radio_pa_degrade(Seconds when, node::SensorNode& node,
+                                          double factor) {
+  require_spec(factor >= 1.0, "radio PA degradation factor must be >= 1");
+  add(when, FaultKind::kNodeRadioPaDegradation, [this, &node, factor] {
+    node.inject_radio_pa_degradation(factor);
+    ++counters_.node;
+  });
+}
+
+void FaultInjector::sensor_drift(Seconds when, power::InputChain& chain,
+                                 double gain, Seconds duration) {
+  require_spec(std::isfinite(gain) && gain > 0.0,
+               "sensor drift gain must be finite and > 0");
+  require_spec(duration.value() >= 0.0, "sensor drift duration must be >= 0");
+  const bool is_heal = gain == 1.0;
+  add(when, FaultKind::kSensorDrift, [this, &chain, gain, is_heal] {
+    chain.set_sense_gain(gain);
+    if (!is_heal) ++counters_.environment;
+  });
+  if (duration.value() > 0.0 && !is_heal) {
+    // Self-clearing drift: the recalibration is a repair, not a fault.
+    add(when + duration, FaultKind::kSensorDrift,
+        [&chain] { chain.set_sense_gain(1.0); });
+  }
 }
 
 void FaultInjector::arm(Simulation& sim) {

@@ -23,6 +23,7 @@
 #include "core/simulation.hpp"
 #include "fault/fault.hpp"
 #include "fault/faulty_harvester.hpp"
+#include "node/sensor_node.hpp"
 #include "power/chain.hpp"
 #include "storage/storage.hpp"
 
@@ -77,6 +78,25 @@ class FaultInjector {
                       Seconds duration);
   /// At @p when, hold the bus stuck for @p duration.
   void bus_stuck(Seconds when, bus::I2cBus& bus, Seconds duration);
+
+  // ---- Sensor-node faults -------------------------------------------------
+
+  /// At @p when, multiply the node's per-cycle sensing/logging energy by
+  /// @p factor (>= 1, permanent — flash wear does not heal).
+  void node_flash_wear(Seconds when, node::SensorNode& node, double factor);
+  /// At @p when, multiply the node's TX current by @p factor (>= 1,
+  /// permanent — PA aging does not heal).
+  void node_radio_pa_degrade(Seconds when, node::SensorNode& node, double factor);
+
+  // ---- Environment faults -------------------------------------------------
+
+  /// At @p when, make @p chain's tracker see the ambient conditions scaled
+  /// by @p gain (miscalibrated sensing front end); the transducer physics
+  /// keeps the true curve. When @p duration > 0 the drift self-clears
+  /// (gain back to 1) that much later; 0 means it lasts until healed by a
+  /// later sensor_drift(..., 1.0) entry.
+  void sensor_drift(Seconds when, power::InputChain& chain, double gain,
+                    Seconds duration = Seconds{0.0});
 
   // ---- Driving ------------------------------------------------------------
 

@@ -60,11 +60,17 @@ Joules AnalogVoltageMonitor::monitoring_energy() const {
 // RetryBackoff
 // ---------------------------------------------------------------------------
 
-RetryBackoff::RetryBackoff(Params params) : params_(params) {
+RetryBackoff::RetryBackoff(Params params)
+    : params_(params),
+      rng_(params.jitter_seed, stream_key("retry.backoff")) {
   require_spec(params_.max_attempts >= 1, "retry needs at least one attempt");
   require_spec(params_.initial_backoff.value() >= 0.0,
                "retry backoff must be >= 0");
   require_spec(params_.multiplier >= 1.0, "retry multiplier must be >= 1");
+  require_spec(params_.max_backoff.value() >= 0.0,
+               "retry backoff cap must be >= 0");
+  require_spec(params_.jitter >= 0.0 && params_.jitter < 1.0,
+               "retry jitter must be in [0,1)");
 }
 
 bool RetryBackoff::run(const std::function<bool()>& attempt) {
@@ -73,7 +79,14 @@ bool RetryBackoff::run(const std::function<bool()>& attempt) {
     ++attempts_;
     if (i > 0) {
       ++retries_;
-      total_backoff_ += wait;
+      Seconds settle = wait;
+      if (params_.max_backoff.value() > 0.0)
+        settle = std::min(settle, params_.max_backoff);
+      // Full jitter in [1 - jitter, 1]: the RNG advances only on the
+      // jittered path, so jitter == 0 byte-preserves the old fixed ladder.
+      if (params_.jitter > 0.0)
+        settle = settle * (1.0 - params_.jitter * rng_.next_double());
+      total_backoff_ += settle;
       wait = wait * params_.multiplier;
     }
     if (attempt()) return true;

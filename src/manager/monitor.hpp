@@ -17,6 +17,7 @@
 #include "bus/i2c.hpp"
 #include "bus/module_port.hpp"
 #include "bus/sense.hpp"
+#include "core/random.hpp"
 #include "core/units.hpp"
 #include "storage/storage.hpp"
 #include "taxonomy/taxonomy.hpp"
@@ -116,6 +117,17 @@ class RetryBackoff {
     int max_attempts{3};             ///< total tries, including the first
     Seconds initial_backoff{1e-3};   ///< wait after the first failure
     double multiplier{2.0};          ///< backoff growth per further failure
+    /// Cap on any single settle wait; 0 (the default) leaves the ladder
+    /// uncapped, as before.
+    Seconds max_backoff{0.0};
+    /// Full-jitter fraction in [0, 1): each settle wait is scaled by a
+    /// seeded-uniform draw from [1 - jitter, 1]. Identical nodes retrying
+    /// after a shared stuck-bus fault then de-synchronize instead of
+    /// hammering the bus in lockstep. 0 (the default) draws nothing and
+    /// byte-preserves the old fixed ladder.
+    double jitter{0.0};
+    /// Seed for the jitter stream (ignored while jitter == 0).
+    std::uint64_t jitter_seed{0x5eed};
   };
 
   explicit RetryBackoff(Params params);
@@ -135,6 +147,7 @@ class RetryBackoff {
 
  private:
   Params params_;
+  Pcg32 rng_;  ///< advanced only when jitter > 0
   std::uint64_t attempts_{0};
   std::uint64_t retries_{0};
   std::uint64_t give_ups_{0};

@@ -29,7 +29,8 @@ bool SensorNode::deliver_query(Volts rail_voltage) {
   if (radio_.wake_up_rx_current.value() <= 0.0) return false;
   if (state_ != State::kUp) return false;
   const Seconds tx_time{work_.query_response_bytes * 8.0 / radio_.bitrate_bps};
-  pending_response_energy_ += rail_voltage * radio_.tx_current * tx_time;
+  pending_response_energy_ +=
+      rail_voltage * radio_.tx_current * radio_pa_factor_ * tx_time;
   ++queries_answered_;
   return true;
 }
@@ -38,13 +39,23 @@ void SensorNode::set_task_period(Seconds period) {
   work_.task_period = std::clamp(period, work_.min_period, work_.max_period);
 }
 
+void SensorNode::inject_flash_wear(double factor) {
+  require_spec(factor >= 1.0, "flash wear factor must be >= 1");
+  flash_wear_factor_ *= factor;
+}
+
+void SensorNode::inject_radio_pa_degradation(double factor) {
+  require_spec(factor >= 1.0, "radio PA degradation factor must be >= 1");
+  radio_pa_factor_ *= factor;
+}
+
 Joules SensorNode::cycle_energy(Volts rail_voltage) const {
   const Seconds tx_time{work_.packet_bytes * 8.0 / radio_.bitrate_bps};
   const Seconds rx_time{work_.rx_ack_bytes * 8.0 / radio_.bitrate_bps};
   const Joules processing = rail_voltage * mcu_.active_current * work_.processing_time;
-  const Joules tx = rail_voltage * radio_.tx_current * tx_time;
+  const Joules tx = rail_voltage * radio_.tx_current * radio_pa_factor_ * tx_time;
   const Joules rx = rail_voltage * radio_.rx_current * rx_time;
-  return processing + tx + rx + work_.sensor_energy;
+  return processing + tx + rx + work_.sensor_energy * flash_wear_factor_;
 }
 
 Watts SensorNode::average_power(Volts rail_voltage) const {

@@ -89,6 +89,19 @@ class SensorNode {
   [[nodiscard]] const RadioParams& radio() const { return radio_; }
   [[nodiscard]] const WorkloadParams& workload() const { return work_; }
 
+  // -- Fault hooks (fault::FaultInjector) -----------------------------------
+
+  /// Worn log flash: each sense cycle's sampling/logging write costs
+  /// @p factor times the nominal sensor energy (>= 1; multiplicative, so
+  /// repeated injections compound like real wear).
+  void inject_flash_wear(double factor);
+  [[nodiscard]] double flash_wear_factor() const { return flash_wear_factor_; }
+
+  /// Aged radio power amplifier: every transmission (packets and query
+  /// responses) draws @p factor times the nominal TX current.
+  void inject_radio_pa_degradation(double factor);
+  [[nodiscard]] double radio_pa_factor() const { return radio_pa_factor_; }
+
  private:
   enum class State { kDown, kBooting, kUp };
 
@@ -100,6 +113,8 @@ class SensorNode {
   RadioParams radio_;
   WorkloadParams work_;
   State state_{State::kDown};
+  double flash_wear_factor_{1.0};
+  double radio_pa_factor_{1.0};
   Seconds boot_remaining_{0.0};
   double cycle_accumulator_{0.0};  ///< fractional task cycles completed
   std::uint64_t packets_sent_{0};

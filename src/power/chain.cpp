@@ -1,6 +1,7 @@
 #include "power/chain.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/error.hpp"
 
@@ -36,6 +37,12 @@ void InputChain::set_thermal_shutdown(bool on) {
   thermal_shutdown_ = on;
 }
 
+void InputChain::set_sense_gain(double gain) {
+  require_spec(std::isfinite(gain) && gain > 0.0,
+               "sense gain must be finite and > 0");
+  sense_gain_ = gain;
+}
+
 Watts InputChain::step(const env::AmbientConditions& conditions, Volts bus_voltage,
                        Seconds now, Seconds dt) {
   harvester_->set_conditions(conditions);
@@ -51,7 +58,17 @@ Watts InputChain::step(const env::AmbientConditions& conditions, Volts bus_volta
 
   Seconds interruption{0.0};
   if (now >= next_update_) {
-    operating_voltage_ = mppt_->update(*harvester_, operating_voltage_);
+    if (sense_gain_ != 1.0) {
+      // Drifted sensing: the tracker sees a skewed environment, picks its
+      // setpoint on the wrong curve, then the true conditions come back for
+      // the physics below. Each swap goes through set_conditions, so the
+      // curve revision bumps and conditions-keyed MPP memos invalidate.
+      harvester_->set_conditions(env::scaled(conditions, sense_gain_));
+      operating_voltage_ = mppt_->update(*harvester_, operating_voltage_);
+      harvester_->set_conditions(conditions);
+    } else {
+      operating_voltage_ = mppt_->update(*harvester_, operating_voltage_);
+    }
     overhead_ += mppt_->overhead_per_update();
     interruption = mppt_->harvest_interruption();
     next_update_ = now + mppt_period_;

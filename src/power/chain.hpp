@@ -93,6 +93,17 @@ class InputChain {
   /// Steps spent shut down (the outage's simulated extent).
   [[nodiscard]] std::uint64_t shutdown_steps() const { return shutdown_steps_; }
 
+  /// Ambient-sensing drift (fault::FaultKind::kSensorDrift): the tracker's
+  /// view of the environment is the true conditions scaled by @p gain, while
+  /// the transducer physics keeps the true curve — so the controller chases
+  /// the wrong operating point and tracking_efficiency() records the loss.
+  /// Swapping the harvester's latched conditions for the tracker update goes
+  /// through Harvester::set_conditions, so curve_revision() bumps and stale
+  /// MPP caches drop. 1.0 heals (and is byte-identical to the unfaulted
+  /// path: no extra set_conditions calls are made).
+  void set_sense_gain(double gain);
+  [[nodiscard]] double sense_gain() const { return sense_gain_; }
+
  private:
   std::unique_ptr<harvest::Harvester> harvester_;
   std::unique_ptr<MpptController> mppt_;
@@ -109,6 +120,7 @@ class InputChain {
   Joules harvestable_at_mpp_{0.0};
   bool started_{false};
   double droop_factor_{1.0};
+  double sense_gain_{1.0};
   bool thermal_shutdown_{false};
   std::uint64_t shutdown_events_{0};
   std::uint64_t shutdown_steps_{0};

@@ -1,0 +1,29 @@
+#include "storage/switched.hpp"
+
+#include "core/error.hpp"
+
+namespace msehsim::storage {
+
+SwitchedStorage::SwitchedStorage(std::unique_ptr<StorageDevice> inner,
+                                 bool connected)
+    : inner_(std::move(inner)), connected_(connected) {
+  require_spec(inner_ != nullptr, "SwitchedStorage requires an inner device");
+  if (connected_) connect_count_ = 1;
+}
+
+Watts SwitchedStorage::charge(Watts power, Seconds dt) {
+  if (!connected_) return Watts{0.0};
+  return inner_->charge(power, dt);
+}
+
+Watts SwitchedStorage::discharge(Watts power, Seconds dt) {
+  if (!connected_) return Watts{0.0};
+  return inner_->discharge(power, dt);
+}
+
+Watts SwitchedStorage::max_discharge_power() const {
+  if (!connected_) return Watts{0.0};
+  return inner_->max_discharge_power();
+}
+
+}  // namespace msehsim::storage

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "core/error.hpp"
+#include "fault/schedule.hpp"
 #include "obs/trace.hpp"
+#include "storage/switched.hpp"
 
 namespace msehsim::systems {
 
@@ -69,12 +71,61 @@ void Platform::set_fuel_cell_policy(manager::FuelCellPolicy policy,
 
 void Platform::set_failover_policy(manager::FailoverPolicy policy,
                                    std::size_t backup_slot) {
+  require_spec(!backup_chain_.has_value(),
+               "set_failover_policy: a backup chain already drives the switch");
   require_spec(backup_slot < stores_.size(), "failover backup slot out of range");
   require_spec(stores_[backup_slot].device->kind() ==
                    storage::StorageKind::kFuelCell,
                "failover backup slot does not hold a fuel cell");
   failover_policy_.emplace(policy);
   backup_slot_ = backup_slot;
+}
+
+void Platform::set_backup_chain(manager::BackupChain::Params params) {
+  require_spec(!failover_policy_.has_value(),
+               "set_backup_chain: a failover policy already drives the switch");
+  // Resolve every stage's target up front so a bad spec leaves no chain.
+  struct Binding {
+    storage::FuelCell* cell{nullptr};
+    storage::SwitchedStorage* switched{nullptr};
+    node::SensorNode* node{nullptr};
+  };
+  std::vector<Binding> bindings;
+  bindings.reserve(params.stages.size());
+  for (const auto& sp : params.stages) {
+    Binding b;
+    switch (sp.kind) {
+      case manager::BackupStageKind::kFuelCell: {
+        require_spec(sp.storage_slot < stores_.size(),
+                     "backup stage storage slot out of range");
+        b.cell = dynamic_cast<storage::FuelCell*>(
+            stores_[sp.storage_slot].device.get());
+        require_spec(b.cell != nullptr,
+                     "backup fuel-cell stage slot does not hold a FuelCell");
+        break;
+      }
+      case manager::BackupStageKind::kSwitchedStorage: {
+        require_spec(sp.storage_slot < stores_.size(),
+                     "backup stage storage slot out of range");
+        b.switched = dynamic_cast<storage::SwitchedStorage*>(
+            stores_[sp.storage_slot].device.get());
+        require_spec(
+            b.switched != nullptr,
+            "backup switched-storage stage slot does not hold a SwitchedStorage");
+        break;
+      }
+      case manager::BackupStageKind::kLoadShed:
+        require_spec(node_ != nullptr,
+                     "backup load-shed stage requires a fitted node");
+        b.node = node_.get();
+        break;
+    }
+    bindings.push_back(b);
+  }
+  backup_chain_.emplace(std::move(params));
+  for (std::size_t i = 0; i < bindings.size(); ++i)
+    backup_chain_->bind_stage(i, bindings[i].cell, bindings[i].switched,
+                              bindings[i].node);
 }
 
 void Platform::add_module_port(std::unique_ptr<bus::ModulePort> port) {
@@ -168,6 +219,7 @@ void Platform::step(const env::AmbientConditions& conditions, Seconds now,
   brownout_latch_ = false;
   const double net = p_in.value() - p_q.value() - p_bus_load.value();
   if (net >= 0.0) {
+    energy_neutral_time_ += dt;  // harvest covered the whole step's demand
     Watts surplus{net};
     for (auto* slot : by_priority()) {
       if (surplus.value() <= 0.0) break;
@@ -183,6 +235,8 @@ void Platform::step(const env::AmbientConditions& conditions, Seconds now,
     }
     storage_discharged_energy_ += Watts{-net - deficit.value()} * dt;
     unserved_energy_ += deficit * dt;
+    if (deficit.value() > 1e-12 && first_unserved_time_.value() < 0.0)
+      first_unserved_time_ = now;  // same epsilon as the discharge loop
     if (deficit.value() > 1e-9) {
       unmet_energy_ += deficit * dt;
       brownout_latch_ = true;  // rail drops next step
@@ -228,8 +282,15 @@ void Platform::management_tick(Seconds now) {
       duty_controller_->update(last_estimate_, *node_);
     }
   }
-  // The failover policy subsumes the plain SoC hysteresis (it carries its
-  // own SoC window); running both would have them fight over the switch.
+  // One driver per switch: the backup chain supersedes both single-stage
+  // policies, and the failover policy subsumes the plain SoC hysteresis (it
+  // carries its own SoC window); running two would have them fight.
+  if (backup_chain_.has_value()) {
+    // After the duty controllers, so an engaged load-shed stage wins the
+    // period decision.
+    backup_chain_->update(now, last_input_power_, ambient_soc());
+    return;
+  }
   if (fuel_cell_policy_.has_value() && !failover_policy_.has_value()) {
     auto* cell = dynamic_cast<storage::FuelCell*>(stores_[fuel_cell_slot_].device.get());
     if (cell != nullptr) fuel_cell_policy_->update(ambient_soc(), *cell);
@@ -239,6 +300,17 @@ void Platform::management_tick(Seconds now) {
     if (cell != nullptr)
       failover_policy_->update(now, last_input_power_, ambient_soc(), *cell);
   }
+}
+
+fault::ScheduleTargets Platform::fault_targets() {
+  fault::ScheduleTargets targets;
+  targets.inputs.reserve(inputs_.size());
+  for (auto& chain : inputs_) targets.inputs.push_back(chain.get());
+  targets.stores.reserve(stores_.size());
+  for (auto& slot : stores_) targets.stores.push_back(slot.device.get());
+  targets.bus = &i2c_;
+  targets.node = node_.get();
+  return targets;
 }
 
 std::unique_ptr<storage::StorageDevice> Platform::swap_storage(

@@ -23,6 +23,7 @@
 #include "core/stats.hpp"
 #include "core/units.hpp"
 #include "env/conditions.hpp"
+#include "manager/backup_chain.hpp"
 #include "manager/monitor.hpp"
 #include "manager/policies.hpp"
 #include "manager/predictor.hpp"
@@ -31,6 +32,10 @@
 #include "storage/fuel_cell.hpp"
 #include "storage/storage.hpp"
 #include "taxonomy/taxonomy.hpp"
+
+namespace msehsim::fault {
+struct ScheduleTargets;
+}  // namespace msehsim::fault
 
 namespace msehsim::systems {
 
@@ -98,6 +103,17 @@ class Platform {
                            std::size_t backup_slot);
   [[nodiscard]] const manager::FailoverPolicy* failover_policy() const {
     return failover_policy_.has_value() ? &*failover_policy_ : nullptr;
+  }
+
+  /// Prioritized multi-stage backup (fuel cell -> reserve cell -> load
+  /// shed), the generalization of set_failover_policy. Each stage's
+  /// storage_slot must hold a device of the matching type (FuelCell /
+  /// SwitchedStorage); a load-shed stage requires the node to be fitted.
+  /// Mutually exclusive with set_failover_policy, and while a chain is set
+  /// it also supersedes set_fuel_cell_policy (one driver per switch).
+  void set_backup_chain(manager::BackupChain::Params params);
+  [[nodiscard]] const manager::BackupChain* backup_chain() const {
+    return backup_chain_.has_value() ? &*backup_chain_ : nullptr;
   }
 
   /// The platform's module bus (System B sockets, System A telemetry).
@@ -205,6 +221,26 @@ class Platform {
     return first_brownout_time_;
   }
 
+  // ---- Survivability accumulators (systems::SurvivabilityReport) ----------
+
+  /// Time spent energy-neutral: steps where the chains covered quiescent +
+  /// bus load without touching the stores (net >= 0) — the EnHANTs-style
+  /// energy-neutral-operation fraction's numerator.
+  [[nodiscard]] Seconds energy_neutral_time() const {
+    return energy_neutral_time_;
+  }
+  /// Simulation time of the first unserved deficit (however small — the
+  /// bus identity's epsilon, not the brownout threshold), or negative when
+  /// demand was always met.
+  [[nodiscard]] Seconds first_unserved_time() const {
+    return first_unserved_time_;
+  }
+
+  /// The injectable targets this platform exposes, for
+  /// fault::Schedule::build_injector. Pointers borrow from the platform and
+  /// stay valid for its lifetime (storage slots are stable across hot swap).
+  [[nodiscard]] fault::ScheduleTargets fault_targets();
+
  private:
   struct StorageSlot {
     std::unique_ptr<storage::StorageDevice> device;
@@ -229,6 +265,7 @@ class Platform {
   std::size_t fuel_cell_slot_{0};
   std::optional<manager::FailoverPolicy> failover_policy_;
   std::size_t backup_slot_{0};
+  std::optional<manager::BackupChain> backup_chain_;
   bus::I2cBus i2c_;
   std::vector<std::unique_ptr<bus::ModulePort>> ports_;
 
@@ -244,6 +281,8 @@ class Platform {
   Joules storage_discharged_energy_{0.0};
   Joules unserved_energy_{0.0};
   Seconds first_brownout_time_{-1.0};
+  Seconds energy_neutral_time_{0.0};
+  Seconds first_unserved_time_{-1.0};
   std::uint64_t brownouts_{0};
 };
 

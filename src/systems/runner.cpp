@@ -39,7 +39,40 @@ FaultReport collect_faults(Platform& platform, const RunOptions& options) {
     f.failover_latency_count = failover->failover_latency_count();
     f.failover_latency_total_s = failover->failover_latency_total().value();
   }
+  if (const auto* chain = platform.backup_chain()) {
+    f.failovers = chain->failovers();
+    f.failbacks = chain->failbacks();
+    f.failover_latency_count = chain->failover_latency_count();
+    f.failover_latency_total_s = chain->failover_latency_total().value();
+  }
   return f;
+}
+
+/// Folds the platform's survivability accumulators and backup-chain stage
+/// stats into the fixed-slot report.
+SurvivabilityReport collect_survivability(Platform& platform, Seconds duration) {
+  SurvivabilityReport s;
+  s.time_to_first_unserved_s = platform.first_unserved_time().value();
+  // quiescent and bus-load accumulate as *demanded* (the unserved part is
+  // the slice of them no store could cover), so together they are the total
+  // bus demand the fraction normalizes by.
+  const double demand =
+      platform.quiescent_energy().value() + platform.bus_load_energy().value();
+  if (demand > 0.0)
+    s.unserved_energy_fraction = platform.unserved_energy().value() / demand;
+  if (duration.value() > 0.0)
+    s.energy_neutral_fraction =
+        platform.energy_neutral_time().value() / duration.value();
+  if (const auto* chain = platform.backup_chain()) {
+    s.backup_stages = chain->stage_count();
+    const std::size_t reported = std::min<std::size_t>(
+        chain->stage_count(), SurvivabilityReport::kReportedBackupStages);
+    for (std::size_t i = 0; i < reported; ++i) {
+      s.stage_residency_s[i] = chain->stage_stats(i).residency.value();
+      s.stage_switch_ins[i] = chain->stage_stats(i).switch_ins;
+    }
+  }
+  return s;
 }
 
 /// Fills the energy-flow ledger (and the MPP counters riding on its source
@@ -125,6 +158,10 @@ const std::vector<RunResultField>& run_result_fields() {
        [](const R& r) { return u64(r.faults.injected.storage); }, true},
       {"faults.injected.bus",
        [](const R& r) { return u64(r.faults.injected.bus); }, true},
+      {"faults.injected.node",
+       [](const R& r) { return u64(r.faults.injected.node); }, true},
+      {"faults.injected.environment",
+       [](const R& r) { return u64(r.faults.injected.environment); }, true},
       {"faults.harvester_faulted_steps",
        [](const R& r) { return u64(r.faults.harvester_faulted_steps); }, true},
       {"faults.harvester_transitions",
@@ -153,6 +190,32 @@ const std::vector<RunResultField>& run_result_fields() {
        [](const R& r) { return r.faults.failover_latency_total_s; }, false},
       {"faults.mean_time_to_failover_s",
        [](const R& r) { return r.faults.mean_time_to_failover_s(); }, false},
+      {"survivability.time_to_first_unserved_s",
+       [](const R& r) { return r.survivability.time_to_first_unserved_s; },
+       false},
+      {"survivability.unserved_energy_fraction",
+       [](const R& r) { return r.survivability.unserved_energy_fraction; },
+       false},
+      {"survivability.energy_neutral_fraction",
+       [](const R& r) { return r.survivability.energy_neutral_fraction; },
+       false},
+      {"survivability.backup_stages",
+       [](const R& r) { return u64(r.survivability.backup_stages); }, true},
+      {"survivability.stage0.residency_s",
+       [](const R& r) { return r.survivability.stage_residency_s[0]; }, false},
+      {"survivability.stage0.switch_ins",
+       [](const R& r) { return u64(r.survivability.stage_switch_ins[0]); },
+       true},
+      {"survivability.stage1.residency_s",
+       [](const R& r) { return r.survivability.stage_residency_s[1]; }, false},
+      {"survivability.stage1.switch_ins",
+       [](const R& r) { return u64(r.survivability.stage_switch_ins[1]); },
+       true},
+      {"survivability.stage2.residency_s",
+       [](const R& r) { return r.survivability.stage_residency_s[2]; }, false},
+      {"survivability.stage2.switch_ins",
+       [](const R& r) { return u64(r.survivability.stage_switch_ins[2]); },
+       true},
       {"ledger.harvested_j", [](const R& r) { return r.ledger.harvested_j; },
        false},
       {"ledger.storage_discharged_j",
@@ -264,6 +327,7 @@ RunResult run_platform(Platform& platform, env::EnvironmentModel& environment,
   r.final_stored = platform.total_stored();
   r.time_to_first_brownout_s = platform.first_brownout_time().value();
   r.faults = collect_faults(platform, options);
+  r.survivability = collect_survivability(platform, duration);
   r.ledger = collect_ledger(platform, initial_stored);
   for (const auto& source : r.ledger.sources) {
     r.mpp_cache_hits += source.mpp_cache_hits;

@@ -5,6 +5,8 @@
 // and example reports.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -49,6 +51,36 @@ struct FaultReport {
   }
 };
 
+/// Survivability view of one run — the metrics the population-scale related
+/// work (the ns-3 energy framework, the EnHANTs studies) evaluates per node:
+/// how long demand stayed fully served, how much of it went unserved, how
+/// much of the run was energy-neutral, and where the backup ladder spent its
+/// time. Filled from accumulators the run integrates anyway, so the bytes
+/// are identical with observability on or off.
+struct SurvivabilityReport {
+  /// Backup stages reported as fixed scalar slots (fuel cell -> reserve ->
+  /// load shed covers every catalog system); chains longer than this still
+  /// count in backup_stages but only the first slots get per-stage rows.
+  static constexpr std::size_t kReportedBackupStages = 3;
+
+  /// Simulation time of the first unserved deficit, however small (the bus
+  /// identity's epsilon, stricter than the brownout threshold); -1 when all
+  /// demand was met.
+  double time_to_first_unserved_s{-1.0};
+  /// Unserved energy over total bus demand (quiescent + bus load); 0 when
+  /// the run drew nothing.
+  double unserved_energy_fraction{0.0};
+  /// Fraction of the run spent energy-neutral: steps where harvest covered
+  /// quiescent + bus load without discharging the stores.
+  double energy_neutral_fraction{0.0};
+  /// Stages configured on the platform's backup chain (0 without one).
+  std::uint64_t backup_stages{0};
+  /// Per-stage time spent engaged / switch-in count, in chain priority
+  /// order; zeros beyond backup_stages.
+  std::array<double, kReportedBackupStages> stage_residency_s{};
+  std::array<std::uint64_t, kReportedBackupStages> stage_switch_ins{};
+};
+
 struct RunResult {
   Seconds duration{0.0};
   Joules harvested{0.0};       ///< delivered into the bus by all chains
@@ -75,6 +107,7 @@ struct RunResult {
   std::uint64_t mpp_cache_hits{0};
   std::uint64_t mpp_recomputes{0};
   FaultReport faults;
+  SurvivabilityReport survivability;
   /// Per-run energy-conservation accounting (obs pillar 2). Filled from
   /// accumulators the run integrates anyway, so its bytes are identical
   /// with observability compiled in or out.

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
 
 #include "bus/module_port.hpp"
@@ -367,6 +368,62 @@ TEST(RetryBackoff, Validation) {
   p.max_attempts = 3;
   p.multiplier = 0.5;
   EXPECT_THROW(manager::RetryBackoff{p}, SpecError);
+  p.multiplier = 2.0;
+  p.jitter = 1.0;  // must stay strictly below 1
+  EXPECT_THROW(manager::RetryBackoff{p}, SpecError);
+  p.jitter = -0.1;
+  EXPECT_THROW(manager::RetryBackoff{p}, SpecError);
+  p.jitter = 0.0;
+  p.max_backoff = Seconds{-1.0};
+  EXPECT_THROW(manager::RetryBackoff{p}, SpecError);
+}
+
+TEST(RetryBackoff, MaxBackoffCapsEachSettleWait) {
+  manager::RetryBackoff::Params p;
+  p.max_attempts = 4;
+  p.initial_backoff = Seconds{1.0};
+  p.multiplier = 10.0;
+  p.max_backoff = Seconds{2.0};
+  manager::RetryBackoff retry(p);
+  EXPECT_FALSE(retry.run([] { return false; }));
+  // Uncapped ladder would be 1 + 10 + 100; the cap clamps each wait.
+  EXPECT_NEAR(retry.total_backoff().value(), 1.0 + 2.0 + 2.0, 1e-12);
+}
+
+TEST(RetryBackoff, JitterIsBoundedAndSeedDeterministic) {
+  manager::RetryBackoff::Params p;
+  p.max_attempts = 4;
+  p.initial_backoff = Seconds{1e-3};
+  p.multiplier = 2.0;
+  p.jitter = 0.5;
+  p.jitter_seed = 99;
+  const double full = 1e-3 + 2e-3 + 4e-3;  // the jitter-free ladder
+  manager::RetryBackoff a(p);
+  EXPECT_FALSE(a.run([] { return false; }));
+  // Each wait is scaled into [1 - jitter, 1] of its nominal value.
+  EXPECT_LE(a.total_backoff().value(), full);
+  EXPECT_GE(a.total_backoff().value(), 0.5 * full);
+  // Same seed, same draws.
+  manager::RetryBackoff b(p);
+  EXPECT_FALSE(b.run([] { return false; }));
+  EXPECT_DOUBLE_EQ(a.total_backoff().value(), b.total_backoff().value());
+  // A different seed de-synchronizes the ladder.
+  p.jitter_seed = 100;
+  manager::RetryBackoff c(p);
+  EXPECT_FALSE(c.run([] { return false; }));
+  EXPECT_NE(a.total_backoff().value(), c.total_backoff().value());
+}
+
+TEST(RetryBackoff, ZeroJitterPreservesTheFixedLadder) {
+  // jitter = 0 must not draw from the RNG at all, so the accounted settle
+  // time is exactly the historical deterministic ladder.
+  manager::RetryBackoff::Params p;
+  p.max_attempts = 3;
+  p.initial_backoff = Seconds{1e-3};
+  p.multiplier = 2.0;
+  manager::RetryBackoff retry(p);
+  EXPECT_FALSE(retry.run([] { return false; }));
+  EXPECT_DOUBLE_EQ(retry.total_backoff().value(), 1e-3 + 2e-3);
 }
 
 TEST_F(BusFaultFixture, MonitorRetryRidesThroughNakBurst) {
@@ -504,6 +561,113 @@ TEST(FaultInjector, CountersTallyOnlyFiredFaults) {
   EXPECT_EQ(inj.counters().harvester, 1u);
   EXPECT_EQ(inj.counters().storage, 0u);  // never fired
   EXPECT_EQ(inj.counters().total(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Sensor drift — the environment-layer fault skewing the MPPT's view
+// ---------------------------------------------------------------------------
+
+TEST(SensorDrift, SkewedViewMovesTheOperatingPoint) {
+  auto honest = pv_chain("pv-honest");
+  auto skewed = pv_chain("pv-skewed");
+  skewed->set_sense_gain(1.5);
+  // Let both trackers run a few MPPT updates under identical sun.
+  for (int i = 0; i < 30; ++i) {
+    step_once(*honest, i);
+    step_once(*skewed, i);
+  }
+  // The skewed tracker optimized for 1.5x irradiance that is not there, so
+  // it parks off the true maximum power point and delivers less.
+  EXPECT_LT(step_once(*skewed, 31).value(), step_once(*honest, 31).value());
+}
+
+TEST(SensorDrift, UnityGainIsByteTransparent) {
+  auto a = pv_chain("pv-a");
+  auto b = pv_chain("pv-b");
+  b->set_sense_gain(1.0);  // explicit unity: the no-drift fast path
+  for (int i = 0; i < 30; ++i)
+    EXPECT_EQ(step_once(*a, i).value(), step_once(*b, i).value());
+}
+
+TEST(SensorDrift, GainValidation) {
+  auto chain = pv_chain();
+  EXPECT_THROW(chain->set_sense_gain(0.0), SpecError);
+  EXPECT_THROW(chain->set_sense_gain(-1.0), SpecError);
+  EXPECT_THROW(chain->set_sense_gain(
+                   std::numeric_limits<double>::infinity()),
+               SpecError);
+}
+
+TEST(SensorDrift, InjectorAppliesAndAutoHeals) {
+  auto chain = pv_chain();
+  FaultInjector inj(kSeed);
+  inj.sensor_drift(Seconds{5.0}, *chain, 1.3, Seconds{10.0});
+  Simulation sim(Seconds{1.0});
+  env::AmbientConditions sun = sunny();
+  sim.on_step([&](Seconds now, Seconds dt) {
+    chain->step(sun, Volts{3.3}, now, dt);
+  });
+  inj.arm(sim);
+  sim.run_for(Seconds{4.0});
+  EXPECT_DOUBLE_EQ(chain->sense_gain(), 1.0);
+  sim.run_for(Seconds{6.0});
+  EXPECT_DOUBLE_EQ(chain->sense_gain(), 1.3);
+  sim.run_for(Seconds{10.0});  // drift window over: gain self-heals
+  EXPECT_DOUBLE_EQ(chain->sense_gain(), 1.0);
+  // One environment fault; the scheduled self-heal is repair, not a fault.
+  EXPECT_EQ(inj.counters().environment, 1u);
+  EXPECT_EQ(inj.counters().total(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Node faults — flash wear and radio PA degradation
+// ---------------------------------------------------------------------------
+
+node::SensorNode wearable_node() {
+  node::WorkloadParams w;
+  w.task_period = Seconds{30.0};
+  return node::SensorNode("n", node::McuParams{}, node::RadioParams{}, w);
+}
+
+TEST(NodeFaults, FlashWearRaisesCycleEnergy) {
+  auto healthy = wearable_node();
+  auto worn = wearable_node();
+  worn.inject_flash_wear(2.0);
+  EXPECT_GT(worn.average_power(Volts{3.0}).value(),
+            healthy.average_power(Volts{3.0}).value());
+  EXPECT_DOUBLE_EQ(worn.flash_wear_factor(), 2.0);
+  // Wear is cumulative: a second aging event multiplies on top.
+  worn.inject_flash_wear(1.5);
+  EXPECT_DOUBLE_EQ(worn.flash_wear_factor(), 3.0);
+}
+
+TEST(NodeFaults, RadioPaDegradationRaisesTxCost) {
+  auto healthy = wearable_node();
+  auto degraded = wearable_node();
+  degraded.inject_radio_pa_degradation(1.5);
+  EXPECT_GT(degraded.average_power(Volts{3.0}).value(),
+            healthy.average_power(Volts{3.0}).value());
+  EXPECT_DOUBLE_EQ(degraded.radio_pa_factor(), 1.5);
+}
+
+TEST(NodeFaults, RejectImprovingFactors) {
+  auto n = wearable_node();
+  EXPECT_THROW(n.inject_flash_wear(0.9), SpecError);
+  EXPECT_THROW(n.inject_radio_pa_degradation(0.5), SpecError);
+}
+
+TEST(NodeFaults, InjectorCountsNodeBucket) {
+  auto n = wearable_node();
+  FaultInjector inj(kSeed);
+  inj.node_flash_wear(Seconds{2.0}, n, 2.0);
+  inj.node_radio_pa_degrade(Seconds{3.0}, n, 1.2);
+  Simulation sim(Seconds{1.0});
+  inj.arm(sim);
+  sim.run_for(Seconds{5.0});
+  EXPECT_EQ(inj.counters().node, 2u);
+  EXPECT_EQ(inj.counters().total(), 2u);
+  EXPECT_DOUBLE_EQ(n.flash_wear_factor(), 2.0);
+  EXPECT_DOUBLE_EQ(n.radio_pa_factor(), 1.2);
 }
 
 // ---------------------------------------------------------------------------

@@ -11,6 +11,7 @@
 #include "storage/battery.hpp"
 #include "storage/fuel_cell.hpp"
 #include "storage/supercapacitor.hpp"
+#include "storage/switched.hpp"
 
 namespace msehsim::storage {
 namespace {
@@ -517,6 +518,48 @@ INSTANTIATE_TEST_SUITE_P(AllDevices, StorageInvariants, ::testing::Range(0, 6),
                                    [static_cast<std::size_t>(info.param)]
                                        .name);
                          });
+
+// ---------------------------------------------------------------------------
+// SwitchedStorage gate
+// ---------------------------------------------------------------------------
+
+SwitchedStorage switched_cap(bool connected = false) {
+  return SwitchedStorage(std::make_unique<Supercapacitor>(small_cap(2.5)),
+                         connected);
+}
+
+TEST(SwitchedStorage, OpenGateBlocksPowerButNotLeakage) {
+  auto s = switched_cap(false);
+  EXPECT_DOUBLE_EQ(s.charge(Watts{1.0}, kDt).value(), 0.0);
+  EXPECT_DOUBLE_EQ(s.discharge(Watts{1.0}, kDt).value(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max_discharge_power().value(), 0.0);
+  // Self-discharge continues behind an open gate — a shelved reserve still
+  // ages.
+  const Joules before = s.stored_energy();
+  for (int i = 0; i < 3600; ++i) s.apply_leakage(kDt);
+  EXPECT_LT(s.stored_energy().value(), before.value());
+}
+
+TEST(SwitchedStorage, ClosedGateForwardsToInner) {
+  auto s = switched_cap(true);
+  EXPECT_GT(s.discharge(Watts{0.5}, kDt).value(), 0.0);
+  EXPECT_GT(s.max_discharge_power().value(), 0.0);
+  EXPECT_GT(s.charge(Watts{0.5}, kDt).value(), 0.0);
+  EXPECT_EQ(s.kind(), s.inner().kind());
+  EXPECT_DOUBLE_EQ(s.voltage().value(), s.inner().voltage().value());
+}
+
+TEST(SwitchedStorage, ConnectCountTracksClosingEdges) {
+  auto s = switched_cap(false);
+  EXPECT_EQ(s.connect_count(), 0u);
+  s.set_connected(true);
+  s.set_connected(true);  // already closed: not an edge
+  s.set_connected(false);
+  s.set_connected(true);
+  EXPECT_EQ(s.connect_count(), 2u);
+  // Starting connected counts as the first closing edge.
+  EXPECT_EQ(switched_cap(true).connect_count(), 1u);
+}
 
 TEST(StorageKindNames, Coverage) {
   EXPECT_EQ(to_string(StorageKind::kSupercapacitor), "Supercap");

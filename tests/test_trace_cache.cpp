@@ -5,6 +5,7 @@
 // never crash — this suite runs under the ASan/UBSan CI job.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -247,6 +248,75 @@ TEST(TraceCache, MappedTraceOutlivesTheCacheObject) {
   // The mapping's keep-alive rides on the trace, not on the cache: reads
   // stay valid (ASan would flag a stale mapping here).
   expect_same_timeline(*compiled, *mapped);
+}
+
+TEST(TraceCache, ZeroPayloadEntryIsAMiss) {
+  const auto dir = test_dir("zero_payload");
+  const auto key = outdoor_key();
+  TraceCache cache(dir.string());
+  cache.store(key, *compile_outdoor(key));
+  const fs::path entry = cache.entry_path(key);
+
+  // Rewrite the entry as an all-elided trace: channel_mask 0, payload_bytes
+  // 0, file truncated at the payload offset. Header arithmetic is otherwise
+  // self-consistent, so only the zero-payload guard can reject it.
+  std::uint32_t payload_offset = 0;
+  {
+    std::ifstream in(entry, std::ios::binary);
+    in.seekg(52);
+    in.read(reinterpret_cast<char*>(&payload_offset), sizeof(payload_offset));
+    ASSERT_TRUE(in.good());
+  }
+  const std::uint32_t zero_mask = 0;
+  const std::uint64_t zero_bytes = 0;
+  patch_file(entry, 12, reinterpret_cast<const char*>(&zero_mask),
+             sizeof(zero_mask));
+  patch_file(entry, 56, reinterpret_cast<const char*>(&zero_bytes),
+             sizeof(zero_bytes));
+  fs::resize_file(entry, payload_offset);
+
+  EXPECT_EQ(cache.load(key), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+/// A site with nothing to harvest: every ambient channel is identically
+/// zero, so the compiler elides all of them.
+class DarkEnvironment final : public msehsim::env::EnvironmentModel {
+ public:
+  msehsim::env::AmbientConditions advance(Seconds, Seconds) override {
+    return {};
+  }
+  [[nodiscard]] std::string description() const override { return "dark"; }
+};
+
+TEST(TraceCache, ZeroPayloadTraceIsNeverStored) {
+  const auto dir = test_dir("zero_store");
+  TraceCache cache(dir.string());
+  const auto key = outdoor_key();
+  DarkEnvironment dark;
+  const auto all_elided = CompiledTrace::compile(dark, key.dt, key.duration);
+  // All channels elided -> zero-length payload. load() would reject such an
+  // entry, so store() must not write it in the first place.
+  cache.store(key, *all_elided);
+  EXPECT_FALSE(fs::exists(cache.entry_path(key)));
+}
+
+TEST(TraceCache, SweepsStaleTempFilesOnOpen) {
+  const auto dir = test_dir("tmp_sweep");
+  fs::create_directories(dir);
+  const fs::path stale = dir / "deadbeefdeadbeef.tmp.12345.0";
+  const fs::path fresh = dir / "cafecafecafecafe.tmp.12345.1";
+  const fs::path entry = dir / "0123456789abcdef.mtrc";
+  for (const auto& p : {stale, fresh, entry}) std::ofstream(p) << "x";
+  // Age the stale file past the orphan floor; the fresh one could belong to
+  // a live writer and must survive.
+  fs::last_write_time(stale,
+                      fs::file_time_type::clock::now() - std::chrono::hours(1));
+
+  TraceCache cache(dir.string());
+  EXPECT_FALSE(fs::exists(stale));
+  EXPECT_TRUE(fs::exists(fresh));
+  EXPECT_TRUE(fs::exists(entry));  // real entries are never swept
 }
 
 TEST(TraceCache, StoredMappedTraceRoundTripsAgain) {
