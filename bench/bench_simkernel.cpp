@@ -283,6 +283,42 @@ void BM_Campaign_Grid_Resynth(benchmark::State& state) {
 }
 BENCHMARK(BM_Campaign_Grid_Resynth)->Unit(benchmark::kMillisecond);
 
+void BM_Campaign_Batched(benchmark::State& state) {
+  // The batched lane kernel: the same probe grid with the platform-variant
+  // axis advanced in lockstep blocks of lane_width (state.range(0)) lanes.
+  // lane_width=1 runs the exact legacy one-job-at-a-time path, so the ratio
+  // of the width-8 row to the width-1 row is the kernel's speedup — on
+  // byte-identical results (the batched correctness gate). Timelines are
+  // served from a pre-warmed on-disk cache so the ratio compares the step
+  // kernels, not the (width-independent) trace synthesis cost.
+  const auto width = static_cast<unsigned>(state.range(0));
+  const std::string dir =
+      std::filesystem::temp_directory_path() / "msehsim_bench_batched_cache";
+  {
+    auto warmup = probe_grid(true);
+    warmup.trace_cache_dir = dir;
+    campaign::Campaign cold(warmup);
+    cold.run();
+  }
+  std::uint64_t jobs = 0;
+  for (auto _ : state) {
+    auto spec = probe_grid(true);
+    spec.trace_cache_dir = dir;
+    spec.lane_width = width;
+    campaign::Campaign c(spec);
+    jobs += c.run().size();
+    benchmark::DoNotOptimize(c.results().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(jobs) * 3600);
+}
+BENCHMARK(BM_Campaign_Batched)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_Campaign_Grid_WarmCache(benchmark::State& state) {
   // Same grid as BM_Campaign_Grid, but every (scenario, seed) timeline is
   // served from the persistent on-disk cache, memory-mapped instead of

@@ -64,6 +64,26 @@ if grid is not None:
         }
         record["campaign_warm_cache_speedup"] = (
             grid["real_time"] / warm["real_time"])
+
+# Batched lane-kernel sweep: one row per lane width, plus the width-8 /
+# width-1 ratio (the batching win proper, with the shared physics cost and
+# warm trace cache held identical on both sides).
+batched = {
+    int(b["name"].rsplit("/", 1)[1]): b
+    for b in run["benchmarks"]
+    if b["name"].startswith("BM_Campaign_Batched/")
+}
+if batched:
+    record["BM_Campaign_Batched"] = {
+        str(width): {
+            "real_time_ms": b["real_time"],
+            "steps_per_second": b["items_per_second"],
+        }
+        for width, b in sorted(batched.items())
+    }
+    if 1 in batched and 8 in batched:
+        record["campaign_lane_kernel_speedup"] = (
+            batched[1]["real_time"] / batched[8]["real_time"])
 history.append(record)
 
 json.dump({"history": history, "current": run}, open(out_path, "w"), indent=1)
@@ -76,5 +96,9 @@ if grid is not None and resynth is not None:
 if grid is not None and warm is not None:
     print(f"  BM_Campaign_Grid_WarmCache: {warm['real_time']:.1f} ms "
           f"({grid['real_time'] / warm['real_time']:.2f}x vs in-memory compile)")
+if 1 in batched and 8 in batched:
+    print(f"  BM_Campaign_Batched: width 1 {batched[1]['real_time']:.1f} ms "
+          f"-> width 8 {batched[8]['real_time']:.1f} ms "
+          f"({batched[1]['real_time'] / batched[8]['real_time']:.2f}x)")
 EOF
 rm -f "$TMP"

@@ -3,13 +3,26 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <numeric>
 #include <thread>
 
 #include "core/error.hpp"
 #include "obs/trace.hpp"
+#include "systems/batch_runner.hpp"
 
 namespace msehsim::campaign {
+
+unsigned default_lane_width() {
+  static const unsigned width = [] {
+    if (const char* env = std::getenv("MSEHSIM_LANE_WIDTH")) {
+      const unsigned long v = std::strtoul(env, nullptr, 10);
+      if (v >= 1) return static_cast<unsigned>(v);
+    }
+    return 8u;
+  }();
+  return width;
+}
 
 FieldStats field_stats(const std::vector<JobResult>& jobs,
                        double (*get)(const systems::RunResult&)) {
@@ -138,6 +151,88 @@ void Campaign::run_job(JobResult& job) {
       systems::run_platform(*platform, *environment, scenario.duration, options);
 }
 
+void Campaign::run_block(const LaneBlock& block,
+                         std::vector<std::string>& errors) {
+  const auto& scenario = spec_.scenarios[block.scenario_index];
+  obs::Span block_span{
+      "campaign.block", "campaign",
+      "\"scenario\": \"" + scenario.name + "\", \"seed\": " +
+          std::to_string(spec_.seeds[block.seed_index]) +
+          ", \"lanes\": " + std::to_string(block.grid_indices.size())};
+
+  std::shared_ptr<const env::CompiledTrace> trace;
+  try {
+    trace = compiled_trace(block.scenario_index, block.seed_index);
+  } catch (const std::exception& e) {
+    for (std::size_t i : block.grid_indices) errors[i] = e.what();
+    return;
+  }
+
+  // Per-lane construction failures are attributed to the exact grid point
+  // whose factory rejected its configuration, then the block is abandoned:
+  // any error empties the campaign's results anyway, so only the message's
+  // coordinates matter.
+  std::vector<std::unique_ptr<systems::Platform>> platforms;
+  std::vector<std::unique_ptr<fault::FaultInjector>> injectors;
+  platforms.reserve(block.grid_indices.size());
+  injectors.reserve(block.grid_indices.size());
+  systems::BatchRunner runner(trace, scenario.duration, scenario.options);
+  for (std::size_t i : block.grid_indices) {
+    const auto& job = results_[i];
+    const auto& variant = spec_.platforms[job.platform_index];
+    try {
+      auto platform = variant.make(job.seed);
+      require_spec(platform != nullptr, "Campaign platform factory '" +
+                                            variant.name + "' returned null");
+      std::unique_ptr<fault::FaultInjector> injector;
+      if (scenario.injector) injector = scenario.injector(job.seed, *platform);
+      runner.add_lane(*platform, injector.get());
+      platforms.push_back(std::move(platform));
+      injectors.push_back(std::move(injector));
+    } catch (const std::exception& e) {
+      errors[i] = e.what();
+      return;
+    } catch (...) {
+      errors[i] = "unknown error";
+      return;
+    }
+  }
+
+  try {
+    std::vector<systems::RunResult> lane_results = runner.run();
+    for (std::size_t lane = 0; lane < block.grid_indices.size(); ++lane)
+      results_[block.grid_indices[lane]].result = std::move(lane_results[lane]);
+    lane_blocks_.fetch_add(1, std::memory_order_relaxed);
+  } catch (const std::exception& e) {
+    // The lanes ran in lockstep; a mid-run failure has no single lane to
+    // blame, so every job in the block carries the message and run()'s
+    // first-in-grid-order rule picks the reported one.
+    for (std::size_t i : block.grid_indices) errors[i] = e.what();
+  } catch (...) {
+    for (std::size_t i : block.grid_indices) errors[i] = "unknown error";
+  }
+}
+
+void Campaign::detect_leaks() {
+  leak_warnings_.clear();
+  for (const auto& job : results_) {
+    const double first = job.result.ledger.storage_loss_first_half_j;
+    const double second = job.result.ledger.storage_loss_j - first;
+    // Linear (rate-constant) losses split evenly across the halves;
+    // superlinear growth shows up as a second half that dwarfs the first.
+    // The absolute floor keeps numeric dust on lossless configs quiet.
+    if (second > 2.0 * first && second - first > 1e-6) {
+      leak_warnings_.push_back({job.platform_index, job.scenario_index,
+                                job.seed_index, job.seed, first, second});
+    }
+  }
+}
+
+const std::vector<LeakWarning>& Campaign::leak_warnings() const {
+  require_spec(ran_, "Campaign::leak_warnings before run()");
+  return leak_warnings_;
+}
+
 const std::vector<JobResult>& Campaign::run() {
   if (ran_) return results_;
 
@@ -158,16 +253,49 @@ const std::vector<JobResult>& Campaign::run() {
                                                  spec_.seeds.size());
   }
 
-  // Workers pop jobs through a fixed permutation of the grid. With
-  // longest_first the permutation sorts by expected step count
-  // (duration / dt, the dominant cost driver) so the pool never strands its
-  // tail behind one late-popped long job; the stable sort keeps grid order
-  // among equals. Results still land in grid-order slots either way.
-  std::vector<std::size_t> order(total);
+  // The schedulable unit. Legacy mode (lane_width <= 1, or no compiled
+  // trace to share): one unit per job, in grid order. Batched mode: the
+  // platform-variant axis of each (scenario, seed) pair — every job that
+  // replays the same compiled trace — is chunked into LaneBlocks of up to
+  // lane_width lanes, each advanced in lockstep by one BatchRunner. The
+  // kernel's byte-identity contract is what makes the mode (and the width)
+  // a pure scheduling decision: results land in the same grid slots with
+  // the same bytes either way.
+  const bool batched = spec_.compile_traces && spec_.lane_width > 1;
+  std::vector<LaneBlock> units;
+  if (batched) {
+    const std::size_t width = spec_.lane_width;
+    for (std::size_t s = 0; s < spec_.scenarios.size(); ++s)
+      for (std::size_t k = 0; k < spec_.seeds.size(); ++k)
+        for (std::size_t p0 = 0; p0 < spec_.platforms.size(); p0 += width) {
+          LaneBlock block;
+          block.scenario_index = s;
+          block.seed_index = k;
+          const std::size_t end =
+              std::min(p0 + width, spec_.platforms.size());
+          for (std::size_t p = p0; p < end; ++p)
+            block.grid_indices.push_back(flat_index(p, s, k));
+          units.push_back(std::move(block));
+        }
+  } else {
+    units.resize(total);
+    for (std::size_t i = 0; i < total; ++i) {
+      units[i].scenario_index = results_[i].scenario_index;
+      units[i].seed_index = results_[i].seed_index;
+      units[i].grid_indices.push_back(i);
+    }
+  }
+
+  // Workers pop units through a fixed permutation. With longest_first the
+  // permutation sorts by expected step count (duration / dt, the dominant
+  // cost driver) so the pool never strands its tail behind one late-popped
+  // long unit; the stable sort keeps construction order among equals.
+  // Results still land in grid-order slots either way.
+  std::vector<std::size_t> order(units.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   if (spec_.longest_first) {
-    const auto expected_steps = [this](std::size_t i) {
-      const auto& s = spec_.scenarios[results_[i].scenario_index];
+    const auto expected_steps = [&](std::size_t u) {
+      const auto& s = spec_.scenarios[units[u].scenario_index];
       return s.duration.value() / s.options.dt.value();
     };
     std::stable_sort(order.begin(), order.end(),
@@ -177,37 +305,45 @@ const std::vector<JobResult>& Campaign::run() {
   }
 
   // Each error slot is written by exactly one worker (the one that popped
-  // that job), so no synchronization beyond the join is needed.
+  // the unit containing that job), so no synchronization beyond the join is
+  // needed.
   std::vector<std::string> errors(total);
   std::atomic<std::size_t> next{0};
   auto& collector = obs::TraceCollector::instance();
   const double pool_start_us = collector.enabled() ? collector.now_us() : 0.0;
-  const auto worker = [this, total, &next, &errors, &order, &collector,
-                       pool_start_us](unsigned worker_index) {
+  const auto worker = [this, batched, &units, &next, &errors, &order,
+                       &collector, pool_start_us](unsigned worker_index) {
     if (collector.enabled())
       collector.set_thread_name("worker-" + std::to_string(worker_index));
     for (;;) {
       const std::size_t n = next.fetch_add(1, std::memory_order_relaxed);
-      if (n >= total) return;
-      const std::size_t i = order[n];
+      if (n >= units.size()) return;
+      const LaneBlock& unit = units[order[n]];
       if (collector.enabled()) {
-        // Queue wait: how long this grid point sat ready before a worker
-        // popped it — the LPT schedule made visible per job.
+        // Queue wait: how long this unit sat ready before a worker popped
+        // it — the LPT schedule made visible per unit.
         obs::TraceEvent wait;
         wait.name = "campaign.job_wait";
         wait.category = "campaign";
         wait.ts_us = pool_start_us;
         wait.dur_us = collector.now_us() - pool_start_us;
         wait.tid = collector.thread_id();
-        wait.args_json = "\"grid_index\": " + std::to_string(i);
+        wait.args_json =
+            "\"grid_index\": " + std::to_string(unit.grid_indices.front()) +
+            ", \"lanes\": " + std::to_string(unit.grid_indices.size());
         collector.record(std::move(wait));
       }
-      try {
-        run_job(results_[i]);
-      } catch (const std::exception& e) {
-        errors[i] = e.what();
-      } catch (...) {
-        errors[i] = "unknown error";
+      if (batched) {
+        run_block(unit, errors);
+      } else {
+        const std::size_t i = unit.grid_indices.front();
+        try {
+          run_job(results_[i]);
+        } catch (const std::exception& e) {
+          errors[i] = e.what();
+        } catch (...) {
+          errors[i] = "unknown error";
+        }
       }
     }
   };
@@ -215,7 +351,7 @@ const std::vector<JobResult>& Campaign::run() {
   unsigned threads = spec_.threads != 0 ? spec_.threads
                                         : std::thread::hardware_concurrency();
   if (threads == 0) threads = 1;
-  if (threads > total) threads = static_cast<unsigned>(total);
+  if (threads > units.size()) threads = static_cast<unsigned>(units.size());
 
   if (threads <= 1) {
     worker(0);
@@ -240,6 +376,7 @@ const std::vector<JobResult>& Campaign::run() {
     }
   }
 
+  detect_leaks();
   ran_ = true;
   return results_;
 }
@@ -267,6 +404,16 @@ obs::MetricsSnapshot Campaign::metrics() const {
   obs::Registry campaign_level;
   campaign_level.counter("campaign.jobs").add(results_.size());
   campaign_level.counter("campaign.trace_compiles").add(trace_compiles());
+  campaign_level.counter("campaign.lane_blocks").add(lane_blocks());
+  // Leak detector (obs pillar 2): the warning count plus the worst excess
+  // of second-half over first-half storage loss, so a dashboard threshold
+  // on either row catches a storage stack whose losses grow with runtime.
+  campaign_level.counter("campaign.leak_warnings").add(leak_warnings_.size());
+  double worst_excess = 0.0;
+  for (const auto& w : leak_warnings_)
+    worst_excess =
+        std::max(worst_excess, w.second_half_loss_j - w.first_half_loss_j);
+  campaign_level.gauge("campaign.leak_excess_max_j").set(worst_excess);
   if (trace_cache_) {
     // Cache behavior is allowed to differ run to run (cold vs warm) — these
     // rows exist for exactly that diagnosis, unlike the result exports,

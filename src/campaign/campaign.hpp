@@ -77,6 +77,10 @@ struct Scenario {
   InjectorFactory injector{};
 };
 
+/// Default for CampaignSpec::lane_width: the MSEHSIM_LANE_WIDTH environment
+/// variable when set to a positive integer (read once per process), else 8.
+[[nodiscard]] unsigned default_lane_width();
+
 struct CampaignSpec {
   std::vector<PlatformVariant> platforms;
   std::vector<Scenario> scenarios;
@@ -108,6 +112,20 @@ struct CampaignSpec {
   /// duration / dt) so a long scenario cannot strand the pool tail on one
   /// worker. Results stay in grid order; this flag never changes a byte.
   bool longest_first{true};
+  /// Lanes per batched work unit. Jobs that share a (scenario, seed)
+  /// compiled trace — i.e. the platform-variant axis — are grouped into
+  /// blocks of up to this many lanes and advanced in lockstep by
+  /// systems::BatchRunner: the ambient slot is decoded once per step for
+  /// the whole block and every component call dispatches through
+  /// pre-resolved concrete-type tags. 1 runs the exact legacy one-job-at-a-
+  /// time path; any width produces byte-identical results (the batched
+  /// kernel's contract), so this knob only trades scheduling granularity
+  /// for per-step cost. Requires compile_traces; with it off, the legacy
+  /// path is used regardless. The default honors the MSEHSIM_LANE_WIDTH
+  /// environment variable (CI runs the whole suite at widths 1 and 8 to
+  /// prove the byte contract under sanitizers); explicit assignment always
+  /// wins.
+  unsigned lane_width{default_lane_width()};
 };
 
 /// One grid point's outcome, tagged with its coordinates.
@@ -117,6 +135,20 @@ struct JobResult {
   std::size_t seed_index{0};
   std::uint64_t seed{0};
   systems::RunResult result{};
+};
+
+/// One grid point flagged by the energy-ledger leak detector: its
+/// storage_loss grew superlinearly in duration (second-half loss more than
+/// twice the first-half loss), the signature of a storage stack that bleeds
+/// faster the longer it runs — a mis-set leakage multiplier, an unbounded
+/// fade schedule — rather than a constant-rate cost.
+struct LeakWarning {
+  std::size_t platform_index{0};
+  std::size_t scenario_index{0};
+  std::size_t seed_index{0};
+  std::uint64_t seed{0};
+  double first_half_loss_j{0.0};
+  double second_half_loss_j{0.0};
 };
 
 /// mean / stddev (population) / min / max of one field over a set of jobs.
@@ -185,6 +217,19 @@ class Campaign {
   /// Persistent-cache counters (all zero when trace_cache_dir is empty).
   [[nodiscard]] env::TraceCacheStats trace_cache_stats() const;
 
+  /// Batched lane blocks executed (0 when lane_width <= 1 or compile_traces
+  /// is off). With batching on, after a full run this is the grid's
+  /// (scenario x seed) pairs times ceil(platforms / lane_width).
+  [[nodiscard]] std::uint64_t lane_blocks() const {
+    return lane_blocks_.load(std::memory_order_relaxed);
+  }
+
+  /// Grid points flagged by the superlinear storage-loss detector, in grid
+  /// order (valid after run(); empty when no run leaked). The probe is the
+  /// ledger's mid-run snapshot (storage_loss_first_half_j), so detection is
+  /// free — no extra instrumentation ran in the jobs.
+  [[nodiscard]] const std::vector<LeakWarning>& leak_warnings() const;
+
   /// Every job's metrics_snapshot merged in grid order (counters and
   /// histograms sum, gauges keep their max), plus campaign-level counters
   /// (campaign.jobs, campaign.trace_compiles). Valid after run();
@@ -208,12 +253,29 @@ class Campaign {
       std::size_t scenario_index, std::size_t seed_index);
   void run_job(JobResult& job);
 
+  /// One schedulable work unit in batched mode: up to lane_width jobs that
+  /// share a (scenario, seed) compiled trace, identified by their flat
+  /// result indices.
+  struct LaneBlock {
+    std::size_t scenario_index{0};
+    std::size_t seed_index{0};
+    std::vector<std::size_t> grid_indices;
+  };
+  /// Builds every lane of @p block and runs them through one BatchRunner.
+  /// Failures are written into @p errors at the failing grid index (lane
+  /// setup) or every index of the block (the shared run), matching the
+  /// first-in-grid-order reporting of run().
+  void run_block(const LaneBlock& block, std::vector<std::string>& errors);
+  void detect_leaks();
+
   CampaignSpec spec_;
   std::vector<JobResult> results_;
+  std::vector<LeakWarning> leak_warnings_;
   // once_flag is neither movable nor copyable, hence the raw array.
   std::unique_ptr<TraceSlot[]> trace_slots_;
   std::unique_ptr<env::TraceCache> trace_cache_;
   std::atomic<std::uint64_t> trace_compiles_{0};
+  std::atomic<std::uint64_t> lane_blocks_{0};
   bool ran_{false};
 };
 

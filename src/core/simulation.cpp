@@ -1,5 +1,7 @@
 #include "core/simulation.hpp"
 
+#include <limits>
+
 #include "core/error.hpp"
 
 namespace msehsim {
@@ -38,6 +40,15 @@ void Simulation::dispatch_scheduled() {
     one_shots_.pop();
     fn(now_);
   }
+}
+
+Seconds Simulation::next_scheduled() const {
+  Seconds next{std::numeric_limits<double>::infinity()};
+  for (const auto& p : periodics_)
+    if (p.next < next) next = p.next;
+  if (!one_shots_.empty() && one_shots_.top().when < next)
+    next = one_shots_.top().when;
+  return next;
 }
 
 void Simulation::step() {

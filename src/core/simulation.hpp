@@ -66,6 +66,32 @@ class Simulation {
   /// Requests run_for/run_until to return after the current step.
   void stop() { stop_requested_ = true; }
 
+  // ---- Event-engine interface (systems::BatchRunner) ----------------------
+  // The batched lane kernel drives many platforms in lockstep with its own
+  // inner loop, but each lane keeps a Simulation purely as its event engine
+  // so periodic management ticks and one-shot fault injections fire with
+  // exactly the semantics of run_platform. The kernel syncs the clock,
+  // dispatches whatever is due, and does the per-step work itself.
+
+  /// Fires every periodic and one-shot event due within [now(), now() + dt)
+  /// — the dispatch half of step(), without the per-step callbacks and
+  /// without advancing the clock.
+  void dispatch_events() { dispatch_scheduled(); }
+
+  /// Overwrites the clock. @p now must be the same k-fold accumulated sum
+  /// of dt a step()-driven run would have reached, or scheduled events fire
+  /// on a different step than they would under step().
+  void sync_clock(Seconds now, std::uint64_t steps) {
+    now_ = now;
+    steps_ = steps;
+  }
+
+  /// Earliest pending event time (periodic or one-shot), or +infinity when
+  /// nothing is scheduled. Lets a caller skip dispatch_events() entirely on
+  /// steps where nothing can fire: an event is due iff
+  /// next_scheduled() < now() + dt().
+  [[nodiscard]] Seconds next_scheduled() const;
+
  private:
   struct Periodic {
     Seconds period;

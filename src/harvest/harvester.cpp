@@ -35,25 +35,7 @@ std::string_view to_string(HarvesterKind kind) {
   return "?";
 }
 
-void Harvester::set_conditions(const env::AmbientConditions& c) {
-  // Normalize NaN channels to +0.0 before keying: NaN != NaN, so a NaN
-  // channel would defeat the memo key forever (recompute every step, hit
-  // counter flat) and feed NaN into the curve itself. Sanitizing here keeps
-  // the key reflexive and the MPP finite.
-  const env::AmbientConditions clean = env::sanitized(c);
-  if (!mpp_key_set_ || !(clean == mpp_key_)) {
-    invalidate_mpp_cache();
-    mpp_key_ = clean;
-    mpp_key_set_ = true;
-  }
-  do_set_conditions(clean);
-}
-
-OperatingPoint Harvester::maximum_power_point() const {
-  if (mpp_cache_enabled() && mpp_valid_) {
-    ++mpp_hits_;
-    return mpp_cache_;
-  }
+OperatingPoint Harvester::recompute_mpp() const {
   OBS_SPAN_SAMPLED("harvest.mpp_solve", "harvest");
   const OperatingPoint mpp = compute_mpp();
   ++mpp_recomputes_;

@@ -76,7 +76,19 @@ class Harvester {
   /// normalizes NaN channels to +0.0 (a NaN key never equals itself, so it
   /// would defeat the memo and poison the curve — see env::sanitized),
   /// manages the MPP cache key, then dispatches to do_set_conditions().
-  void set_conditions(const env::AmbientConditions& c);
+  ///
+  /// Defined inline (batch-friendly query path): when called through a
+  /// pointer to a final subclass — as the batched lane kernel's typed chain
+  /// step does — the do_set_conditions dispatch devirtualizes.
+  void set_conditions(const env::AmbientConditions& c) {
+    const env::AmbientConditions clean = env::sanitized(c);
+    if (!mpp_key_set_ || !(clean == mpp_key_)) {
+      invalidate_mpp_cache();
+      mpp_key_ = clean;
+      mpp_key_set_ = true;
+    }
+    do_set_conditions(clean);
+  }
 
   /// DC current the harvester sources into terminal voltage @p v under the
   /// latched conditions. Non-negative (input conditioning always includes
@@ -93,7 +105,17 @@ class Harvester {
   /// MPPT controllers in src/power approximate this online). Memoized per
   /// applied conditions; the cached point is byte-identical to a fresh
   /// compute_mpp() because identical conditions define an identical curve.
-  [[nodiscard]] OperatingPoint maximum_power_point() const;
+  ///
+  /// Defined inline (batch-friendly query path): the memo probe costs a
+  /// flag check instead of a function call, and through a final-subclass
+  /// pointer the compute_mpp miss path becomes a direct call.
+  [[nodiscard]] OperatingPoint maximum_power_point() const {
+    if (mpp_cache_enabled() && mpp_valid_) {
+      ++mpp_hits_;
+      return mpp_cache_;
+    }
+    return recompute_mpp();
+  }
 
   /// Exact Thevenin equivalent of the current curve under the latched
   /// conditions, when the curve is exactly linear (TEG, vibration, RF,
@@ -154,6 +176,10 @@ class Harvester {
   }
 
  private:
+  /// Cold half of maximum_power_point(): span-sampled solve + cache fill.
+  /// Out of line so the header needs no obs dependency.
+  [[nodiscard]] OperatingPoint recompute_mpp() const;
+
   mutable OperatingPoint mpp_cache_;
   mutable bool mpp_valid_{false};
   mutable std::uint64_t curve_revision_{0};

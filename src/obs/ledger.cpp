@@ -52,6 +52,7 @@ std::string EnergyLedger::to_string() const {
   line(out, "ledger.final_stored_j", final_stored_j);
   line(out, "ledger.storage_delta_j", storage_delta_j);
   line(out, "ledger.storage_loss_j", storage_loss_j);
+  line(out, "ledger.storage_loss_first_half_j", storage_loss_first_half_j);
   line(out, "ledger.transducer_j", transducer_j);
   line(out, "ledger.conversion_loss_j", conversion_loss_j);
   line(out, "ledger.tracker_overhead_j", tracker_overhead_j);

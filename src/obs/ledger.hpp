@@ -66,6 +66,14 @@ struct EnergyLedger {
   /// Charge inefficiency + self-discharge, derived:
   /// charged - discharged - delta.
   double storage_loss_j{0.0};
+  /// storage_loss_j evaluated over the run's first half only, from a
+  /// mid-run snapshot of the same accumulators (systems::detail::
+  /// MidRunProbe). The superlinear-leak detector's probe: a loss growing
+  /// linearly in duration splits ~evenly across the halves, so a second
+  /// half markedly heavier than the first (Campaign::leak_warnings uses
+  /// 2x) flags leakage compounding with state, not time. 0 when the run
+  /// was too short to sample.
+  double storage_loss_first_half_j{0.0};
 
   // ---- Transducer boundary ------------------------------------------------
   double transducer_j{0.0};       ///< sum over sources

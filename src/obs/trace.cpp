@@ -1,5 +1,6 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
@@ -41,15 +42,13 @@ std::string num(double v) {
 
 }  // namespace
 
-TraceCollector& TraceCollector::instance() {
-  static TraceCollector collector;
-  return collector;
-}
-
 void TraceCollector::enable(std::uint32_t sample_every) {
 #if MSEHSIM_OBS_ENABLED
   std::lock_guard<std::mutex> lock(mutex_);
-  events_.clear();
+  for (auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
   thread_names_.clear();
   dropped_.store(0, std::memory_order_relaxed);
   sample_every_.store(sample_every == 0 ? 1 : sample_every,
@@ -70,13 +69,25 @@ double TraceCollector::now_us() const {
   return std::chrono::duration<double, std::micro>(elapsed).count();
 }
 
-std::uint32_t TraceCollector::thread_id() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto [it, inserted] = thread_ids_.try_emplace(
-      std::this_thread::get_id(),
-      static_cast<std::uint32_t>(thread_ids_.size()));
-  return it->second;
+TraceCollector::ThreadBuffer& TraceCollector::local_buffer() {
+  // One registration per thread for the process lifetime; the cached
+  // pointer stays valid because enable() clears buffers without ever
+  // destroying them.
+  thread_local ThreadBuffer* cached = nullptr;
+  if (cached == nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] = thread_ids_.try_emplace(
+        std::this_thread::get_id(),
+        static_cast<std::uint32_t>(thread_ids_.size()));
+    auto buffer = std::make_unique<ThreadBuffer>();
+    buffer->tid = it->second;
+    cached = buffer.get();
+    buffers_.push_back(std::move(buffer));
+  }
+  return *cached;
 }
+
+std::uint32_t TraceCollector::thread_id() { return local_buffer().tid; }
 
 void TraceCollector::set_thread_name(const std::string& name) {
   const std::uint32_t tid = thread_id();
@@ -85,17 +96,25 @@ void TraceCollector::set_thread_name(const std::string& name) {
 }
 
 void TraceCollector::record(TraceEvent event) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (events_.size() >= capacity_) {
+  ThreadBuffer& buffer = local_buffer();
+  // The buffer mutex is private to this thread except during drains, so
+  // the lock is uncontended on the hot path — no cross-thread traffic.
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  if (buffer.events.size() >= capacity_) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  events_.push_back(std::move(event));
+  buffer.events.push_back(std::move(event));
 }
 
 std::size_t TraceCollector::event_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return events_.size();
+  std::size_t count = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    count += buffer->events.size();
+  }
+  return count;
 }
 
 std::string TraceCollector::chrome_trace_json() const {
@@ -109,15 +128,28 @@ std::string TraceCollector::chrome_trace_json() const {
            std::to_string(tid) + ", \"args\": {\"name\": \"" +
            json_escape(name) + "\"}}";
   }
-  for (const auto& e : events_) {
-    out += first ? "\n" : ",\n";
-    first = false;
-    out += "{\"name\": \"" + json_escape(e.name) + "\", \"cat\": \"" +
-           json_escape(e.category) + "\", \"ph\": \"X\", \"ts\": " +
-           num(e.ts_us) + ", \"dur\": " + num(e.dur_us) +
-           ", \"pid\": 1, \"tid\": " + std::to_string(e.tid);
-    if (!e.args_json.empty()) out += ", \"args\": {" + e.args_json + "}";
-    out += "}";
+  // Drain buffers in thread-id order: deterministic for any thread count,
+  // and byte-identical to the old single-vector layout for single-threaded
+  // runs (one buffer, events in record order).
+  std::vector<const ThreadBuffer*> ordered;
+  ordered.reserve(buffers_.size());
+  for (const auto& buffer : buffers_) ordered.push_back(buffer.get());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ThreadBuffer* a, const ThreadBuffer* b) {
+              return a->tid < b->tid;
+            });
+  for (const ThreadBuffer* buffer : ordered) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    for (const auto& e : buffer->events) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "{\"name\": \"" + json_escape(e.name) + "\", \"cat\": \"" +
+             json_escape(e.category) + "\", \"ph\": \"X\", \"ts\": " +
+             num(e.ts_us) + ", \"dur\": " + num(e.dur_us) +
+             ", \"pid\": 1, \"tid\": " + std::to_string(e.tid);
+      if (!e.args_json.empty()) out += ", \"args\": {" + e.args_json + "}";
+      out += "}";
+    }
   }
   out += "\n],\n\"displayTimeUnit\": \"ms\"\n}\n";
   return out;
@@ -130,17 +162,7 @@ void TraceCollector::write_chrome_trace(const std::string& path) const {
   require_spec(file.good(), "trace export: write to '" + path + "' failed");
 }
 
-Span::Span(const char* name, const char* category, std::string args_json)
-    : name_(name), category_(category), args_json_(std::move(args_json)) {
-  if (name_ == nullptr) return;
-  auto& collector = TraceCollector::instance();
-  if (!collector.enabled()) return;
-  start_us_ = collector.now_us();
-  active_ = true;
-}
-
-Span::~Span() {
-  if (!active_) return;
+void Span::finish() {
   auto& collector = TraceCollector::instance();
   if (!collector.enabled()) return;  // disabled mid-span: drop it
   TraceEvent event;
@@ -152,17 +174,5 @@ Span::~Span() {
   event.args_json = std::move(args_json_);
   collector.record(std::move(event));
 }
-
-namespace detail {
-
-bool should_sample(std::atomic<std::uint64_t>& site_counter) {
-  auto& collector = TraceCollector::instance();
-  if (!collector.enabled()) return false;
-  const std::uint64_t n =
-      site_counter.fetch_add(1, std::memory_order_relaxed);
-  return n % collector.sample_every() == 0;
-}
-
-}  // namespace detail
 
 }  // namespace msehsim::obs

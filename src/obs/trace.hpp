@@ -28,6 +28,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -51,14 +52,19 @@ struct TraceEvent {
   std::string args_json;  ///< pre-rendered `"k": v` pairs, may be empty
 };
 
-/// Process-wide span sink. Thread-safe: record() appends under a mutex
-/// (span *sites* pay only an atomic load while disabled; the lock is paid
-/// only by spans that actually record). One collector per process keeps the
-/// macros dependency-free; campaigns own it for the duration of a traced
-/// run.
+/// Process-wide span sink. Thread-safe: each thread records into its own
+/// buffer (registered once, under the collector mutex), so recording never
+/// contends across threads — span *sites* pay only a relaxed atomic load
+/// while disabled, and a sampled-in record touches only the calling
+/// thread's buffer. The buffers are drained (in thread-id order) when the
+/// trace is serialized. One collector per process keeps the macros
+/// dependency-free; campaigns own it for the duration of a traced run.
 class TraceCollector {
  public:
-  static TraceCollector& instance();
+  static TraceCollector& instance() {
+    static TraceCollector collector;
+    return collector;
+  }
 
   /// Starts collecting: clears the buffer, re-anchors the epoch, sets the
   /// per-site sampling stride for OBS_SPAN_SAMPLED. No-op when compiled
@@ -96,19 +102,35 @@ class TraceCollector {
   /// Writes chrome_trace_json() to @p path (throws SpecError on I/O error).
   void write_chrome_trace(const std::string& path) const;
 
-  /// Buffer cap (events). Applies from the next record().
+  /// Per-thread buffer cap (events). Applies from the next record().
   void set_capacity(std::size_t events) { capacity_ = events; }
 
  private:
   TraceCollector() = default;
+
+  /// One recording lane per thread. The owning thread appends under the
+  /// buffer's own (uncontended) mutex; serialization takes the same lock
+  /// per buffer, so drains are safe even against a still-recording thread
+  /// without any cross-thread contention on the hot path.
+  struct ThreadBuffer {
+    mutable std::mutex mutex;  ///< locked by const drains too
+    std::uint32_t tid{0};
+    std::vector<TraceEvent> events;
+  };
+
+  /// The calling thread's buffer (registered under mutex_ on first use,
+  /// cached in a thread_local afterwards). Buffers live for the process
+  /// lifetime — enable() clears their contents, never destroys them — so
+  /// the cached pointer can never dangle.
+  [[nodiscard]] ThreadBuffer& local_buffer();
 
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint32_t> sample_every_{1024};
   std::atomic<std::uint64_t> dropped_{0};
   std::size_t capacity_{1u << 20};
   std::chrono::steady_clock::time_point epoch_{};
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
+  mutable std::mutex mutex_;  ///< registration, names, drain ordering
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
   std::vector<std::pair<std::uint32_t, std::string>> thread_names_;
   std::unordered_map<std::thread::id, std::uint32_t> thread_ids_;
 };
@@ -116,16 +138,30 @@ class TraceCollector {
 /// RAII span: captures the start on construction, records on destruction.
 /// Does nothing while the collector is disabled or @p name is null (how
 /// OBS_SPAN_SAMPLED skips sampled-out entries). Construct through the
-/// OBS_SPAN macros so MSEHSIM_OBS=OFF erases the site entirely.
+/// OBS_SPAN macros so MSEHSIM_OBS=OFF erases the site entirely. The
+/// constructor and destructor are inline so a disabled site costs one
+/// relaxed load and a branch without a function call.
 class Span {
  public:
-  Span(const char* name, const char* category, std::string args_json = {});
-  ~Span();
+  Span(const char* name, const char* category, std::string args_json = {})
+      : name_(name), category_(category), args_json_(std::move(args_json)) {
+    if (name_ == nullptr) return;
+    auto& collector = TraceCollector::instance();
+    if (!collector.enabled()) return;
+    start_us_ = collector.now_us();
+    active_ = true;
+  }
+  ~Span() {
+    if (active_) finish();
+  }
 
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
  private:
+  /// Out-of-line slow path: builds the event and records it.
+  void finish();
+
   const char* name_;
   const char* category_;
   std::string args_json_;
@@ -134,8 +170,16 @@ class Span {
 };
 
 namespace detail {
-/// True for 1-in-sample_every() calls against @p site_counter.
-[[nodiscard]] bool should_sample(std::atomic<std::uint64_t>& site_counter);
+/// True for 1-in-sample_every() calls against @p site_counter. Inline and
+/// lock-free: a relaxed enabled() check, then one relaxed fetch_add only
+/// while recording.
+[[nodiscard]] inline bool should_sample(
+    std::atomic<std::uint64_t>& site_counter) {
+  auto& collector = TraceCollector::instance();
+  if (!collector.enabled()) return false;
+  const std::uint64_t n = site_counter.fetch_add(1, std::memory_order_relaxed);
+  return n % collector.sample_every() == 0;
+}
 }  // namespace detail
 
 }  // namespace msehsim::obs

@@ -6,6 +6,7 @@
 // storage bus -> converter -> regulated rail feeding the embedded device.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -30,7 +31,88 @@ class InputChain {
   /// returns the power delivered into the storage bus at @p bus_voltage
   /// (net of converter losses and amortized tracker overhead).
   Watts step(const env::AmbientConditions& conditions, Volts bus_voltage,
-             Seconds now, Seconds dt);
+             Seconds now, Seconds dt) {
+    return step_typed(*harvester_, conditions, bus_voltage, now, dt);
+  }
+
+  /// Single-source body of step(), parameterized on the harvester's static
+  /// type. step() instantiates it at the abstract base (exactly the historic
+  /// virtual-dispatch behaviour); the batched lane kernel
+  /// (systems::BatchRunner) instantiates it at the pre-resolved `final`
+  /// subclass so set_conditions / power_at / maximum_power_point devirtualize
+  /// in the hot loop. @p h MUST be the chain's own harvester (the object
+  /// harvester() returns) viewed through a more-derived reference — both
+  /// instantiations run the identical statement sequence on the identical
+  /// object, which is what makes batched and scalar runs byte-identical.
+  template <typename H>
+  Watts step_typed(H& h, const env::AmbientConditions& conditions,
+                   Volts bus_voltage, Seconds now, Seconds dt) {
+    h.set_conditions(conditions);
+
+    if (thermal_shutdown_) {
+      // The cut-out opens the power path; the MPP oracle keeps integrating so
+      // tracking_efficiency() reflects the outage as lost harvest.
+      transducer_power_ = Watts{0.0};
+      harvestable_at_mpp_ += h.maximum_power_point().p * dt;
+      ++shutdown_steps_;
+      return Watts{0.0};
+    }
+
+    Seconds interruption{0.0};
+    if (now >= next_update_) {
+      if (sense_gain_ != 1.0) {
+        // Drifted sensing: the tracker sees a skewed environment, picks its
+        // setpoint on the wrong curve, then the true conditions come back for
+        // the physics below. Each swap goes through set_conditions, so the
+        // curve revision bumps and conditions-keyed MPP memos invalidate.
+        h.set_conditions(env::scaled(conditions, sense_gain_));
+        operating_voltage_ = mppt_->update(h, operating_voltage_);
+        h.set_conditions(conditions);
+      } else {
+        operating_voltage_ = mppt_->update(h, operating_voltage_);
+      }
+      overhead_ += mppt_->overhead_per_update();
+      interruption = mppt_->harvest_interruption();
+      next_update_ = now + mppt_period_;
+    }
+
+    transducer_power_ = h.power_at(operating_voltage_);
+
+    // Cold start: the converter cannot run until its input has once reached
+    // the startup threshold; it stops (and must restart) if the input
+    // collapses below its operating window.
+    const Volts startup = converter_.params().startup_voltage;
+    if (startup.value() > 0.0) {
+      const Volts vin = operating_voltage_;
+      if (!started_ && vin >= startup) started_ = true;
+      if (started_ && vin < converter_.params().min_input) started_ = false;
+      if (!started_) {
+        harvestable_at_mpp_ += h.maximum_power_point().p * dt;
+        return Watts{0.0};
+      }
+    } else {
+      started_ = true;
+    }
+    // Fraction of the step lost to a Voc sample (fractional-Voc trackers).
+    const double duty =
+        std::clamp(1.0 - interruption.value() / dt.value(), 0.0, 1.0);
+    const Watts effective = transducer_power_ * duty;
+
+    const Watts out =
+        converter_.transfer(effective, operating_voltage_, bus_voltage) *
+        droop_factor_;
+    // Tracker overhead is paid from the bus, amortized over this step.
+    const double overhead_now =
+        mppt_->overhead_per_update().value() / mppt_period_.value();
+    const Watts net{std::max(0.0, out.value() - overhead_now)};
+
+    delivered_ += net * dt;
+    conversion_loss_ += (effective - out) * dt;
+    overhead_paid_ += (out - net) * dt;
+    harvested_at_setpoint_ += effective * dt;
+    harvestable_at_mpp_ += h.maximum_power_point().p * dt;
+    return net;
+  }
 
   [[nodiscard]] const harvest::Harvester& harvester() const { return *harvester_; }
   [[nodiscard]] harvest::Harvester& harvester() { return *harvester_; }

@@ -33,56 +33,6 @@ Converter::Converter(std::string name, Params params)
                "converter conduction loss fraction must be in [0,1)");
 }
 
-bool Converter::can_convert(Volts vin, Volts vout) const {
-  if (vin < params_.min_input || vin > params_.max_input) return false;
-  switch (params_.topology) {
-    case Topology::kDiode:
-      return vin.value() - params_.diode_drop.value() >= vout.value();
-    case Topology::kLdo:
-      return vin >= vout;  // dropout folded into efficiency
-    case Topology::kBuck:
-      return vin >= vout;
-    case Topology::kBoost:
-      return vin <= vout;
-    case Topology::kBuckBoost:
-      return true;
-  }
-  return false;
-}
-
-Watts Converter::quiescent_power(Volts vin) const {
-  return vin * params_.quiescent_current;
-}
-
-Watts Converter::transfer(Watts input, Volts vin, Volts vout) const {
-  if (!can_convert(vin, vout)) return Watts{0.0};
-  if (input.value() <= 0.0) return Watts{0.0};
-  const double pq = quiescent_power(vin).value();
-  switch (params_.topology) {
-    case Topology::kDiode: {
-      // Series element: the diode drop scales the power by Vout/Vin'.
-      const double ratio = vout.value() / (vout.value() + params_.diode_drop.value());
-      return Watts{std::max(0.0, input.value() * ratio)};
-    }
-    case Topology::kLdo: {
-      // All load current passes at Vin; the headroom is burned as heat.
-      const double ratio = std::min(1.0, vout.value() / vin.value());
-      return Watts{std::max(0.0, (input.value() - pq) * ratio)};
-    }
-    case Topology::kBuck:
-    case Topology::kBoost:
-    case Topology::kBuckBoost: {
-      const double conduction = params_.conduction_loss_fraction *
-                                input.value() * input.value() /
-                                params_.rated_power.value();
-      const double out =
-          params_.peak_efficiency * input.value() - pq - conduction;
-      return Watts{std::max(0.0, out)};
-    }
-  }
-  return Watts{0.0};
-}
-
 Watts Converter::required_input(Watts output, Volts vin, Volts vout) const {
   if (!can_convert(vin, vout)) return Watts{0.0};
   const Watts floor = quiescent_power(vin);

@@ -13,6 +13,7 @@
 // shape every real converter's efficiency-vs-load curve.
 #pragma once
 
+#include <algorithm>
 #include <string>
 #include <string_view>
 
@@ -53,16 +54,65 @@ class Converter {
   [[nodiscard]] const Params& params() const { return params_; }
   [[nodiscard]] Topology topology() const { return params_.topology; }
 
+  // can_convert / quiescent_power / transfer are defined inline: they sit on
+  // the per-step hot path of every input chain and the batched lane kernel,
+  // where a branch on topology plus three multiplies should not cost a call.
+
   /// True if the topology can produce @p vout from @p vin at all.
-  [[nodiscard]] bool can_convert(Volts vin, Volts vout) const;
+  [[nodiscard]] bool can_convert(Volts vin, Volts vout) const {
+    if (vin < params_.min_input || vin > params_.max_input) return false;
+    switch (params_.topology) {
+      case Topology::kDiode:
+        return vin.value() - params_.diode_drop.value() >= vout.value();
+      case Topology::kLdo:
+        return vin >= vout;  // dropout folded into efficiency
+      case Topology::kBuck:
+        return vin >= vout;
+      case Topology::kBoost:
+        return vin <= vout;
+      case Topology::kBuckBoost:
+        return true;
+    }
+    return false;
+  }
 
   /// Power always drawn from the input side, even with no load.
-  [[nodiscard]] Watts quiescent_power(Volts vin) const;
+  [[nodiscard]] Watts quiescent_power(Volts vin) const {
+    return vin * params_.quiescent_current;
+  }
 
   /// Forward transfer: output power produced when @p input power is
   /// available at @p vin, converting to @p vout. Includes quiescent and
   /// conversion losses; returns 0 if the conversion is infeasible.
-  [[nodiscard]] Watts transfer(Watts input, Volts vin, Volts vout) const;
+  [[nodiscard]] Watts transfer(Watts input, Volts vin, Volts vout) const {
+    if (!can_convert(vin, vout)) return Watts{0.0};
+    if (input.value() <= 0.0) return Watts{0.0};
+    const double pq = quiescent_power(vin).value();
+    switch (params_.topology) {
+      case Topology::kDiode: {
+        // Series element: the diode drop scales the power by Vout/Vin'.
+        const double ratio =
+            vout.value() / (vout.value() + params_.diode_drop.value());
+        return Watts{std::max(0.0, input.value() * ratio)};
+      }
+      case Topology::kLdo: {
+        // All load current passes at Vin; the headroom is burned as heat.
+        const double ratio = std::min(1.0, vout.value() / vin.value());
+        return Watts{std::max(0.0, (input.value() - pq) * ratio)};
+      }
+      case Topology::kBuck:
+      case Topology::kBoost:
+      case Topology::kBuckBoost: {
+        const double conduction = params_.conduction_loss_fraction *
+                                  input.value() * input.value() /
+                                  params_.rated_power.value();
+        const double out =
+            params_.peak_efficiency * input.value() - pq - conduction;
+        return Watts{std::max(0.0, out)};
+      }
+    }
+    return Watts{0.0};
+  }
 
   /// Inverse transfer: input power that must be supplied to deliver
   /// @p output at the load. Returns the matching input power, or the

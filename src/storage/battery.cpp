@@ -39,6 +39,10 @@ Battery::Battery(std::string name, Params params)
     require_spec(params_.ocv_curve[i] >= params_.ocv_curve[i - 1],
                  "battery OCV curve must be non-decreasing");
   require_spec(params_.ocv_curve.front() > 0.0, "battery OCV must be positive");
+  if (params_.self_discharge_per_month > 0.0) {
+    leak_rate_per_s_ =
+        -std::log1p(-params_.self_discharge_per_month) / kSecondsPerMonth;
+  }
 }
 
 double Battery::equivalent_full_cycles() const {
@@ -66,6 +70,11 @@ Volts Battery::ocv_at(double soc) const {
 Volts Battery::voltage() const { return ocv_at(soc_now()); }
 
 Joules Battery::stored_energy() const {
+  if (charge_.value() == energy_key_charge_ &&
+      throughput_.value() == energy_key_throughput_ &&
+      fault_health_ == energy_key_health_) {
+    return Joules{energy_cache_};
+  }
   // Integrate OCV over the remaining charge (trapezoid over the PWL curve).
   const double soc = soc_now();
   const double steps = 64;
@@ -76,6 +85,10 @@ Joules Battery::stored_energy() const {
     const double v_mid = ocv_at(0.5 * (s0 + s1)).value();
     energy += v_mid * (s1 - s0) * effective_full_charge().value();
   }
+  energy_key_charge_ = charge_.value();
+  energy_key_throughput_ = throughput_.value();
+  energy_key_health_ = fault_health_;
+  energy_cache_ = energy;
   return Joules{energy};
 }
 
@@ -131,9 +144,7 @@ Watts Battery::discharge(Watts power, Seconds dt) {
 void Battery::apply_leakage(Seconds dt) {
   if (params_.self_discharge_per_month <= 0.0 || leakage_multiplier_ <= 0.0)
     return;
-  const double rate_per_s =
-      -std::log1p(-params_.self_discharge_per_month) / kSecondsPerMonth;
-  charge_ *= std::exp(-rate_per_s * leakage_multiplier_ * dt.value());
+  charge_ *= leak_decay_(-leak_rate_per_s_ * leakage_multiplier_ * dt.value());
 }
 
 void Battery::inject_capacity_fade(double fraction) {

@@ -91,6 +91,20 @@ class Battery final : public StorageDevice {
   Coulombs throughput_{0.0};  ///< total |dq| through the terminal
   double fault_health_{1.0};  ///< injected capacity-fade factor
   double leakage_multiplier_{1.0};
+  /// -log1p(-self_discharge_per_month)/s-per-month, fixed at construction
+  /// (self-discharge is a chemistry constant) so apply_leakage does not pay
+  /// a libm log every step.
+  double leak_rate_per_s_{0.0};
+  ExpMemo leak_decay_;
+  /// stored_energy() integrates the OCV curve in 64 slices and the platform
+  /// monitor polls it several times per step, so the result is memoized on
+  /// its exact inputs: charge, cycle throughput (aging), and fault health.
+  /// Byte-identical — a hit returns the very double a fresh integration
+  /// would produce.
+  mutable double energy_key_charge_{std::numeric_limits<double>::quiet_NaN()};
+  mutable double energy_key_throughput_{0.0};
+  mutable double energy_key_health_{0.0};
+  mutable double energy_cache_{0.0};
 };
 
 }  // namespace msehsim::storage

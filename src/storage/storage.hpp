@@ -7,11 +7,33 @@
 // conversion and internal-resistance losses applied inside the model.
 #pragma once
 
+#include <cmath>
+#include <limits>
 #include <string_view>
 
 #include "core/units.hpp"
 
 namespace msehsim::storage {
+
+/// One-entry memo for std::exp on a per-call-site exponent. Storage models
+/// apply RC decay factors exp(-dt / tau) every simulation step, and with a
+/// fixed dt and voltage-independent capacitance the exponent is the same
+/// double step after step — but libm's exp dominates step cost. The memo
+/// returns the previously computed value whenever the exponent is
+/// bit-identical to the last call's, so results are byte-for-byte the same
+/// as calling exp every time; any change (a fault adjusting the leakage
+/// multiplier, a capacity fade, a different dt) recomputes.
+struct ExpMemo {
+  double exponent{std::numeric_limits<double>::quiet_NaN()};
+  double value{1.0};
+  double operator()(double x) {
+    if (x != exponent) {  // NaN key: first call always recomputes
+      exponent = x;
+      value = std::exp(x);
+    }
+    return value;
+  }
+};
 
 /// Storage technologies appearing in Table I of the survey.
 enum class StorageKind {

@@ -99,11 +99,21 @@ void Supercapacitor::redistribute(Seconds dt) {
   // voltage difference keeps the update stable for any dt.
   const double c1 = capacitance_at(v_main_.value());
   const double c2 = params_.slow_capacitance.value();
-  const double r2 = params_.redistribution_resistance.value();
-  const double c_series = c1 * c2 / (c1 + c2);
-  const double alpha = 1.0 - std::exp(-dt.value() / (r2 * c_series));
-  const double dv = (v_main_.value() - v_slow_.value()) * alpha;
-  const double dq = dv * c_series;
+  if (dt.value() != redis_key_dt_ || c1 != redis_key_c1_ ||
+      c2 != redis_key_c2_) {
+    // With a constant-C model (slope 0) and a fixed solver dt the relaxation
+    // coefficients never change, so they are memoized on their exact inputs;
+    // a hit returns the very doubles a fresh computation would produce.
+    const double r2 = params_.redistribution_resistance.value();
+    const double c_series = c1 * c2 / (c1 + c2);
+    redis_alpha_ = 1.0 - redistribute_decay_(-dt.value() / (r2 * c_series));
+    redis_c_series_ = c_series;
+    redis_key_dt_ = dt.value();
+    redis_key_c1_ = c1;
+    redis_key_c2_ = c2;
+  }
+  const double dv = (v_main_.value() - v_slow_.value()) * redis_alpha_;
+  const double dq = dv * redis_c_series_;
   v_main_ -= Volts{dq / c1};
   v_slow_ += Volts{dq / c2};
 }
@@ -162,10 +172,10 @@ void Supercapacitor::apply_leakage(Seconds dt) {
   // A leakage fault divides the effective parallel resistance.
   const double r_leak = params_.leakage_resistance.value() / leakage_multiplier_;
   const double tau = r_leak * capacitance_at(v_main_.value());
-  v_main_ *= std::exp(-dt.value() / tau);
+  v_main_ *= leak_main_decay_(-dt.value() / tau);
   if (params_.slow_capacitance.value() > 0.0) {
     const double tau2 = r_leak * params_.slow_capacitance.value();
-    v_slow_ *= std::exp(-dt.value() / tau2);
+    v_slow_ *= leak_slow_decay_(-dt.value() / tau2);
   }
   redistribute(dt);
 }

@@ -77,6 +77,19 @@ class Supercapacitor final : public StorageDevice {
   Volts v_main_;
   Volts v_slow_;
   double leakage_multiplier_{1.0};
+  // Per-site exp memos for the RC decay factors (see storage::ExpMemo):
+  // with constant C the exponents repeat every step, and redistribution +
+  // leakage otherwise cost up to five libm exp calls per step.
+  ExpMemo redistribute_decay_;
+  ExpMemo leak_main_decay_;
+  ExpMemo leak_slow_decay_;
+  // Redistribution coefficients memoized on (dt, C1): constant whenever the
+  // capacitance model is constant (slope 0, no fade event) and dt is fixed.
+  double redis_key_dt_{-1.0};
+  double redis_key_c1_{-1.0};
+  double redis_key_c2_{-1.0};
+  double redis_alpha_{0.0};
+  double redis_c_series_{0.0};
 };
 
 }  // namespace msehsim::storage

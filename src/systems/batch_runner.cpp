@@ -1,0 +1,358 @@
+#include "systems/batch_runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/random.hpp"
+#include "core/simulation.hpp"
+#include "core/stats.hpp"
+#include "fault/faulty_harvester.hpp"
+#include "harvest/combiner.hpp"
+#include "harvest/transducers.hpp"
+#include "obs/trace.hpp"
+#include "storage/battery.hpp"
+#include "storage/fuel_cell.hpp"
+#include "storage/supercapacitor.hpp"
+#include "storage/switched.hpp"
+
+namespace msehsim::systems {
+
+namespace {
+
+// ---- Per-component concrete-type tags --------------------------------------
+// Resolved once per lane (one dynamic_cast per component at setup), then the
+// hot loop dispatches through a predictable switch on the tag instead of a
+// vtable. kGeneric is the scalar slow path: any component whose concrete
+// type is not anticipated here — a test double, a future subclass — keeps
+// exactly the historic virtual dispatch while the rest of the lane stays
+// fast. Every listed class is `final`, so the static_cast branches
+// devirtualize (and mostly inline) the calls inside Platform::step_with /
+// InputChain::step_typed.
+
+enum class HTag : std::uint8_t {
+  kGeneric,
+  kPv,
+  kWind,
+  kTeg,
+  kVibration,
+  kRf,
+  kAcDc,
+  kCombiner,
+  kFaulty,  ///< fault::FaultyHarvester wrapper (its inner stays virtual)
+};
+
+enum class STag : std::uint8_t {
+  kGeneric,
+  kSupercap,
+  kBattery,
+  kFuelCell,
+  kSwitched,
+};
+
+HTag classify_harvester(const harvest::Harvester& h) {
+  if (dynamic_cast<const harvest::PvPanel*>(&h) != nullptr) return HTag::kPv;
+  if (dynamic_cast<const harvest::WindTurbine*>(&h) != nullptr)
+    return HTag::kWind;
+  if (dynamic_cast<const harvest::Teg*>(&h) != nullptr) return HTag::kTeg;
+  if (dynamic_cast<const harvest::VibrationHarvester*>(&h) != nullptr)
+    return HTag::kVibration;
+  if (dynamic_cast<const harvest::RfHarvester*>(&h) != nullptr)
+    return HTag::kRf;
+  if (dynamic_cast<const harvest::AcDcSource*>(&h) != nullptr)
+    return HTag::kAcDc;
+  if (dynamic_cast<const harvest::DiodeOrCombiner*>(&h) != nullptr)
+    return HTag::kCombiner;
+  if (dynamic_cast<const fault::FaultyHarvester*>(&h) != nullptr)
+    return HTag::kFaulty;
+  return HTag::kGeneric;
+}
+
+STag classify_store(const storage::StorageDevice& d) {
+  if (dynamic_cast<const storage::Supercapacitor*>(&d) != nullptr)
+    return STag::kSupercap;
+  if (dynamic_cast<const storage::Battery*>(&d) != nullptr)
+    return STag::kBattery;
+  if (dynamic_cast<const storage::FuelCell*>(&d) != nullptr)
+    return STag::kFuelCell;
+  if (dynamic_cast<const storage::SwitchedStorage*>(&d) != nullptr)
+    return STag::kSwitched;
+  return STag::kGeneric;
+}
+
+/// Dispatch policy for Platform::step_with (see GenericStepOps for the
+/// contract): identical statements, direct calls. One instance per lane.
+struct LaneOps {
+  std::vector<HTag> chain_tag;                 ///< per input chain
+  std::vector<STag> store_tag;                 ///< per storage slot
+  std::vector<storage::StorageKind> store_kind;///< kind(), precomputed
+  std::vector<storage::FuelCell*> cells;       ///< non-null iff slot is a cell
+
+  template <typename F>
+  auto with_store(std::size_t i, storage::StorageDevice& d, F&& f) const {
+    switch (store_tag[i]) {
+      case STag::kSupercap: return f(static_cast<storage::Supercapacitor&>(d));
+      case STag::kBattery: return f(static_cast<storage::Battery&>(d));
+      case STag::kFuelCell: return f(static_cast<storage::FuelCell&>(d));
+      case STag::kSwitched: return f(static_cast<storage::SwitchedStorage&>(d));
+      case STag::kGeneric: break;
+    }
+    return f(d);
+  }
+  template <typename F>
+  auto with_store(std::size_t i, const storage::StorageDevice& d, F&& f) const {
+    switch (store_tag[i]) {
+      case STag::kSupercap:
+        return f(static_cast<const storage::Supercapacitor&>(d));
+      case STag::kBattery: return f(static_cast<const storage::Battery&>(d));
+      case STag::kFuelCell: return f(static_cast<const storage::FuelCell&>(d));
+      case STag::kSwitched:
+        return f(static_cast<const storage::SwitchedStorage&>(d));
+      case STag::kGeneric: break;
+    }
+    return f(d);
+  }
+
+  Watts chain_step(std::size_t i, power::InputChain& chain,
+                   const env::AmbientConditions& c, Volts bus_v, Seconds now,
+                   Seconds dt) const {
+    harvest::Harvester& h = chain.harvester();
+    switch (chain_tag[i]) {
+      case HTag::kPv:
+        return chain.step_typed(static_cast<harvest::PvPanel&>(h), c, bus_v,
+                                now, dt);
+      case HTag::kWind:
+        return chain.step_typed(static_cast<harvest::WindTurbine&>(h), c,
+                                bus_v, now, dt);
+      case HTag::kTeg:
+        return chain.step_typed(static_cast<harvest::Teg&>(h), c, bus_v, now,
+                                dt);
+      case HTag::kVibration:
+        return chain.step_typed(static_cast<harvest::VibrationHarvester&>(h),
+                                c, bus_v, now, dt);
+      case HTag::kRf:
+        return chain.step_typed(static_cast<harvest::RfHarvester&>(h), c,
+                                bus_v, now, dt);
+      case HTag::kAcDc:
+        return chain.step_typed(static_cast<harvest::AcDcSource&>(h), c,
+                                bus_v, now, dt);
+      case HTag::kCombiner:
+        return chain.step_typed(static_cast<harvest::DiodeOrCombiner&>(h), c,
+                                bus_v, now, dt);
+      case HTag::kFaulty:
+        return chain.step_typed(static_cast<fault::FaultyHarvester&>(h), c,
+                                bus_v, now, dt);
+      case HTag::kGeneric: break;
+    }
+    return chain.step(c, bus_v, now, dt);
+  }
+
+  storage::StorageKind kind(std::size_t i,
+                            const storage::StorageDevice&) const {
+    return store_kind[i];
+  }
+  Volts voltage(std::size_t i, const storage::StorageDevice& d) const {
+    return with_store(i, d, [](const auto& s) { return s.voltage(); });
+  }
+  Watts max_discharge_power(std::size_t i,
+                            const storage::StorageDevice& d) const {
+    return with_store(i, d,
+                      [](const auto& s) { return s.max_discharge_power(); });
+  }
+  Watts charge(std::size_t i, storage::StorageDevice& d, Watts p,
+               Seconds dt) const {
+    return with_store(i, d, [&](auto& s) { return s.charge(p, dt); });
+  }
+  Watts discharge(std::size_t i, storage::StorageDevice& d, Watts p,
+                  Seconds dt) const {
+    return with_store(i, d, [&](auto& s) { return s.discharge(p, dt); });
+  }
+  void apply_leakage(std::size_t i, storage::StorageDevice& d,
+                     Seconds dt) const {
+    with_store(i, d, [&](auto& s) { s.apply_leakage(dt); });
+  }
+  storage::FuelCell* fuel_cell(std::size_t i, storage::StorageDevice&) const {
+    return cells[i];
+  }
+};
+
+/// Hot per-lane kernel state as parallel arrays (SoA): the inner loop walks
+/// these contiguously instead of chasing into each lane's cold block.
+struct LaneState {
+  std::vector<double> next_event_s;     ///< earliest pending event per lane
+  std::vector<Platform*> platform;      ///< raw per-lane platform pointer
+  std::vector<std::uint8_t> queries;    ///< lane delivers query traffic
+};
+
+}  // namespace
+
+/// Cold per-lane block: the event engine and everything touched only at
+/// event dispatch or run end.
+struct BatchRunner::Lane {
+  Platform* platform{nullptr};
+  fault::FaultInjector* injector{nullptr};
+  Simulation sim;
+  RunningStats input_stats;
+  Pcg32 query_rng;
+  detail::MidRunProbe probe;
+  LaneOps ops;
+  Joules initial_stored{0.0};
+  bool deliver_queries{false};
+
+  Lane(Seconds dt, std::uint64_t query_seed)
+      : sim(dt), query_rng(query_seed, stream_key("queries")) {}
+};
+
+BatchRunner::BatchRunner(std::shared_ptr<const env::CompiledTrace> trace,
+                         Seconds duration, RunOptions options)
+    : trace_(std::move(trace)), duration_(duration), options_(options) {
+  require_spec(trace_ != nullptr, "BatchRunner: null trace");
+  require_spec(options_.dt.value() == trace_->dt().value(),
+               "BatchRunner: options.dt does not match the compiled dt");
+  require_spec(options_.recorder == nullptr,
+               "BatchRunner: a TraceRecorder cannot be shared across lanes");
+  require_spec(options_.injector == nullptr,
+               "BatchRunner: pass per-lane injectors to add_lane, not options");
+}
+
+BatchRunner::~BatchRunner() = default;
+
+std::size_t BatchRunner::add_lane(Platform& platform,
+                                  fault::FaultInjector* injector) {
+  require_spec(!ran_, "BatchRunner::add_lane after run()");
+  auto lane = std::make_unique<Lane>(options_.dt, options_.query_seed);
+  lane->platform = &platform;
+  lane->injector = injector;
+  lane->initial_stored = platform.total_stored();
+  lane->deliver_queries = options_.mean_query_interval.value() > 0.0 &&
+                          platform.node() != nullptr;
+
+  // Event registrations in run_platform's exact order, so periodics fire in
+  // the same sequence within a dispatch and one-shots get the same FIFO
+  // sequence numbers (the same-time tiebreak): management periodic, mid-run
+  // probe, then the injector's schedule.
+  Platform* p = &platform;
+  lane->sim.every(options_.management_period,
+                  [p](Seconds now) { p->management_tick(now); });
+  detail::MidRunProbe* probe = &lane->probe;
+  lane->sim.at(Seconds{duration_.value() * 0.5}, [p, probe](Seconds) {
+    probe->charged_j = p->storage_charged_energy().value();
+    probe->discharged_j = p->storage_discharged_energy().value();
+    probe->stored_j = p->total_stored().value();
+    probe->sampled = true;
+  });
+  if (injector != nullptr) injector->arm(lane->sim);
+
+  // Resolve the dispatch tags AFTER the injector exists: fault schedules
+  // wrap harvesters in fault::FaultyHarvester at build time, so the types
+  // seen here are the types the whole run will execute.
+  lane->ops.chain_tag.reserve(platform.input_count());
+  for (std::size_t i = 0; i < platform.input_count(); ++i)
+    lane->ops.chain_tag.push_back(
+        classify_harvester(platform.input(i).harvester()));
+  const std::size_t slots = platform.storage_count();
+  lane->ops.store_tag.reserve(slots);
+  lane->ops.store_kind.reserve(slots);
+  lane->ops.cells.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    storage::StorageDevice& d = platform.store(i);
+    lane->ops.store_tag.push_back(classify_store(d));
+    lane->ops.store_kind.push_back(d.kind());
+    lane->ops.cells.push_back(dynamic_cast<storage::FuelCell*>(&d));
+  }
+
+  lanes_.push_back(std::move(lane));
+  return lanes_.size() - 1;
+}
+
+std::vector<RunResult> BatchRunner::run() {
+  require_spec(!ran_, "BatchRunner::run: already ran");
+  ran_ = true;
+  OBS_SPAN("batch_runner.run", "systems");
+
+  const std::size_t n = lanes_.size();
+  const Seconds dt = options_.dt;
+  const bool query_traffic = options_.mean_query_interval.value() > 0.0;
+  // Poisson arrivals discretized per step — the same constant run_platform
+  // recomputes in its query callback.
+  const double p_arrival =
+      query_traffic
+          ? std::min(1.0, dt.value() / options_.mean_query_interval.value())
+          : 0.0;
+
+  LaneState state;
+  state.next_event_s.reserve(n);
+  state.platform.reserve(n);
+  state.queries.reserve(n);
+  for (auto& lane : lanes_) {
+    state.next_event_s.push_back(lane->sim.next_scheduled().value());
+    state.platform.push_back(lane->platform);
+    state.queries.push_back(lane->deliver_queries ? 1 : 0);
+  }
+
+  const env::CompiledTrace& trace = *trace_;
+  const std::size_t slot_count = trace.step_count();
+
+  // The clock is advanced exactly as core::Simulation advances it — the
+  // k-fold accumulated sum of dt from zero — and mirrored into each lane's
+  // event engine before any dispatch, so event timing is bit-equal to the
+  // scalar path's.
+  Seconds now{0.0};
+  std::uint64_t steps = 0;
+  while (now + dt * 0.5 < duration_) {
+    // Decode the shared ambient slot once per step for the whole batch
+    // (CompiledEnvironment::advance's index computation, verbatim).
+    const auto raw_idx =
+        static_cast<std::size_t>(std::llround(now.value() / dt.value()));
+    const env::AmbientConditions conditions = trace.at(raw_idx % slot_count);
+    const Seconds horizon = now + dt;
+
+    for (std::size_t l = 0; l < n; ++l) {
+      // An event is due iff next_scheduled() < now + dt — the dispatch
+      // window test of Simulation::step. On quiet steps (the common case)
+      // the lane skips its event engine entirely; dispatch is a pure
+      // function of the queue and the clock, so skipping a no-op dispatch
+      // cannot change a byte.
+      if (state.next_event_s[l] < horizon.value()) {
+        Lane& lane = *lanes_[l];
+        lane.sim.sync_clock(now, steps);
+        lane.sim.dispatch_events();
+        state.next_event_s[l] = lane.sim.next_scheduled().value();
+      }
+      Platform& platform = *state.platform[l];
+      platform.step_with(lanes_[l]->ops, conditions, now, dt);
+      lanes_[l]->input_stats.add(platform.last_input_power().value(), dt);
+      if (state.queries[l] != 0 &&
+          lanes_[l]->query_rng.bernoulli(p_arrival)) {
+        platform.node()->deliver_query(platform.rail_voltage());
+      }
+    }
+    now += dt;
+    ++steps;
+  }
+
+  std::vector<RunResult> out;
+  out.reserve(n);
+  for (auto& lane : lanes_) {
+    RunOptions lane_options = options_;
+    lane_options.injector = lane->injector;
+    out.push_back(detail::assemble_run_result(*lane->platform, duration_,
+                                              lane_options,
+                                              lane->initial_stored,
+                                              lane->input_stats, lane->probe));
+  }
+  return out;
+}
+
+std::vector<RunResult> run_batch(const std::vector<BatchLane>& lanes,
+                                 std::shared_ptr<const env::CompiledTrace> trace,
+                                 Seconds duration, const RunOptions& options) {
+  BatchRunner runner(std::move(trace), duration, options);
+  for (const auto& lane : lanes) {
+    require_spec(lane.platform != nullptr, "run_batch: null platform");
+    runner.add_lane(*lane.platform, lane.injector);
+  }
+  return runner.run();
+}
+
+}  // namespace msehsim::systems

@@ -24,7 +24,7 @@ std::size_t Platform::add_input(std::unique_ptr<power::InputChain> chain) {
 std::size_t Platform::add_storage(std::unique_ptr<storage::StorageDevice> device,
                                   int priority) {
   require_spec(device != nullptr, "add_storage: null device");
-  stores_.push_back(StorageSlot{std::move(device), priority});
+  stores_.push_back(StorageSlot{std::move(device), priority, stores_.size()});
   // push_back may reallocate: rebuild the cached order from scratch.
   priority_order_.clear();
   priority_order_.reserve(stores_.size());
@@ -140,15 +140,7 @@ const std::vector<Platform::StorageSlot*>& Platform::by_priority() {
 }
 
 Volts Platform::bus_voltage() const {
-  // The bus rides on the highest-priority store that holds any charge;
-  // an empty bank leaves the bus collapsed.
-  const StorageSlot* best = nullptr;
-  for (const auto& slot : stores_) {
-    if (slot.device->kind() == storage::StorageKind::kFuelCell) continue;
-    if (best == nullptr || slot.priority < best->priority) best = &slot;
-  }
-  if (best == nullptr) return Volts{0.0};
-  return best->device->voltage();
+  return bus_voltage_with(GenericStepOps{});
 }
 
 Volts Platform::rail_voltage() const {
@@ -176,98 +168,6 @@ Joules Platform::harvested_energy() const {
   Joules total{0.0};
   for (const auto& chain : inputs_) total += chain->delivered_energy();
   return total;
-}
-
-void Platform::step(const env::AmbientConditions& conditions, Seconds now,
-                    Seconds dt) {
-  OBS_SPAN_SAMPLED("platform.step", "systems");
-  const Volts bus_v = bus_voltage();
-
-  // 1. Input chains deliver into the bus.
-  Watts p_in{0.0};
-  for (auto& chain : inputs_) p_in += chain->step(conditions, bus_v, now, dt);
-  last_input_power_ = p_in;
-
-  // 2. Power-unit overhead (monitoring MCU, gating logic — the Table I
-  //    quiescent row).
-  const Watts p_q = bus_v * spec_.quiescent_current;
-  quiescent_energy_ += p_q * dt;
-
-  // 3. Load: decide whether the rail is up, then let the node draw.
-  Watts p_bus_load{0.0};
-  if (node_ != nullptr && output_.has_value()) {
-    const bool rail_feasible = output_->rail_available(bus_v) && !brownout_latch_;
-    Watts supply_cap = p_in;
-    for (const auto& slot : stores_)
-      supply_cap += slot.device->max_discharge_power();
-    const Watts demand_estimate = rail_feasible
-        ? output_->required_bus_power(node_->average_power(output_->rail_voltage()),
-                                      bus_v)
-        : Watts{0.0};
-    const bool rail_on =
-        rail_feasible && demand_estimate.value() > 0.0 &&
-        demand_estimate + p_q <= supply_cap;
-    const Watts p_rail = node_->step(rail_on, output_->rail_voltage(), dt);
-    if (rail_on) {
-      p_bus_load = output_->required_bus_power(p_rail, bus_v);
-      load_energy_ += p_rail * dt;
-      bus_load_energy_ += p_bus_load * dt;
-    }
-  }
-
-  // 4. Energy balance against the storage bank.
-  brownout_latch_ = false;
-  const double net = p_in.value() - p_q.value() - p_bus_load.value();
-  if (net >= 0.0) {
-    energy_neutral_time_ += dt;  // harvest covered the whole step's demand
-    Watts surplus{net};
-    for (auto* slot : by_priority()) {
-      if (surplus.value() <= 0.0) break;
-      surplus -= slot->device->charge(surplus, dt);
-    }
-    storage_charged_energy_ += Watts{net - surplus.value()} * dt;
-    wasted_energy_ += surplus * dt;  // nothing could absorb it
-  } else {
-    Watts deficit{-net};
-    for (auto* slot : by_priority()) {
-      if (deficit.value() <= 1e-12) break;
-      deficit -= slot->device->discharge(deficit, dt);
-    }
-    storage_discharged_energy_ += Watts{-net - deficit.value()} * dt;
-    unserved_energy_ += deficit * dt;
-    if (deficit.value() > 1e-12 && first_unserved_time_.value() < 0.0)
-      first_unserved_time_ = now;  // same epsilon as the discharge loop
-    if (deficit.value() > 1e-9) {
-      unmet_energy_ += deficit * dt;
-      brownout_latch_ = true;  // rail drops next step
-      ++brownouts_;
-      if (first_brownout_time_.value() < 0.0) first_brownout_time_ = now;
-    }
-  }
-
-  // 5. Enabled fuel cells refill the ambient-fed stores (System A: the
-  //    stack "starts to work when the stored energy coming from the
-  //    environmental sources is running out" — it feeds the buffer, not
-  //    the load directly).
-  for (auto& slot : stores_) {
-    auto* cell = dynamic_cast<storage::FuelCell*>(slot.device.get());
-    if (cell == nullptr || !cell->enabled()) continue;
-    Watts offer = cell->max_discharge_power();
-    if (offer.value() <= 0.0) continue;
-    const Watts drawn = cell->discharge(offer, dt);
-    storage_discharged_energy_ += drawn * dt;
-    Watts remaining = drawn;
-    for (auto* target : by_priority()) {
-      if (target->device.get() == slot.device.get()) continue;
-      if (remaining.value() <= 0.0) break;
-      remaining -= target->device->charge(remaining, dt);
-    }
-    storage_charged_energy_ += (drawn - remaining) * dt;
-    wasted_energy_ += remaining * dt;
-  }
-
-  // 6. Leakage.
-  for (auto& slot : stores_) slot.device->apply_leakage(dt);
 }
 
 void Platform::management_tick(Seconds now) {

@@ -28,6 +28,7 @@
 #include "manager/policies.hpp"
 #include "manager/predictor.hpp"
 #include "node/sensor_node.hpp"
+#include "obs/trace.hpp"
 #include "power/chain.hpp"
 #include "storage/fuel_cell.hpp"
 #include "storage/storage.hpp"
@@ -57,6 +58,53 @@ struct PlatformSpec {
   /// Power-unit overhead current (Table I row), drawn from the bus always.
   Amps quiescent_current{0.0};
   bool quiescent_is_bound{false};
+};
+
+/// Dispatch policy for Platform::step_with — the generic policy, which
+/// reproduces the historic virtual-dispatch behaviour exactly: every
+/// component call goes through the abstract interface, and the fuel-cell
+/// refill pass probes each slot with dynamic_cast, as step() always has.
+///
+/// The batched lane kernel (systems::BatchRunner) substitutes a policy that
+/// resolves each component's concrete `final` type once per lane, so the same
+/// statement sequence runs with direct (devirtualized, inlinable) calls and
+/// precomputed fuel-cell pointers. The slot/chain index parameter exists for
+/// such policies to look up their per-component tags; the generic policy
+/// ignores it. Both policies execute identical statements on identical
+/// objects, which is what keeps batched and scalar runs byte-identical.
+struct GenericStepOps {
+  Watts chain_step(std::size_t /*chain*/, power::InputChain& chain,
+                   const env::AmbientConditions& c, Volts bus_v, Seconds now,
+                   Seconds dt) const {
+    return chain.step(c, bus_v, now, dt);
+  }
+  storage::StorageKind kind(std::size_t /*slot*/,
+                            const storage::StorageDevice& d) const {
+    return d.kind();
+  }
+  Volts voltage(std::size_t /*slot*/, const storage::StorageDevice& d) const {
+    return d.voltage();
+  }
+  Watts max_discharge_power(std::size_t /*slot*/,
+                            const storage::StorageDevice& d) const {
+    return d.max_discharge_power();
+  }
+  Watts charge(std::size_t /*slot*/, storage::StorageDevice& d, Watts p,
+               Seconds dt) const {
+    return d.charge(p, dt);
+  }
+  Watts discharge(std::size_t /*slot*/, storage::StorageDevice& d, Watts p,
+                  Seconds dt) const {
+    return d.discharge(p, dt);
+  }
+  void apply_leakage(std::size_t /*slot*/, storage::StorageDevice& d,
+                     Seconds dt) const {
+    d.apply_leakage(dt);
+  }
+  storage::FuelCell* fuel_cell(std::size_t /*slot*/,
+                               storage::StorageDevice& d) const {
+    return dynamic_cast<storage::FuelCell*>(&d);
+  }
 };
 
 class Platform {
@@ -125,7 +173,108 @@ class Platform {
   // ---- Simulation ---------------------------------------------------------
 
   /// Advances the electrical state one step under @p conditions.
-  void step(const env::AmbientConditions& conditions, Seconds now, Seconds dt);
+  void step(const env::AmbientConditions& conditions, Seconds now, Seconds dt) {
+    step_with(GenericStepOps{}, conditions, now, dt);
+  }
+
+  /// Single-source body of step(), parameterized on the component-dispatch
+  /// policy (see GenericStepOps). The policy decides HOW each component call
+  /// dispatches; WHAT happens — the statement sequence, iteration order, and
+  /// every floating-point operation — is identical for all policies.
+  template <typename Ops>
+  void step_with(const Ops& ops, const env::AmbientConditions& conditions,
+                 Seconds now, Seconds dt) {
+    OBS_SPAN_SAMPLED("platform.step", "systems");
+    const Volts bus_v = bus_voltage_with(ops);
+
+    // 1. Input chains deliver into the bus.
+    Watts p_in{0.0};
+    for (std::size_t i = 0; i < inputs_.size(); ++i)
+      p_in += ops.chain_step(i, *inputs_[i], conditions, bus_v, now, dt);
+    last_input_power_ = p_in;
+
+    // 2. Power-unit overhead (monitoring MCU, gating logic — the Table I
+    //    quiescent row).
+    const Watts p_q = bus_v * spec_.quiescent_current;
+    quiescent_energy_ += p_q * dt;
+
+    // 3. Load: decide whether the rail is up, then let the node draw.
+    Watts p_bus_load{0.0};
+    if (node_ != nullptr && output_.has_value()) {
+      const bool rail_feasible =
+          output_->rail_available(bus_v) && !brownout_latch_;
+      Watts supply_cap = p_in;
+      for (const auto& slot : stores_)
+        supply_cap += ops.max_discharge_power(slot.index, *slot.device);
+      const Watts demand_estimate =
+          rail_feasible ? output_->required_bus_power(
+                              node_->average_power(output_->rail_voltage()),
+                              bus_v)
+                        : Watts{0.0};
+      const bool rail_on = rail_feasible && demand_estimate.value() > 0.0 &&
+                           demand_estimate + p_q <= supply_cap;
+      const Watts p_rail = node_->step(rail_on, output_->rail_voltage(), dt);
+      if (rail_on) {
+        p_bus_load = output_->required_bus_power(p_rail, bus_v);
+        load_energy_ += p_rail * dt;
+        bus_load_energy_ += p_bus_load * dt;
+      }
+    }
+
+    // 4. Energy balance against the storage bank.
+    brownout_latch_ = false;
+    const double net = p_in.value() - p_q.value() - p_bus_load.value();
+    if (net >= 0.0) {
+      energy_neutral_time_ += dt;  // harvest covered the whole step's demand
+      Watts surplus{net};
+      for (auto* slot : by_priority()) {
+        if (surplus.value() <= 0.0) break;
+        surplus -= ops.charge(slot->index, *slot->device, surplus, dt);
+      }
+      storage_charged_energy_ += Watts{net - surplus.value()} * dt;
+      wasted_energy_ += surplus * dt;  // nothing could absorb it
+    } else {
+      Watts deficit{-net};
+      for (auto* slot : by_priority()) {
+        if (deficit.value() <= 1e-12) break;
+        deficit -= ops.discharge(slot->index, *slot->device, deficit, dt);
+      }
+      storage_discharged_energy_ += Watts{-net - deficit.value()} * dt;
+      unserved_energy_ += deficit * dt;
+      if (deficit.value() > 1e-12 && first_unserved_time_.value() < 0.0)
+        first_unserved_time_ = now;  // same epsilon as the discharge loop
+      if (deficit.value() > 1e-9) {
+        unmet_energy_ += deficit * dt;
+        brownout_latch_ = true;  // rail drops next step
+        ++brownouts_;
+        if (first_brownout_time_.value() < 0.0) first_brownout_time_ = now;
+      }
+    }
+
+    // 5. Enabled fuel cells refill the ambient-fed stores (System A: the
+    //    stack "starts to work when the stored energy coming from the
+    //    environmental sources is running out" — it feeds the buffer, not
+    //    the load directly).
+    for (auto& slot : stores_) {
+      auto* cell = ops.fuel_cell(slot.index, *slot.device);
+      if (cell == nullptr || !cell->enabled()) continue;
+      Watts offer = cell->max_discharge_power();
+      if (offer.value() <= 0.0) continue;
+      const Watts drawn = cell->discharge(offer, dt);
+      storage_discharged_energy_ += drawn * dt;
+      Watts remaining = drawn;
+      for (auto* target : by_priority()) {
+        if (target->device.get() == slot.device.get()) continue;
+        if (remaining.value() <= 0.0) break;
+        remaining -= ops.charge(target->index, *target->device, remaining, dt);
+      }
+      storage_charged_energy_ += (drawn - remaining) * dt;
+      wasted_energy_ += remaining * dt;
+    }
+
+    // 6. Leakage.
+    for (auto& slot : stores_) ops.apply_leakage(slot.index, *slot.device, dt);
+  }
 
   /// One management tick: monitor poll + policies. Schedule at the
   /// platform's management period (slower than step()).
@@ -245,11 +394,27 @@ class Platform {
   struct StorageSlot {
     std::unique_ptr<storage::StorageDevice> device;
     int priority{0};
+    std::size_t index{0};  ///< position in stores_ — the Ops policies' key
   };
 
   /// Storage slots in discharge/charge order. Cached: add_storage rebuilds
   /// it, and in-place device swaps leave the slot addresses stable.
   [[nodiscard]] const std::vector<StorageSlot*>& by_priority();
+
+  /// bus_voltage() under a dispatch policy (see step_with).
+  template <typename Ops>
+  [[nodiscard]] Volts bus_voltage_with(const Ops& ops) const {
+    // The bus rides on the highest-priority store that holds any charge;
+    // an empty bank leaves the bus collapsed.
+    const StorageSlot* best = nullptr;
+    for (const auto& slot : stores_) {
+      if (ops.kind(slot.index, *slot.device) == storage::StorageKind::kFuelCell)
+        continue;
+      if (best == nullptr || slot.priority < best->priority) best = &slot;
+    }
+    if (best == nullptr) return Volts{0.0};
+    return ops.voltage(best->index, *best->device);
+  }
 
   PlatformSpec spec_;
   std::vector<std::unique_ptr<power::InputChain>> inputs_;

@@ -77,7 +77,8 @@ SurvivabilityReport collect_survivability(Platform& platform, Seconds duration) 
 
 /// Fills the energy-flow ledger (and the MPP counters riding on its source
 /// rows) from the accumulators the platform integrated during the run.
-obs::EnergyLedger collect_ledger(Platform& platform, Joules initial_stored) {
+obs::EnergyLedger collect_ledger(Platform& platform, Joules initial_stored,
+                                 const detail::MidRunProbe& probe) {
   obs::EnergyLedger ledger;
   ledger.harvested_j = platform.harvested_energy().value();
   ledger.storage_discharged_j = platform.storage_discharged_energy().value();
@@ -93,6 +94,12 @@ obs::EnergyLedger collect_ledger(Platform& platform, Joules initial_stored) {
   ledger.storage_delta_j = ledger.final_stored_j - ledger.initial_stored_j;
   ledger.storage_loss_j = ledger.storage_charged_j -
                           ledger.storage_discharged_j - ledger.storage_delta_j;
+  if (probe.sampled) {
+    // Same derivation as storage_loss_j, cut off at the duration/2 snapshot.
+    ledger.storage_loss_first_half_j =
+        probe.charged_j - probe.discharged_j -
+        (probe.stored_j - ledger.initial_stored_j);
+  }
   ledger.sources.reserve(platform.input_count());
   for (std::size_t i = 0; i < platform.input_count(); ++i) {
     const auto& chain = platform.input(i);
@@ -241,6 +248,8 @@ const std::vector<RunResultField>& run_result_fields() {
        [](const R& r) { return r.ledger.storage_delta_j; }, false},
       {"ledger.storage_loss_j",
        [](const R& r) { return r.ledger.storage_loss_j; }, false},
+      {"ledger.storage_loss_first_half_j",
+       [](const R& r) { return r.ledger.storage_loss_first_half_j; }, false},
       {"ledger.transducer_j", [](const R& r) { return r.ledger.transducer_j; },
        false},
       {"ledger.conversion_loss_j",
@@ -293,6 +302,17 @@ RunResult run_platform(Platform& platform, env::EnvironmentModel& environment,
         platform.node()->deliver_query(platform.rail_voltage());
     });
   }
+  // Mid-run storage snapshot for the superlinear-leak probe. Registered
+  // right before the injector arms so every injector one-shot keeps a
+  // sequence number exactly one higher than before this probe existed —
+  // and, more importantly, the same number in the scalar and batched paths.
+  detail::MidRunProbe probe;
+  sim.at(Seconds{duration.value() * 0.5}, [&](Seconds) {
+    probe.charged_j = platform.storage_charged_energy().value();
+    probe.discharged_j = platform.storage_discharged_energy().value();
+    probe.stored_j = platform.total_stored().value();
+    probe.sampled = true;
+  });
   if (options.injector != nullptr) options.injector->arm(sim);
   if (options.recorder != nullptr) {
     auto* rec = options.recorder;
@@ -307,6 +327,15 @@ RunResult run_platform(Platform& platform, env::EnvironmentModel& environment,
 
   sim.run_for(duration);
 
+  return detail::assemble_run_result(platform, duration, options,
+                                     initial_stored, input_stats, probe);
+}
+
+RunResult detail::assemble_run_result(Platform& platform, Seconds duration,
+                                      const RunOptions& options,
+                                      Joules initial_stored,
+                                      const RunningStats& input_stats,
+                                      const MidRunProbe& probe) {
   RunResult r;
   r.duration = duration;
   r.harvested = platform.harvested_energy();
@@ -328,7 +357,7 @@ RunResult run_platform(Platform& platform, env::EnvironmentModel& environment,
   r.time_to_first_brownout_s = platform.first_brownout_time().value();
   r.faults = collect_faults(platform, options);
   r.survivability = collect_survivability(platform, duration);
-  r.ledger = collect_ledger(platform, initial_stored);
+  r.ledger = collect_ledger(platform, initial_stored, probe);
   for (const auto& source : r.ledger.sources) {
     r.mpp_cache_hits += source.mpp_cache_hits;
     r.mpp_recomputes += source.mpp_recomputes;

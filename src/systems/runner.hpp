@@ -182,4 +182,30 @@ struct RunOptions {
 RunResult run_platform(Platform& platform, env::EnvironmentModel& environment,
                        Seconds duration, const RunOptions& options = RunOptions{});
 
+namespace detail {
+
+/// Mid-run snapshot of the storage-boundary accumulators, taken by a
+/// one-shot event at duration/2 in both run_platform and the batched lane
+/// kernel (registered at the same point in both, so one-shot sequence
+/// numbers — the same-time FIFO tiebreak — stay identical). Feeds
+/// obs::EnergyLedger::storage_loss_first_half_j, the superlinear-leak
+/// detector's probe.
+struct MidRunProbe {
+  double charged_j{0.0};
+  double discharged_j{0.0};
+  double stored_j{0.0};
+  bool sampled{false};
+};
+
+/// Summarizes a finished run into a RunResult — the shared tail of
+/// run_platform and systems::BatchRunner, so every lane's result is
+/// assembled by literally the same code (exports, ledger, metrics,
+/// survivability identical by construction).
+RunResult assemble_run_result(Platform& platform, Seconds duration,
+                              const RunOptions& options, Joules initial_stored,
+                              const RunningStats& input_stats,
+                              const MidRunProbe& probe);
+
+}  // namespace detail
+
 }  // namespace msehsim::systems

@@ -438,15 +438,24 @@ TEST(Campaign, SpanTracingNeverChangesBytes) {
 
   auto& collector = obs::TraceCollector::instance();
   collector.enable();
-  Campaign traced(faulted_grid(2));
+  auto traced_spec = faulted_grid(2);
+  traced_spec.lane_width = 8;  // pin: the block-span assertion needs batching
+  Campaign traced(traced_spec);
   traced.run();
+  auto legacy_spec = faulted_grid(2);
+  legacy_spec.lane_width = 1;  // exact legacy per-job path
+  Campaign legacy(legacy_spec);
+  legacy.run();
   const auto events = collector.event_count();
   const auto json = collector.chrome_trace_json();
   collector.disable();
 
   EXPECT_EQ(reports(quiet), reports(traced));
+  EXPECT_EQ(reports(quiet), reports(legacy));  // lane_width is byte-inert
 #if MSEHSIM_OBS_ENABLED
-  EXPECT_GE(events, traced.results().size());  // >= one span per job
+  // >= one job span per legacy job plus >= one block span.
+  EXPECT_GE(events, legacy.results().size() + 1);
+  EXPECT_NE(json.find("\"campaign.block\""), std::string::npos);
   EXPECT_NE(json.find("\"campaign.job\""), std::string::npos);
   EXPECT_NE(json.find("\"campaign.job_wait\""), std::string::npos);
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);

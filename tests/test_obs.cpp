@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/error.hpp"
@@ -385,6 +386,36 @@ TEST(TraceCollector, SampledSpansRecordOneInEveryStride) {
   }
   EXPECT_EQ(collector.event_count(), 8u);
   collector.disable();
+}
+
+TEST(TraceCollector, DrainsPerThreadBuffersInThreadIdOrder) {
+  // Each thread records into its own buffer; serialization drains them in
+  // thread-id order, so spans from a worker thread land after the main
+  // thread's regardless of wall-clock interleaving.
+  auto& collector = obs::TraceCollector::instance();
+  collector.enable();
+  const std::uint32_t main_tid = collector.thread_id();
+  { obs::Span span{"from-main", "test"}; }
+  std::uint32_t worker_tid = 0;
+  std::thread worker([&] {
+    worker_tid = collector.thread_id();
+    collector.set_thread_name("worker");
+    obs::Span span{"from-worker", "test"};
+  });
+  worker.join();
+  EXPECT_NE(main_tid, worker_tid);
+  EXPECT_EQ(collector.event_count(), 2u);
+  const auto json = collector.chrome_trace_json();
+  collector.disable();
+  const auto main_pos = json.find("\"from-main\"");
+  const auto worker_pos = json.find("\"from-worker\"");
+  ASSERT_NE(main_pos, std::string::npos);
+  ASSERT_NE(worker_pos, std::string::npos);
+  if (main_tid < worker_tid)
+    EXPECT_LT(main_pos, worker_pos);
+  else
+    EXPECT_GT(main_pos, worker_pos);
+  EXPECT_NE(json.find("\"worker\""), std::string::npos);
 }
 
 TEST(TraceCollector, RunPlatformEmitsSpansWhenEnabled) {
