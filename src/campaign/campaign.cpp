@@ -176,7 +176,9 @@ void Campaign::run_block(const LaneBlock& block,
   std::vector<std::unique_ptr<fault::FaultInjector>> injectors;
   platforms.reserve(block.grid_indices.size());
   injectors.reserve(block.grid_indices.size());
-  systems::BatchRunner runner(trace, scenario.duration, scenario.options);
+  systems::RunOptions block_options = scenario.options;
+  if (spec_.allow_reassociation) block_options.allow_reassociation = true;
+  systems::BatchRunner runner(trace, scenario.duration, block_options);
   for (std::size_t i : block.grid_indices) {
     const auto& job = results_[i];
     const auto& variant = spec_.platforms[job.platform_index];

@@ -126,6 +126,15 @@ struct CampaignSpec {
   /// prove the byte contract under sanitizers); explicit assignment always
   /// wins.
   unsigned lane_width{default_lane_width()};
+  /// Escape hatch: let the batched SoA fast path use FMA contraction and
+  /// reassociated reductions in its strided step body (see
+  /// systems::RunOptions::allow_reassociation). Off by default — the
+  /// default path is byte-identical at every lane_width and thread count;
+  /// turning this on surrenders bit-exactness for extra vectorization
+  /// headroom, with the energy ledger's <1e-9 relative-residual gate still
+  /// bounding the drift. Also settable per scenario via Scenario::options;
+  /// this campaign-wide flag ORs into every block.
+  bool allow_reassociation{false};
 };
 
 /// One grid point's outcome, tagged with its coordinates.

@@ -7,15 +7,6 @@
 
 namespace msehsim {
 
-void RunningStats::add(double v, Seconds dt) {
-  ++count_;
-  min_ = std::min(min_, v);
-  max_ = std::max(max_, v);
-  integral_ += v * dt.value();
-  span_ += dt;
-  if (v > 0.0) positive_span_ += dt;
-}
-
 double RunningStats::mean() const {
   if (span_.value() <= 0.0) return 0.0;
   return integral_ / span_.value();

@@ -6,6 +6,7 @@
 // the actual curve.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -18,8 +19,16 @@ namespace msehsim {
 /// O(1)-memory accumulator over a sampled signal.
 class RunningStats {
  public:
-  /// Feed one sample of value @p v held for duration @p dt.
-  void add(double v, Seconds dt);
+  /// Feed one sample of value @p v held for duration @p dt. Inline: this is
+  /// the per-lane-per-step bookkeeping call of every runner hot loop.
+  void add(double v, Seconds dt) {
+    ++count_;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+    integral_ += v * dt.value();
+    span_ += dt;
+    if (v > 0.0) positive_span_ += dt;
+  }
 
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }

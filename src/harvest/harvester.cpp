@@ -35,17 +35,6 @@ std::string_view to_string(HarvesterKind kind) {
   return "?";
 }
 
-OperatingPoint Harvester::recompute_mpp() const {
-  OBS_SPAN_SAMPLED("harvest.mpp_solve", "harvest");
-  const OperatingPoint mpp = compute_mpp();
-  ++mpp_recomputes_;
-  if (mpp_cache_enabled()) {
-    mpp_cache_ = mpp;
-    mpp_valid_ = true;
-  }
-  return mpp;
-}
-
 OperatingPoint Harvester::compute_mpp() const {
   const Volts voc = open_circuit_voltage();
   if (voc.value() <= 0.0) return OperatingPoint{};

@@ -26,6 +26,7 @@
 
 #include "core/units.hpp"
 #include "env/conditions.hpp"
+#include "obs/trace.hpp"
 
 namespace msehsim::harvest {
 
@@ -177,8 +178,19 @@ class Harvester {
 
  private:
   /// Cold half of maximum_power_point(): span-sampled solve + cache fill.
-  /// Out of line so the header needs no obs dependency.
-  [[nodiscard]] OperatingPoint recompute_mpp() const;
+  /// Inline: conditions change every step in trace-driven runs, so this IS
+  /// the per-lane-per-step path, and inlining it at a final-subclass call
+  /// site devirtualizes (and typically inlines) the compute_mpp solve too.
+  [[nodiscard]] OperatingPoint recompute_mpp() const {
+    OBS_SPAN_SAMPLED("harvest.mpp_solve", "harvest");
+    const OperatingPoint mpp = compute_mpp();
+    ++mpp_recomputes_;
+    if (mpp_cache_enabled()) {
+      mpp_cache_ = mpp;
+      mpp_valid_ = true;
+    }
+    return mpp;
+  }
 
   mutable OperatingPoint mpp_cache_;
   mutable bool mpp_valid_{false};
@@ -188,5 +200,19 @@ class Harvester {
   bool mpp_key_set_{false};
   env::AmbientConditions mpp_key_;
 };
+
+/// Exact MPP of a plain Thevenin curve: V* = Voc/2. The operating current is
+/// read back through the harvester's public curve so clamps and caps stay
+/// authoritative. Inline next to the class so a final subclass's compute_mpp
+/// collapses to straight-line math.
+[[nodiscard]] inline OperatingPoint thevenin_mpp(const Harvester& h,
+                                                 Volts voc) {
+  if (voc.value() <= 0.0) return OperatingPoint{};
+  OperatingPoint mpp;
+  mpp.v = voc * 0.5;
+  mpp.i = h.current_at(mpp.v);
+  mpp.p = mpp.v * mpp.i;
+  return mpp;
+}
 
 }  // namespace msehsim::harvest

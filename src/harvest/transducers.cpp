@@ -8,22 +8,9 @@
 
 namespace msehsim::harvest {
 
-namespace {
-
-/// Exact MPP of a plain Thevenin curve: V* = Voc/2. The operating current is
-/// read back through the harvester's public curve so clamps and caps stay
-/// authoritative.
-harvest::OperatingPoint thevenin_mpp(const harvest::Harvester& h,
-                                     Volts voc) {
-  if (voc.value() <= 0.0) return harvest::OperatingPoint{};
-  harvest::OperatingPoint mpp;
-  mpp.v = voc * 0.5;
-  mpp.i = h.current_at(mpp.v);
-  mpp.p = mpp.v * mpp.i;
-  return mpp;
-}
-
-}  // namespace
+// Linear-transducer MPPs use the shared harvest::thevenin_mpp (inline in
+// harvester.hpp, next to the hot overrides of Teg / VibrationHarvester /
+// RfHarvester).
 
 // ---------------------------------------------------------------------------
 // PvPanel
@@ -252,20 +239,8 @@ Teg::Teg(std::string name, Params params) : name_(std::move(name)), params_(para
                "TEG internal resistance must be > 0");
 }
 
-void Teg::do_set_conditions(const env::AmbientConditions& c) {
-  const double dt = std::max(0.0, c.thermal_gradient.value());
-  source_ = TheveninSource{params_.seebeck_per_kelvin * dt, params_.internal_resistance};
-}
-
-Amps Teg::current_at(Volts v) const {
-  if (v.value() < 0.0) return Amps{0.0};
-  return source_.current_at(v);
-}
-
-Volts Teg::open_circuit_voltage() const { return source_.voc; }
-
-
-OperatingPoint Teg::compute_mpp() const { return thevenin_mpp(*this, source_.voc); }
+// Teg's conditions/curve/MPP overrides are inline in transducers.hpp (hot
+// path).
 
 // ---------------------------------------------------------------------------
 // VibrationHarvester
@@ -296,44 +271,8 @@ VibrationHarvester VibrationHarvester::electromagnetic(std::string name, Params 
   return VibrationHarvester(std::move(name), params, HarvesterKind::kInductive);
 }
 
-void VibrationHarvester::do_set_conditions(const env::AmbientConditions& c) {
-  const double a = c.vibration_rms.value();
-  const double f = c.vibration_freq.value();
-  if (a <= 0.0 || f <= 0.0) {
-    source_ = TheveninSource{Volts{0.0}, Ohms{1.0}};
-    return;
-  }
-  const double omega = 2.0 * std::numbers::pi * params_.resonant_frequency.value();
-  // Williams-Yates resonant bound, derated by transduction efficiency.
-  const double p_res = params_.proof_mass_kg * a * a /
-                       (8.0 * params_.damping_ratio * omega) *
-                       params_.transduction_efficiency;
-  // Lorentzian roll-off when the excitation is detuned from resonance.
-  const double half_bw =
-      0.5 * params_.bandwidth_fraction * params_.resonant_frequency.value();
-  const double detune = (f - params_.resonant_frequency.value()) / half_bw;
-  const double p_max = p_res / (1.0 + detune * detune);
-  if (p_max <= 0.0) {
-    source_ = TheveninSource{Volts{0.0}, Ohms{1.0}};
-    return;
-  }
-  // Thevenin source whose MPP sits at (optimal_voltage, p_max).
-  const Volts voc = params_.optimal_voltage * 2.0;
-  const Ohms r = Ohms{voc.value() * voc.value() / (4.0 * p_max)};
-  source_ = TheveninSource{voc, r};
-}
-
-Amps VibrationHarvester::current_at(Volts v) const {
-  if (v.value() < 0.0) return Amps{0.0};
-  return source_.current_at(v);
-}
-
-Volts VibrationHarvester::open_circuit_voltage() const { return source_.voc; }
-
-
-OperatingPoint VibrationHarvester::compute_mpp() const {
-  return thevenin_mpp(*this, source_.voc);
-}
+// VibrationHarvester's conditions/curve/MPP overrides are inline in
+// transducers.hpp (hot path).
 
 // ---------------------------------------------------------------------------
 // RfHarvester
@@ -348,33 +287,8 @@ RfHarvester::RfHarvester(std::string name, Params params)
   require_spec(params_.optimal_voltage.value() > 0.0, "RF optimal voltage must be > 0");
 }
 
-void RfHarvester::do_set_conditions(const env::AmbientConditions& c) {
-  const Watts incident =
-      Watts{c.rf_power_density.value() * params_.aperture_m2};
-  if (incident < params_.sensitivity) {
-    source_ = TheveninSource{Volts{0.0}, Ohms{1.0}};
-    return;
-  }
-  // Efficiency rises with input power and saturates past the knee
-  // (rectifier diodes need forward bias) — standard rectenna behaviour.
-  const double x = incident.value() / params_.efficiency_knee.value();
-  const double eff = params_.peak_efficiency * (x / (1.0 + x));
-  const double p_out = incident.value() * eff;
-  const Volts voc = params_.optimal_voltage * 2.0;
-  source_ = TheveninSource{voc, Ohms{voc.value() * voc.value() / (4.0 * p_out)}};
-}
-
-Amps RfHarvester::current_at(Volts v) const {
-  if (v.value() < 0.0) return Amps{0.0};
-  return source_.current_at(v);
-}
-
-Volts RfHarvester::open_circuit_voltage() const { return source_.voc; }
-
-
-OperatingPoint RfHarvester::compute_mpp() const {
-  return thevenin_mpp(*this, source_.voc);
-}
+// RfHarvester's conditions/curve/MPP overrides are inline in transducers.hpp
+// (hot path).
 
 // ---------------------------------------------------------------------------
 // AcDcSource

@@ -40,7 +40,24 @@ std::string num(double v) {
   return format_double_fixed(v, 6);
 }
 
+/// One event as a Chrome trace_event JSON object, no trailing separator.
+/// Both the in-memory drain and the disk spill files serialize through this
+/// helper, so a replayed spill line is byte-identical to the object an
+/// uncapped in-memory drain would have emitted.
+std::string event_json(const TraceEvent& e) {
+  std::string out = "{\"name\": \"" + json_escape(e.name) + "\", \"cat\": \"" +
+                    json_escape(e.category) + "\", \"ph\": \"X\", \"ts\": " +
+                    num(e.ts_us) + ", \"dur\": " + num(e.dur_us) +
+                    ", \"pid\": 1, \"tid\": " + std::to_string(e.tid);
+  if (!e.args_json.empty()) out += ", \"args\": {" + e.args_json + "}";
+  out += "}";
+  return out;
+}
+
 }  // namespace
+
+TraceCollector::ThreadBuffer::ThreadBuffer() = default;
+TraceCollector::ThreadBuffer::~ThreadBuffer() = default;
 
 void TraceCollector::enable(std::uint32_t sample_every) {
 #if MSEHSIM_OBS_ENABLED
@@ -48,9 +65,15 @@ void TraceCollector::enable(std::uint32_t sample_every) {
   for (auto& buffer : buffers_) {
     std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
     buffer->events.clear();
+    // A fresh trace forgets the previous run's spill file: closing the
+    // stream here means the drain never replays stale events, and the next
+    // spill reopens the path with truncation.
+    buffer->spill.reset();
+    buffer->spill_path.clear();
   }
   thread_names_.clear();
   dropped_.store(0, std::memory_order_relaxed);
+  spilled_.store(0, std::memory_order_relaxed);
   sample_every_.store(sample_every == 0 ? 1 : sample_every,
                       std::memory_order_relaxed);
   epoch_ = std::chrono::steady_clock::now();
@@ -101,10 +124,43 @@ void TraceCollector::record(TraceEvent event) {
   // the lock is uncontended on the hot path — no cross-thread traffic.
   std::lock_guard<std::mutex> lock(buffer.mutex);
   if (buffer.events.size() >= capacity_) {
-    dropped_.fetch_add(1, std::memory_order_relaxed);
-    return;
+    if (stream_.load(std::memory_order_relaxed)) {
+      spill_locked(buffer);  // drain to disk, keep recording
+    } else {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
   }
   buffer.events.push_back(std::move(event));
+}
+
+void TraceCollector::spill_locked(ThreadBuffer& buffer) {
+  if (buffer.spill == nullptr) {
+    // spill_dir_ is read without mutex_ (lock order forbids taking it under
+    // buffer.mutex); stream_to_disk's call-before-recording contract makes
+    // that safe.
+    buffer.spill_path =
+        spill_dir_ + "/spans-" + std::to_string(buffer.tid) + ".jsonl";
+    buffer.spill = std::make_unique<std::ofstream>(
+        buffer.spill_path, std::ios::binary | std::ios::trunc);
+    require_spec(buffer.spill->good(),
+                 "trace spill: cannot open '" + buffer.spill_path + "'");
+  }
+  for (const auto& e : buffer.events) *buffer.spill << event_json(e) << '\n';
+  require_spec(buffer.spill->good(),
+               "trace spill: write to '" + buffer.spill_path + "' failed");
+  spilled_.fetch_add(buffer.events.size(), std::memory_order_relaxed);
+  buffer.events.clear();
+}
+
+void TraceCollector::stream_to_disk(const std::string& dir) {
+#if MSEHSIM_OBS_ENABLED
+  std::lock_guard<std::mutex> lock(mutex_);
+  spill_dir_ = dir;
+  stream_.store(!dir.empty(), std::memory_order_relaxed);
+#else
+  (void)dir;  // compiled out: nothing ever records, nothing ever spills
+#endif
 }
 
 std::size_t TraceCollector::event_count() const {
@@ -140,15 +196,26 @@ std::string TraceCollector::chrome_trace_json() const {
             });
   for (const ThreadBuffer* buffer : ordered) {
     std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    // A streaming thread's spilled prefix replays from disk first — spill
+    // lines are rendered by the same event_json the in-memory tail uses, so
+    // the document is byte-identical to an uncapped in-memory drain.
+    if (buffer->spill != nullptr) {
+      buffer->spill->flush();
+      std::ifstream replay(buffer->spill_path, std::ios::binary);
+      require_spec(replay.good(),
+                   "trace spill: cannot replay '" + buffer->spill_path + "'");
+      std::string line;
+      while (std::getline(replay, line)) {
+        if (line.empty()) continue;
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += line;
+      }
+    }
     for (const auto& e : buffer->events) {
       out += first ? "\n" : ",\n";
       first = false;
-      out += "{\"name\": \"" + json_escape(e.name) + "\", \"cat\": \"" +
-             json_escape(e.category) + "\", \"ph\": \"X\", \"ts\": " +
-             num(e.ts_us) + ", \"dur\": " + num(e.dur_us) +
-             ", \"pid\": 1, \"tid\": " + std::to_string(e.tid);
-      if (!e.args_json.empty()) out += ", \"args\": {" + e.args_json + "}";
-      out += "}";
+      out += event_json(e);
     }
   }
   out += "\n],\n\"displayTimeUnit\": \"ms\"\n}\n";

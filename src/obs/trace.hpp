@@ -28,6 +28,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -105,6 +106,21 @@ class TraceCollector {
   /// Per-thread buffer cap (events). Applies from the next record().
   void set_capacity(std::size_t events) { capacity_ = events; }
 
+  /// Streams over-cap span volumes to disk instead of dropping them: when a
+  /// thread's buffer hits the capacity cap, its events are flushed (in
+  /// record order) to a per-thread spill file `spans-<tid>.jsonl` under
+  /// @p dir and the buffer restarts empty — dropped() stays 0. The drain
+  /// replays each thread's spill file ahead of its in-memory tail, so
+  /// chrome_trace_json() stays lossless and tid-ordered, byte-identical to
+  /// an uncapped all-in-memory run. Like enable(), call this before
+  /// recording starts; an empty @p dir turns streaming back off.
+  void stream_to_disk(const std::string& dir);
+
+  /// Events flushed to spill files since the last enable().
+  [[nodiscard]] std::uint64_t spilled() const {
+    return spilled_.load(std::memory_order_relaxed);
+  }
+
  private:
   TraceCollector() = default;
 
@@ -113,9 +129,13 @@ class TraceCollector {
   /// per buffer, so drains are safe even against a still-recording thread
   /// without any cross-thread contention on the hot path.
   struct ThreadBuffer {
+    ThreadBuffer();
+    ~ThreadBuffer();  // out-of-line: std::ofstream is incomplete here
     mutable std::mutex mutex;  ///< locked by const drains too
     std::uint32_t tid{0};
     std::vector<TraceEvent> events;
+    std::string spill_path;                ///< set when the first spill opens
+    std::unique_ptr<std::ofstream> spill;  ///< open while this run streams
   };
 
   /// The calling thread's buffer (registered under mutex_ on first use,
@@ -124,9 +144,16 @@ class TraceCollector {
   /// the cached pointer can never dangle.
   [[nodiscard]] ThreadBuffer& local_buffer();
 
+  /// Flushes @p buffer's events to its spill file and clears it. Caller
+  /// holds buffer.mutex.
+  void spill_locked(ThreadBuffer& buffer);
+
   std::atomic<bool> enabled_{false};
+  std::atomic<bool> stream_{false};
   std::atomic<std::uint32_t> sample_every_{1024};
   std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> spilled_{0};
+  std::string spill_dir_;  ///< set before recording starts (see stream_to_disk)
   std::size_t capacity_{1u << 20};
   std::chrono::steady_clock::time_point epoch_{};
   mutable std::mutex mutex_;  ///< registration, names, drain ordering

@@ -10,7 +10,6 @@ namespace msehsim::storage {
 
 namespace {
 constexpr double kSecondsPerMonth = 30.0 * 86400.0;
-constexpr std::array<double, 5> kSocBreaks{0.0, 0.25, 0.5, 0.75, 1.0};
 }  // namespace
 
 Battery::Battery(std::string name, Params params)
@@ -49,22 +48,21 @@ double Battery::equivalent_full_cycles() const {
   return throughput_.value() / (2.0 * full_charge_.value());
 }
 
+// SoC/OCV/charge/discharge math lives in storage/lane_kernels.hpp so the
+// batched SoA path runs the identical expression sequence; the members here
+// delegate to it.
 double Battery::state_of_health() const {
-  const double fade = params_.capacity_fade_per_cycle * equivalent_full_cycles();
-  // floor: cells fail before reaching zero
-  return std::max(0.1, (1.0 - fade) * fault_health_);
+  return lanekernel::bat_soh(lane_coef(), throughput_.value());
 }
 
 Coulombs Battery::effective_full_charge() const {
-  return full_charge_ * state_of_health();
+  return Coulombs{lanekernel::bat_eff_full(lane_coef(), throughput_.value())};
 }
 
 double Battery::soc_now() const { return charge_ / effective_full_charge(); }
 
 Volts Battery::ocv_at(double soc) const {
-  return Volts{interp_clamped(kSocBreaks.data(), params_.ocv_curve.data(),
-                              static_cast<int>(kSocBreaks.size()),
-                              std::clamp(soc, 0.0, 1.0))};
+  return Volts{lanekernel::bat_ocv_at(lane_coef(), soc)};
 }
 
 Volts Battery::voltage() const { return ocv_at(soc_now()); }
@@ -103,42 +101,25 @@ Joules Battery::capacity() const {
 }
 
 Watts Battery::charge(Watts power, Seconds dt) {
-  if (!params_.rechargeable || power.value() <= 0.0) return Watts{0.0};
-  if (charge_ >= effective_full_charge()) return Watts{0.0};
-  const double ocv = voltage().value();
-  const double r = params_.internal_resistance.value();
-  // Terminal absorbs P = (OCV + I R) I  ->  I = (-OCV + sqrt(OCV^2+4RP))/2R.
-  double current =
-      (-ocv + std::sqrt(ocv * ocv + 4.0 * r * power.value())) / (2.0 * r);
-  current = std::min(current, params_.max_charge_current.value());
-  // Don't overfill within the step.
-  const double headroom = (effective_full_charge() - charge_).value();
-  current = std::min(current,
-                     headroom / (params_.coulombic_efficiency * dt.value()));
-  if (current <= 0.0) return Watts{0.0};
-  const Coulombs dq{current * params_.coulombic_efficiency * dt.value()};
-  charge_ += dq;
-  throughput_ += dq;
-  return Watts{(ocv + current * r) * current};
+  double charge = charge_.value();
+  double throughput = throughput_.value();
+  const double absorbed = lanekernel::bat_charge(lane_coef(), charge,
+                                                 throughput, power.value(),
+                                                 dt.value());
+  charge_ = Coulombs{charge};
+  throughput_ = Coulombs{throughput};
+  return Watts{absorbed};
 }
 
 Watts Battery::discharge(Watts power, Seconds dt) {
-  if (power.value() <= 0.0 || charge_.value() <= 0.0) return Watts{0.0};
-  const double ocv = voltage().value();
-  const double r = params_.internal_resistance.value();
-  // Terminal delivers P = (OCV - I R) I; cap at the matched-load maximum.
-  const double p_max = ocv * ocv / (4.0 * r);
-  const double p_req = std::min(power.value(), p_max);
-  double current = (ocv - std::sqrt(std::max(0.0, ocv * ocv - 4.0 * r * p_req))) /
-                   (2.0 * r);
-  current = std::min(current, params_.max_discharge_current.value());
-  current = std::min(current, charge_.value() / dt.value());
-  if (current <= 0.0) return Watts{0.0};
-  const Coulombs dq{current * dt.value()};
-  charge_ -= dq;
-  throughput_ += dq;
-  if (charge_.value() < 0.0) charge_ = Coulombs{0.0};
-  return Watts{(ocv - current * r) * current};
+  double charge = charge_.value();
+  double throughput = throughput_.value();
+  const double delivered = lanekernel::bat_discharge(lane_coef(), charge,
+                                                     throughput, power.value(),
+                                                     dt.value());
+  charge_ = Coulombs{charge};
+  throughput_ = Coulombs{throughput};
+  return Watts{delivered};
 }
 
 void Battery::apply_leakage(Seconds dt) {
@@ -161,14 +142,8 @@ void Battery::set_leakage_multiplier(double multiplier) {
 }
 
 Watts Battery::max_discharge_power() const {
-  const double ocv = voltage().value();
-  const double r = params_.internal_resistance.value();
-  const double i_lim = params_.max_discharge_current.value();
-  // Lesser of the matched-load bound and the current-limit bound.
-  const double p_matched = ocv * ocv / (4.0 * r);
-  const double p_current = (ocv - i_lim * r) * i_lim;
-  if (charge_.value() <= 0.0) return Watts{0.0};
-  return Watts{std::max(0.0, std::min(p_matched, p_current))};
+  return Watts{lanekernel::bat_max_discharge_power(lane_coef(), charge_.value(),
+                                                   throughput_.value())};
 }
 
 // ---------------------------------------------------------------------------

@@ -49,22 +49,19 @@ Supercapacitor Supercapacitor::lithium_ion_capacitor(std::string name,
                         Volts{2.2});
 }
 
+// The charge/discharge/redistribution math lives in storage/lane_kernels.hpp
+// so the batched SoA path runs the identical expression sequence; the members
+// here delegate to it.
 double Supercapacitor::capacitance_at(double v) const {
-  return params_.main_capacitance.value() +
-         params_.voltage_capacitance_slope * std::max(0.0, v);
+  return lanekernel::sc_capacitance_at(lane_coef(), v);
 }
 
 double Supercapacitor::charge_at(double v) const {
-  const double c0 = params_.main_capacitance.value();
-  const double k = params_.voltage_capacitance_slope;
-  return c0 * v + 0.5 * k * v * v;
+  return lanekernel::sc_charge_at(lane_coef(), v);
 }
 
 double Supercapacitor::voltage_at_charge(double q) const {
-  const double c0 = params_.main_capacitance.value();
-  const double k = params_.voltage_capacitance_slope;
-  if (k <= 0.0) return std::max(0.0, q / c0);
-  return std::max(0.0, (-c0 + std::sqrt(c0 * c0 + 2.0 * k * std::max(0.0, q))) / k);
+  return lanekernel::sc_voltage_at_charge(lane_coef(), q);
 }
 
 double Supercapacitor::energy_between(double v_lo, double v_hi) const {
@@ -97,71 +94,52 @@ void Supercapacitor::redistribute(Seconds dt) {
   if (params_.slow_capacitance.value() <= 0.0) return;
   // Charge flows between branches through R2; exact RC relaxation of the
   // voltage difference keeps the update stable for any dt.
-  const double c1 = capacitance_at(v_main_.value());
-  const double c2 = params_.slow_capacitance.value();
+  const lanekernel::ScCoef coef = lane_coef();
+  const double c1 = lanekernel::sc_capacitance_at(coef, v_main_.value());
+  const double c2 = coef.c2;
   if (dt.value() != redis_key_dt_ || c1 != redis_key_c1_ ||
       c2 != redis_key_c2_) {
     // With a constant-C model (slope 0) and a fixed solver dt the relaxation
     // coefficients never change, so they are memoized on their exact inputs;
     // a hit returns the very doubles a fresh computation would produce.
-    const double r2 = params_.redistribution_resistance.value();
-    const double c_series = c1 * c2 / (c1 + c2);
-    redis_alpha_ = 1.0 - redistribute_decay_(-dt.value() / (r2 * c_series));
+    const double c_series = lanekernel::sc_c_series(coef, c1);
+    redis_alpha_ = 1.0 - redistribute_decay_(
+                             lanekernel::sc_redis_exponent(coef, c_series,
+                                                           dt.value()));
     redis_c_series_ = c_series;
     redis_key_dt_ = dt.value();
     redis_key_c1_ = c1;
     redis_key_c2_ = c2;
   }
-  const double dv = (v_main_.value() - v_slow_.value()) * redis_alpha_;
-  const double dq = dv * redis_c_series_;
-  v_main_ -= Volts{dq / c1};
-  v_slow_ += Volts{dq / c2};
+  double v_main = v_main_.value();
+  double v_slow = v_slow_.value();
+  lanekernel::sc_redistribute(coef, {redis_alpha_, redis_c_series_}, v_main,
+                              v_slow);
+  v_main_ = Volts{v_main};
+  v_slow_ = Volts{v_slow};
 }
 
 Watts Supercapacitor::charge(Watts power, Seconds dt) {
-  if (power.value() <= 0.0) return Watts{0.0};
-  if (v_main_ >= params_.max_voltage) return Watts{0.0};
-  // Constant-power charging through the ESR. Using the mid-step capacitor
-  // voltage v_mid = v0 + I*dt/(2C) makes the update exactly energy
-  // conserving: solve P = I*v0 + I^2*(ESR + dt/(2C)).
-  const double v0 = std::max(0.0, v_main_.value());
-  const double c1 = capacitance_at(v0);
-  const double r_eff = params_.esr.value() + dt.value() / (2.0 * c1);
-  const double current =
-      (-v0 + std::sqrt(v0 * v0 + 4.0 * r_eff * power.value())) / (2.0 * r_eff);
-  if (current <= 0.0) return Watts{0.0};
-  double dq = current * dt.value();
-  const double dq_max = charge_at(params_.max_voltage.value()) - charge_at(v0);
-  const double fraction = dq > dq_max ? dq_max / dq : 1.0;
-  dq *= fraction;
-  v_main_ = Volts{voltage_at_charge(charge_at(v0) + dq)};
+  double v_main = v_main_.value();
+  bool advanced = false;
+  const double absorbed = lanekernel::sc_charge_core(lane_coef(), v_main,
+                                                     power.value(), dt.value(),
+                                                     advanced);
+  if (!advanced) return Watts{absorbed};
+  v_main_ = Volts{v_main};
   redistribute(dt);
-  return power * fraction;
+  return Watts{absorbed};
 }
 
 Watts Supercapacitor::discharge(Watts power, Seconds dt) {
-  if (power.value() <= 0.0) return Watts{0.0};
-  const double vfloor = min_voltage_.value();
-  const double v0 = v_main_.value();
-  if (v0 <= vfloor + 1e-6) return Watts{0.0};
-  // Constant-power discharge with mid-step voltage v_mid = v0 - I*dt/(2C):
-  // P = I*v0 - I^2*(ESR + dt/(2C)), capped at the matched-load bound.
-  const double c1 = capacitance_at(v0);
-  const double r_eff = params_.esr.value() + dt.value() / (2.0 * c1);
-  const double p_max = v0 * v0 / (4.0 * r_eff);
-  const double deliverable = std::min(power.value(), p_max);
-  const double current =
-      (v0 - std::sqrt(std::max(0.0, v0 * v0 - 4.0 * r_eff * deliverable))) /
-      (2.0 * r_eff);
-  if (current <= 0.0) return Watts{0.0};
-  double dq = current * dt.value();
-  const double dq_max = charge_at(v0) - charge_at(vfloor);
-  const double fraction = dq > dq_max ? dq_max / dq : 1.0;
-  dq *= fraction;
-  v_main_ = Volts{voltage_at_charge(charge_at(v0) - dq)};
-  if (v_main_.value() < vfloor) v_main_ = Volts{vfloor};
+  double v_main = v_main_.value();
+  bool advanced = false;
+  const double delivered = lanekernel::sc_discharge_core(
+      lane_coef(), v_main, power.value(), dt.value(), advanced);
+  if (!advanced) return Watts{delivered};
+  v_main_ = Volts{v_main};
   redistribute(dt);
-  return Watts{deliverable * fraction};
+  return Watts{delivered};
 }
 
 void Supercapacitor::apply_leakage(Seconds dt) {
@@ -195,11 +173,7 @@ void Supercapacitor::set_leakage_multiplier(double multiplier) {
 }
 
 Watts Supercapacitor::max_discharge_power() const {
-  if (v_main_ <= min_voltage_) return Watts{0.0};
-  if (params_.esr.value() <= 0.0) return Watts{1e6};
-  // Matched-load bound through the ESR.
-  const double v = v_main_.value();
-  return Watts{v * v / (4.0 * params_.esr.value())};
+  return Watts{lanekernel::sc_max_discharge_power(lane_coef(), v_main_.value())};
 }
 
 }  // namespace msehsim::storage

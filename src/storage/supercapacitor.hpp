@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "storage/lane_kernels.hpp"
 #include "storage/storage.hpp"
 
 namespace msehsim::storage {
@@ -52,6 +53,35 @@ class Supercapacitor final : public StorageDevice {
   [[nodiscard]] Volts slow_branch_voltage() const { return v_slow_; }
 
   [[nodiscard]] const Params& params() const { return params_; }
+  [[nodiscard]] Volts min_voltage() const { return min_voltage_; }
+
+  /// The state the batched SoA layer owns while a lane is resident on the
+  /// fast path; everything else on the object is coefficients (mutated only
+  /// through fault events, which force the lane scalar first).
+  struct HotState {
+    double v_main_v;
+    double v_slow_v;
+  };
+  [[nodiscard]] HotState hot_state() const {
+    return {v_main_.value(), v_slow_.value()};
+  }
+  void set_hot_state(const HotState& h) {
+    v_main_ = Volts{h.v_main_v};
+    v_slow_ = Volts{h.v_slow_v};
+  }
+
+  /// Coefficient pack for the lanekernel functions (exact Params fields, so
+  /// the kernels see the same doubles the members do).
+  [[nodiscard]] lanekernel::ScCoef lane_coef() const {
+    return {params_.main_capacitance.value(),
+            params_.voltage_capacitance_slope,
+            params_.slow_capacitance.value(),
+            params_.redistribution_resistance.value(),
+            params_.esr.value(),
+            params_.leakage_resistance.value(),
+            params_.max_voltage.value(),
+            min_voltage_.value()};
+  }
 
   /// Factory for a lithium-ion capacitor (survey ref [10]): higher energy
   /// density but a minimum-voltage floor below which it must not discharge.

@@ -7,174 +7,18 @@
 #include "core/random.hpp"
 #include "core/simulation.hpp"
 #include "core/stats.hpp"
-#include "fault/faulty_harvester.hpp"
-#include "harvest/combiner.hpp"
-#include "harvest/transducers.hpp"
 #include "obs/trace.hpp"
-#include "storage/battery.hpp"
 #include "storage/fuel_cell.hpp"
-#include "storage/supercapacitor.hpp"
-#include "storage/switched.hpp"
+#include "systems/lane_dispatch.hpp"
+#include "systems/soa_state.hpp"
 
 namespace msehsim::systems {
 
 namespace {
 
-// ---- Per-component concrete-type tags --------------------------------------
-// Resolved once per lane (one dynamic_cast per component at setup), then the
-// hot loop dispatches through a predictable switch on the tag instead of a
-// vtable. kGeneric is the scalar slow path: any component whose concrete
-// type is not anticipated here — a test double, a future subclass — keeps
-// exactly the historic virtual dispatch while the rest of the lane stays
-// fast. Every listed class is `final`, so the static_cast branches
-// devirtualize (and mostly inline) the calls inside Platform::step_with /
-// InputChain::step_typed.
-
-enum class HTag : std::uint8_t {
-  kGeneric,
-  kPv,
-  kWind,
-  kTeg,
-  kVibration,
-  kRf,
-  kAcDc,
-  kCombiner,
-  kFaulty,  ///< fault::FaultyHarvester wrapper (its inner stays virtual)
-};
-
-enum class STag : std::uint8_t {
-  kGeneric,
-  kSupercap,
-  kBattery,
-  kFuelCell,
-  kSwitched,
-};
-
-HTag classify_harvester(const harvest::Harvester& h) {
-  if (dynamic_cast<const harvest::PvPanel*>(&h) != nullptr) return HTag::kPv;
-  if (dynamic_cast<const harvest::WindTurbine*>(&h) != nullptr)
-    return HTag::kWind;
-  if (dynamic_cast<const harvest::Teg*>(&h) != nullptr) return HTag::kTeg;
-  if (dynamic_cast<const harvest::VibrationHarvester*>(&h) != nullptr)
-    return HTag::kVibration;
-  if (dynamic_cast<const harvest::RfHarvester*>(&h) != nullptr)
-    return HTag::kRf;
-  if (dynamic_cast<const harvest::AcDcSource*>(&h) != nullptr)
-    return HTag::kAcDc;
-  if (dynamic_cast<const harvest::DiodeOrCombiner*>(&h) != nullptr)
-    return HTag::kCombiner;
-  if (dynamic_cast<const fault::FaultyHarvester*>(&h) != nullptr)
-    return HTag::kFaulty;
-  return HTag::kGeneric;
-}
-
-STag classify_store(const storage::StorageDevice& d) {
-  if (dynamic_cast<const storage::Supercapacitor*>(&d) != nullptr)
-    return STag::kSupercap;
-  if (dynamic_cast<const storage::Battery*>(&d) != nullptr)
-    return STag::kBattery;
-  if (dynamic_cast<const storage::FuelCell*>(&d) != nullptr)
-    return STag::kFuelCell;
-  if (dynamic_cast<const storage::SwitchedStorage*>(&d) != nullptr)
-    return STag::kSwitched;
-  return STag::kGeneric;
-}
-
-/// Dispatch policy for Platform::step_with (see GenericStepOps for the
-/// contract): identical statements, direct calls. One instance per lane.
-struct LaneOps {
-  std::vector<HTag> chain_tag;                 ///< per input chain
-  std::vector<STag> store_tag;                 ///< per storage slot
-  std::vector<storage::StorageKind> store_kind;///< kind(), precomputed
-  std::vector<storage::FuelCell*> cells;       ///< non-null iff slot is a cell
-
-  template <typename F>
-  auto with_store(std::size_t i, storage::StorageDevice& d, F&& f) const {
-    switch (store_tag[i]) {
-      case STag::kSupercap: return f(static_cast<storage::Supercapacitor&>(d));
-      case STag::kBattery: return f(static_cast<storage::Battery&>(d));
-      case STag::kFuelCell: return f(static_cast<storage::FuelCell&>(d));
-      case STag::kSwitched: return f(static_cast<storage::SwitchedStorage&>(d));
-      case STag::kGeneric: break;
-    }
-    return f(d);
-  }
-  template <typename F>
-  auto with_store(std::size_t i, const storage::StorageDevice& d, F&& f) const {
-    switch (store_tag[i]) {
-      case STag::kSupercap:
-        return f(static_cast<const storage::Supercapacitor&>(d));
-      case STag::kBattery: return f(static_cast<const storage::Battery&>(d));
-      case STag::kFuelCell: return f(static_cast<const storage::FuelCell&>(d));
-      case STag::kSwitched:
-        return f(static_cast<const storage::SwitchedStorage&>(d));
-      case STag::kGeneric: break;
-    }
-    return f(d);
-  }
-
-  Watts chain_step(std::size_t i, power::InputChain& chain,
-                   const env::AmbientConditions& c, Volts bus_v, Seconds now,
-                   Seconds dt) const {
-    harvest::Harvester& h = chain.harvester();
-    switch (chain_tag[i]) {
-      case HTag::kPv:
-        return chain.step_typed(static_cast<harvest::PvPanel&>(h), c, bus_v,
-                                now, dt);
-      case HTag::kWind:
-        return chain.step_typed(static_cast<harvest::WindTurbine&>(h), c,
-                                bus_v, now, dt);
-      case HTag::kTeg:
-        return chain.step_typed(static_cast<harvest::Teg&>(h), c, bus_v, now,
-                                dt);
-      case HTag::kVibration:
-        return chain.step_typed(static_cast<harvest::VibrationHarvester&>(h),
-                                c, bus_v, now, dt);
-      case HTag::kRf:
-        return chain.step_typed(static_cast<harvest::RfHarvester&>(h), c,
-                                bus_v, now, dt);
-      case HTag::kAcDc:
-        return chain.step_typed(static_cast<harvest::AcDcSource&>(h), c,
-                                bus_v, now, dt);
-      case HTag::kCombiner:
-        return chain.step_typed(static_cast<harvest::DiodeOrCombiner&>(h), c,
-                                bus_v, now, dt);
-      case HTag::kFaulty:
-        return chain.step_typed(static_cast<fault::FaultyHarvester&>(h), c,
-                                bus_v, now, dt);
-      case HTag::kGeneric: break;
-    }
-    return chain.step(c, bus_v, now, dt);
-  }
-
-  storage::StorageKind kind(std::size_t i,
-                            const storage::StorageDevice&) const {
-    return store_kind[i];
-  }
-  Volts voltage(std::size_t i, const storage::StorageDevice& d) const {
-    return with_store(i, d, [](const auto& s) { return s.voltage(); });
-  }
-  Watts max_discharge_power(std::size_t i,
-                            const storage::StorageDevice& d) const {
-    return with_store(i, d,
-                      [](const auto& s) { return s.max_discharge_power(); });
-  }
-  Watts charge(std::size_t i, storage::StorageDevice& d, Watts p,
-               Seconds dt) const {
-    return with_store(i, d, [&](auto& s) { return s.charge(p, dt); });
-  }
-  Watts discharge(std::size_t i, storage::StorageDevice& d, Watts p,
-                  Seconds dt) const {
-    return with_store(i, d, [&](auto& s) { return s.discharge(p, dt); });
-  }
-  void apply_leakage(std::size_t i, storage::StorageDevice& d,
-                     Seconds dt) const {
-    with_store(i, d, [&](auto& s) { s.apply_leakage(dt); });
-  }
-  storage::FuelCell* fuel_cell(std::size_t i, storage::StorageDevice&) const {
-    return cells[i];
-  }
-};
+using lanedispatch::LaneOps;
+using lanedispatch::classify_harvester;
+using lanedispatch::classify_store;
 
 /// Hot per-lane kernel state as parallel arrays (SoA): the inner loop walks
 /// these contiguously instead of chasing into each lane's cold block.
@@ -290,6 +134,23 @@ std::vector<RunResult> BatchRunner::run() {
     state.queries.push_back(lane->deliver_queries ? 1 : 0);
   }
 
+  // SoA fast path: eligible lanes pack their hot state into per-group
+  // contiguous columns and advance through the width-strided step body;
+  // everything else (and every divergent step) runs the scalar body below.
+  soa::SoaBatch soa(options_);
+  std::vector<std::uint8_t> in_soa(n, 0);
+  for (std::size_t l = 0; l < n; ++l)
+    in_soa[l] = soa.add_lane(l, *lanes_[l]->platform, lanes_[l]->ops) ? 1 : 0;
+  soa.finalize();
+  soa_lane_count_ = soa.lane_count();
+  std::vector<std::uint8_t> run_scalar(n, 0);
+
+  // Hoisted per-lane views into the SoA delivered-power column (stable after
+  // finalize) — the bookkeeping loop below runs once per lane per step.
+  std::vector<const double*> p_in_col(n, nullptr);
+  for (std::size_t l = 0; l < n; ++l)
+    if (in_soa[l] != 0) p_in_col[l] = soa.input_power_ptr(l);
+
   const env::CompiledTrace& trace = *trace_;
   const std::size_t slot_count = trace.step_count();
 
@@ -307,7 +168,12 @@ std::vector<RunResult> BatchRunner::run() {
     const env::AmbientConditions conditions = trace.at(raw_idx % slot_count);
     const Seconds horizon = now + dt;
 
+    // SoA lanes with an event due this step (or still off the fast path)
+    // are scattered back to their objects and marked for the scalar body.
+    soa.begin_step(state.next_event_s, horizon.value(), run_scalar);
+
     for (std::size_t l = 0; l < n; ++l) {
+      if (in_soa[l] != 0 && run_scalar[l] == 0) continue;
       // An event is due iff next_scheduled() < now + dt — the dispatch
       // window test of Simulation::step. On quiet steps (the common case)
       // the lane skips its event engine entirely; dispatch is a pure
@@ -327,9 +193,26 @@ std::vector<RunResult> BatchRunner::run() {
         platform.node()->deliver_query(platform.rail_voltage());
       }
     }
+
+    // Clean SoA lanes advance through the strided body, then get the same
+    // per-step bookkeeping (input stats, query arrival draw) the scalar loop
+    // does — the rng is consumed every step for query lanes either way.
+    soa.step_clean(conditions, now, dt);
+    for (std::size_t l = 0; l < n; ++l) {
+      if (in_soa[l] == 0 || run_scalar[l] != 0) continue;
+      lanes_[l]->input_stats.add(*p_in_col[l], dt);
+      if (state.queries[l] != 0 &&
+          lanes_[l]->query_rng.bernoulli(p_arrival)) {
+        Platform& platform = *state.platform[l];
+        platform.node()->deliver_query(platform.rail_voltage());
+      }
+    }
+    soa.end_step(state.next_event_s, run_scalar);
+
     now += dt;
     ++steps;
   }
+  soa.scatter_all();
 
   std::vector<RunResult> out;
   out.reserve(n);

@@ -176,6 +176,13 @@ struct RunOptions {
   /// its counters land in RunResult::faults. Must outlive the run. A given
   /// injector can be armed only once (one injector per run).
   fault::FaultInjector* injector{nullptr};
+  /// Batched lanes only (systems::BatchRunner): permit the SoA fast path to
+  /// use FMA contraction and reassociated reductions in its strided step
+  /// body. Off by default — the default path is byte-identical to the
+  /// scalar runner at every lane width; turning this on surrenders
+  /// bit-exactness for extra vectorization headroom, bounded by the energy
+  /// ledger's <1e-9 relative-residual gate. Ignored by run_platform.
+  bool allow_reassociation{false};
 };
 
 /// Runs @p platform in @p environment for @p duration and summarizes.

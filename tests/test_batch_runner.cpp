@@ -8,11 +8,13 @@
 // energy-ledger leak detector that rides on the campaign aggregation.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "campaign/campaign.hpp"
+#include "env/compiled_trace.hpp"
 #include "env/environment.hpp"
 #include "fault/injector.hpp"
 #include "harvest/transducers.hpp"
@@ -20,7 +22,9 @@
 #include "power/chain.hpp"
 #include "power/converter.hpp"
 #include "power/mppt.hpp"
+#include "storage/battery.hpp"
 #include "storage/supercapacitor.hpp"
+#include "systems/batch_runner.hpp"
 #include "systems/catalog.hpp"
 #include "systems/platform.hpp"
 #include "systems/runner.hpp"
@@ -189,14 +193,10 @@ TEST(BatchRunner, DisabledTraceCompilationFallsBackToLegacy) {
   EXPECT_EQ(reports(r), got);
 }
 
-// ---------------------------------------------------------------------------
-// Energy-ledger leak detector
-// ---------------------------------------------------------------------------
-
 /// A probe platform whose supercapacitor leaks heavily: as harvest charges
 /// the (initially empty) capacitor, the v^2/R leakage loss accelerates, so
 /// storage loss grows superlinearly in duration — exactly the signature the
-/// detector flags.
+/// leak detector flags. Also a SoA-eligible shape (single EDLC, no node).
 std::unique_ptr<systems::Platform> leaky_platform() {
   systems::PlatformSpec spec;
   spec.name = "leaky";
@@ -231,6 +231,153 @@ std::unique_ptr<systems::Platform> steady_platform() {
   p->add_storage(std::make_unique<storage::Supercapacitor>("buf", sp), 0);
   return p;
 }
+
+// ---------------------------------------------------------------------------
+// SoA fast path
+// ---------------------------------------------------------------------------
+
+/// Drives BatchRunner directly (no campaign wrapper) so the test can see
+/// which lanes the SoA layer actually enrolled: System B (supercap + NiMH,
+/// both column-packable) must ride the fast path, System A (fuel-cell slot)
+/// must stay on the legacy scalar body — and both must reproduce
+/// run_platform byte for byte.
+TEST(SoaPath, EnrollsEligibleLanesAndMatchesTheScalarRunner) {
+  const Seconds dt{5.0};
+  const Seconds duration{1800.0};
+  systems::RunOptions options;
+  options.dt = dt;
+  options.mean_query_interval = Seconds{120.0};
+
+  auto model = env::Environment::outdoor(7);
+  const auto trace = env::CompiledTrace::compile(model, dt, duration);
+
+  auto a = systems::build_system_a(7);
+  auto b = systems::build_system_b(7);
+  systems::BatchRunner runner(trace, duration, options);
+  runner.add_lane(*a);
+  runner.add_lane(*b);
+  const auto batched = runner.run();
+  ASSERT_EQ(batched.size(), 2u);
+  EXPECT_EQ(runner.soa_lane_count(), 1u)
+      << "System B must enroll in the SoA fast path; System A must not";
+
+  auto scalar = [&](std::unique_ptr<systems::Platform> p) {
+    env::CompiledEnvironment environment(trace);
+    return to_string(
+        systems::run_platform(*p, environment, duration, options));
+  };
+  EXPECT_EQ(scalar(systems::build_system_a(7)), to_string(batched[0]));
+  EXPECT_EQ(scalar(systems::build_system_b(7)), to_string(batched[1]));
+}
+
+/// Fault schedule aimed at a SoA-eligible platform: every onset bounces the
+/// lane off the columns to the scalar body, every heal/expiry re-enters it
+/// with refreshed per-lane coefficients (leakage-spike multiplier, droop
+/// factor, intermittent gating), and the thermal shutdown parks the lane
+/// scalar-side until the converter recovers. Bytes must not move.
+TEST(BatchRunner, ByteIdenticalUnderFaultsOnSoaEligibleLanes) {
+  CampaignSpec spec;
+  spec.platforms.push_back(
+      {"system-b", [](std::uint64_t s) { return systems::build_system_b(s); }});
+  Scenario sc;
+  sc.name = "faulted-soa";
+  sc.environment = outdoor_factory();
+  sc.duration = Seconds{7200.0};
+  sc.options.dt = Seconds{5.0};
+  sc.options.mean_query_interval = Seconds{120.0};
+  sc.injector = [](std::uint64_t seed, systems::Platform& platform) {
+    auto inj = std::make_unique<fault::FaultInjector>(seed);
+    inj->harvester_intermittent(Seconds{600.0}, platform.input(0), 0.4);
+    inj->harvester_heal(Seconds{2400.0}, platform.input(0));
+    inj->storage_leakage_spike(Seconds{1800.0}, platform.store(0), 25.0,
+                               Seconds{1200.0});
+    inj->converter_droop(Seconds{3000.0}, platform.input(0), 0.85);
+    inj->converter_thermal_shutdown(Seconds{4200.0}, platform.input(0),
+                                    Seconds{600.0});
+    return inj;
+  };
+  spec.scenarios.push_back(std::move(sc));
+  spec.seeds = {5, 9, 13};
+  spec.compile_traces = true;
+  expect_width_invariant(spec);
+}
+
+/// A PV front end over a NiMH cell — battery columns in a group of their own.
+std::unique_ptr<systems::Platform> battery_buffered_platform() {
+  systems::PlatformSpec spec;
+  spec.name = "battery-buffered";
+  auto p = std::make_unique<systems::Platform>(spec);
+  p->add_input(std::make_unique<power::InputChain>(
+      std::make_unique<harvest::PvPanel>("pv", harvest::PvPanel::Params{}),
+      std::make_unique<power::OracleMppt>(),
+      power::Converter::smart_buck_boost("fe"), Seconds{5.0}));
+  p->add_storage(std::make_unique<storage::Battery>(
+                     storage::Battery::nimh("cell", AmpHours{0.05})),
+                 0);
+  return p;
+}
+
+/// Same front end over a lithium-ion capacitor: a two-branch supercap whose
+/// coefficients (C, Rleak, redistribution tau) differ from the EDLC
+/// variants sharing its column group.
+std::unique_ptr<systems::Platform> lic_platform() {
+  systems::PlatformSpec spec;
+  spec.name = "lic";
+  auto p = std::make_unique<systems::Platform>(spec);
+  p->add_input(std::make_unique<power::InputChain>(
+      std::make_unique<harvest::PvPanel>("pv", harvest::PvPanel::Params{}),
+      std::make_unique<power::OracleMppt>(),
+      power::Converter::smart_buck_boost("fe"), Seconds{5.0}));
+  p->add_storage(std::make_unique<storage::Supercapacitor>(
+                     storage::Supercapacitor::lithium_ion_capacitor(
+                         "lic", Farads{25.0})),
+                 0);
+  return p;
+}
+
+/// Heterogeneous storage variants batched together: two EDLCs with very
+/// different C/Rleak, an LIC, and a battery, all in one campaign block. The
+/// per-lane exp() hoists and decay memos must key on each lane's own
+/// coefficients — a regression gate for cross-lane memo bleed.
+TEST(BatchRunner, ByteIdenticalAcrossHeterogeneousStorageVariants) {
+  CampaignSpec spec;
+  spec.platforms.push_back(
+      {"leaky", [](std::uint64_t) { return leaky_platform(); }});
+  spec.platforms.push_back(
+      {"steady", [](std::uint64_t) { return steady_platform(); }});
+  spec.platforms.push_back(
+      {"lic", [](std::uint64_t) { return lic_platform(); }});
+  spec.platforms.push_back(
+      {"battery", [](std::uint64_t) { return battery_buffered_platform(); }});
+  Scenario sc;
+  sc.name = "mixed-storage";
+  sc.environment = outdoor_factory();
+  sc.duration = Seconds{3600.0};
+  sc.options.dt = Seconds{5.0};
+  spec.scenarios.push_back(std::move(sc));
+  spec.seeds = {4, 21};
+  spec.compile_traces = true;
+  expect_width_invariant(spec);
+}
+
+/// The allow_reassociation escape hatch surrenders bit-exactness, not
+/// correctness: every job's energy ledger must still close inside the same
+/// <1e-9 relative-residual gate the exact path is held to.
+TEST(SoaPath, ReassociationKeepsLedgerResidualBounded) {
+  CampaignSpec spec = systems_grid();
+  spec.lane_width = 8;
+  spec.allow_reassociation = true;
+  Campaign c(spec);
+  c.run();
+  EXPECT_GT(c.lane_blocks(), 0u);
+  ASSERT_FALSE(c.results().empty());
+  for (const auto& job : c.results())
+    EXPECT_LT(std::abs(job.result.ledger.relative_residual()), 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Energy-ledger leak detector
+// ---------------------------------------------------------------------------
 
 CampaignSpec leak_grid(bool leaky) {
   CampaignSpec spec;

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -416,6 +417,70 @@ TEST(TraceCollector, DrainsPerThreadBuffersInThreadIdOrder) {
   else
     EXPECT_GT(main_pos, worker_pos);
   EXPECT_NE(json.find("\"worker\""), std::string::npos);
+}
+
+TEST(TraceCollector, StreamsOverCapVolumesToDiskLosslessly) {
+  auto& collector = obs::TraceCollector::instance();
+  const std::string dir = ::testing::TempDir();
+  collector.stream_to_disk(dir);
+  collector.enable();
+  collector.set_capacity(4);
+
+  const std::uint32_t main_tid = collector.thread_id();
+  for (int i = 0; i < 10; ++i)
+    obs::Span span{"burst", "test", "\"i\": " + std::to_string(i)};
+  std::uint32_t worker_tid = 0;
+  std::thread worker([&] {
+    worker_tid = collector.thread_id();
+    for (int i = 0; i < 10; ++i)
+      obs::Span span{"wburst", "test", "\"i\": " + std::to_string(i)};
+  });
+  worker.join();
+
+  // Cap 4, 10 events per thread: each thread flushes 4 twice and keeps a
+  // 2-event in-memory tail. Nothing may be dropped.
+  EXPECT_EQ(collector.dropped(), 0u);
+  EXPECT_EQ(collector.spilled(), 16u);
+  EXPECT_EQ(collector.event_count(), 4u);
+  std::ifstream spill_file(dir + "/spans-" + std::to_string(main_tid) +
+                           ".jsonl");
+  EXPECT_TRUE(spill_file.good());
+
+  const auto json = collector.chrome_trace_json();
+  collector.set_capacity(1u << 20);
+  collector.stream_to_disk("");
+  collector.disable();
+
+  // Lossless: all 20 complete events land in the drained document.
+  std::size_t complete = 0;
+  for (auto pos = json.find("\"ph\": \"X\""); pos != std::string::npos;
+       pos = json.find("\"ph\": \"X\"", pos + 1))
+    ++complete;
+  EXPECT_EQ(complete, 20u);
+
+  // The spilled prefix and the in-memory tail stitch back in record order
+  // within each thread: the "i" arguments read 0..9 per span name.
+  auto expect_in_order = [&](const std::string& name) {
+    std::size_t pos = 0;
+    for (int i = 0; i < 10; ++i) {
+      pos = json.find("\"name\": \"" + name + "\"", pos);
+      ASSERT_NE(pos, std::string::npos) << name << " #" << i;
+      const auto args = json.find("{\"i\": ", pos);
+      ASSERT_NE(args, std::string::npos) << name << " #" << i;
+      EXPECT_EQ(std::stoi(json.substr(args + 6)), i) << name;
+      pos = args;
+    }
+  };
+  expect_in_order("burst");
+  expect_in_order("wburst");
+
+  // And the drain still orders whole threads by tid.
+  const auto main_pos = json.find("\"burst\"");
+  const auto worker_pos = json.find("\"wburst\"");
+  if (main_tid < worker_tid)
+    EXPECT_LT(main_pos, worker_pos);
+  else
+    EXPECT_GT(main_pos, worker_pos);
 }
 
 TEST(TraceCollector, RunPlatformEmitsSpansWhenEnabled) {
