@@ -20,12 +20,23 @@ TMP="$(mktemp)"
 "$BUILD_DIR/bench/bench_simkernel" --benchmark_format=json \
   --benchmark_min_time=1 > "$TMP"
 
-python3 - "$TMP" "$OUT" "$LABEL" <<'EOF'
+# Observability-overhead pair (guarded: older build dirs may predate it).
+OBS_TMP="$(mktemp)"
+if [ -x "$BUILD_DIR/bench/bench_obs_overhead" ]; then
+  "$BUILD_DIR/bench/bench_obs_overhead" --benchmark_format=json \
+    --benchmark_min_time=1 > "$OBS_TMP"
+else
+  echo '{"benchmarks": []}' > "$OBS_TMP"
+fi
+
+python3 - "$TMP" "$OUT" "$LABEL" "$OBS_TMP" <<'EOF'
 import json
 import sys
 
-run_path, out_path, label = sys.argv[1], sys.argv[2], sys.argv[3]
+run_path, out_path, label, obs_path = (
+    sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4])
 run = json.load(open(run_path))
+obs_run = json.load(open(obs_path))
 
 try:
     history = json.load(open(out_path)).get("history", [])
@@ -90,6 +101,22 @@ if batched:
         # (History rows without this key predate the SoA path.)
         record["campaign_soa_speedup"] = (
             batched[1]["real_time"] / batched[8]["real_time"])
+# Run-health timeline overhead: the default-cadence sampled day against its
+# in-process control. The PR gate is <= 3% (timeline_overhead is the ratio,
+# so the ceiling reads 1.03).
+def find_obs(name):
+    return next((b for b in obs_run["benchmarks"] if b["name"] == name), None)
+
+obs_base = find_obs("BM_SystemA_DayRun_Base")
+obs_timeline = find_obs("BM_SystemA_DayRun_Timeline")
+if obs_base is not None and obs_timeline is not None:
+    record["BM_SystemA_DayRun_Timeline"] = {
+        "real_time_ms": obs_timeline["real_time"],
+        "steps_per_second": obs_timeline["items_per_second"],
+    }
+    record["timeline_overhead"] = (
+        obs_timeline["real_time"] / obs_base["real_time"])
+
 history.append(record)
 
 json.dump({"history": history, "current": run}, open(out_path, "w"), indent=1)
@@ -107,5 +134,10 @@ if 1 in batched and 8 in batched:
           f"-> width 8 {batched[8]['real_time']:.1f} ms "
           f"(campaign_soa_speedup "
           f"{batched[1]['real_time'] / batched[8]['real_time']:.2f}x)")
+if obs_base is not None and obs_timeline is not None:
+    print(f"  BM_SystemA_DayRun_Timeline: {obs_timeline['real_time']:.1f} ms "
+          f"vs {obs_base['real_time']:.1f} ms base "
+          f"(timeline_overhead "
+          f"{obs_timeline['real_time'] / obs_base['real_time']:.3f}x)")
 EOF
-rm -f "$TMP"
+rm -f "$TMP" "$OBS_TMP"

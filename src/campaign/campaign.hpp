@@ -285,6 +285,18 @@ class Campaign {
   std::unique_ptr<env::TraceCache> trace_cache_;
   std::atomic<std::uint64_t> trace_compiles_{0};
   std::atomic<std::uint64_t> lane_blocks_{0};
+  // SoA kernel counters summed over every lane block (systems::soa::
+  // SoaCounters fields, accumulated atomically because blocks run on the
+  // pool). Surface through metrics() as campaign.soa.* rows only — like the
+  // trace-cache rows they are run-variant (lane width and scheduling change
+  // them), so they never join the byte-stable result fold.
+  std::atomic<std::uint64_t> soa_steps_{0};
+  std::atomic<std::uint64_t> soa_quiet_steps_{0};
+  std::atomic<std::uint64_t> soa_lane_steps_{0};
+  std::atomic<std::uint64_t> soa_resident_lane_steps_{0};
+  std::atomic<std::uint64_t> soa_exit_event_due_{0};
+  std::atomic<std::uint64_t> soa_exit_not_resident_{0};
+  std::atomic<std::uint64_t> soa_thermal_latched_{0};
   bool ran_{false};
 };
 

@@ -5,6 +5,7 @@
 
 #include "core/error.hpp"
 #include "core/fmt.hpp"
+#include "obs/trace.hpp"
 
 namespace msehsim::campaign {
 
@@ -51,6 +52,7 @@ void write_text(const std::string& path, const std::string& text) {
 }  // namespace
 
 std::string results_csv(const Campaign& campaign) {
+  OBS_SPAN("campaign.export_results_csv", "campaign");
   const auto& fields = run_result_fields();
   std::string out = "platform,scenario,seed_index,seed";
   for (const auto& f : fields) {
@@ -106,6 +108,7 @@ std::string seed_stats_csv(const Campaign& campaign) {
 }
 
 std::string results_json(const Campaign& campaign) {
+  OBS_SPAN("campaign.export_results_json", "campaign");
   const auto& fields = run_result_fields();
   const auto& spec = campaign.spec();
   std::string out = "{\n  \"platforms\": [";
@@ -198,11 +201,34 @@ void write_results_json(const Campaign& campaign, const std::string& path) {
 }
 
 std::string metrics_csv(const Campaign& campaign) {
+  OBS_SPAN("campaign.export_metrics_csv", "campaign");
   return campaign.metrics().csv();
 }
 
 void write_metrics_csv(const Campaign& campaign, const std::string& path) {
   write_text(path, metrics_csv(campaign));
+}
+
+std::string timelines_json(const Campaign& campaign) {
+  OBS_SPAN("campaign.export_timelines", "campaign");
+  std::string out = "{\n  \"timelines\": [";
+  bool first = true;
+  for (const auto& job : campaign.results()) {
+    if (job.result.timeline == nullptr) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"platform\": " + num(static_cast<double>(job.platform_index)) +
+           ", \"scenario\": " + num(static_cast<double>(job.scenario_index)) +
+           ", \"seed_index\": " + num(static_cast<double>(job.seed_index)) +
+           ", \"seed\": " + num(static_cast<double>(job.seed)) +
+           ", \"timeline\": " + job.result.timeline->json() + '}';
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+void write_timelines_json(const Campaign& campaign, const std::string& path) {
+  write_text(path, timelines_json(campaign));
 }
 
 }  // namespace msehsim::campaign

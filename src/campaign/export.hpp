@@ -37,10 +37,19 @@ namespace msehsim::campaign {
 /// counts.
 [[nodiscard]] std::string metrics_csv(const Campaign& campaign);
 
+/// Every job's run-health timeline (RunOptions::timeline_dt) as one JSON
+/// document: grid coordinates plus the obs::Timeline json() per job that
+/// carries one. Jobs without a timeline (sampling off) are omitted, so the
+/// document is `{"timelines": []}` for an unsampled campaign. Deterministic
+/// across thread counts and lane widths except the documented soa_resident
+/// column (width-dependent by design).
+[[nodiscard]] std::string timelines_json(const Campaign& campaign);
+
 /// File-writing conveniences (throw SpecError on I/O failure).
 void write_results_csv(const Campaign& campaign, const std::string& path);
 void write_seed_stats_csv(const Campaign& campaign, const std::string& path);
 void write_results_json(const Campaign& campaign, const std::string& path);
 void write_metrics_csv(const Campaign& campaign, const std::string& path);
+void write_timelines_json(const Campaign& campaign, const std::string& path);
 
 }  // namespace msehsim::campaign

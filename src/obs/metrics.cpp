@@ -86,6 +86,29 @@ void Histogram::observe(double x) {
   ++count_;
 }
 
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  const double target = q * static_cast<double>(count_);
+  double cum = 0.0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    const auto in_bucket = static_cast<double>(buckets_[b]);
+    if (cum + in_bucket < target || in_bucket == 0.0) {
+      cum += in_bucket;
+      continue;
+    }
+    // Clamp the bucket edges to the observed range: the first occupied
+    // bucket starts no earlier than min_, and the overflow bucket (no upper
+    // bound) as well as any bucket past the data ends at max_.
+    double lo = b == 0 ? min_ : std::max(bounds_[b - 1], min_);
+    double hi = b < bounds_.size() ? std::min(bounds_[b], max_) : max_;
+    if (hi < lo) hi = lo;
+    return lo + (target - cum) / in_bucket * (hi - lo);
+  }
+  return max_;  // q*count beyond the last occupied bucket (rounding dust)
+}
+
 Counter& Registry::counter(const std::string& name) {
   auto [it, inserted] = metrics_.try_emplace(name, Slot{MetricKind::kCounter,
                                                         {}, {}, {}});

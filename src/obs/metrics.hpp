@@ -59,6 +59,14 @@ class Histogram {
   [[nodiscard]] double min() const { return min_; }  ///< 0 when empty
   [[nodiscard]] double max() const { return max_; }  ///< 0 when empty
 
+  /// Estimated q-quantile (0 <= q <= 1) by linear interpolation within the
+  /// bucket holding the q*count-th observation — the estimator Prometheus's
+  /// histogram_quantile applies to _bucket rows. Bucket edges are clamped to
+  /// the observed [min, max] so the overflow bucket (and a sparse first
+  /// bucket) interpolate over real data, not an unbounded range. Returns 0
+  /// on an empty histogram, min() for q <= 0, max() for q >= 1.
+  [[nodiscard]] double quantile(double q) const;
+
  private:
   std::vector<double> bounds_;
   std::vector<std::uint64_t> buckets_;

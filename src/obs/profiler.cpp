@@ -1,0 +1,128 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/fmt.hpp"
+
+namespace msehsim::obs {
+
+namespace {
+
+/// Containment slack in microseconds: a child span's destructor runs before
+/// its parent's, but the two end timestamps are separate clock reads, so an
+/// exact comparison would misfile ties.
+constexpr double kEpsUs = 1e-3;
+
+ProfileNode& child_named(ProfileNode& parent, const std::string& name) {
+  for (auto& child : parent.children)
+    if (child.name == name) return child;
+  parent.children.emplace_back();
+  parent.children.back().name = name;
+  return parent.children.back();
+}
+
+void append_report(std::string& out, const ProfileNode& node,
+                   double parent_total_us, int depth) {
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+  out += node.name;
+  out += "  count=" + std::to_string(node.count);
+  out += " total=" + format_double_fixed(node.total_us / 1000.0, 3) + "ms";
+  out += " self=" + format_double_fixed(node.self_us() / 1000.0, 3) + "ms";
+  if (parent_total_us > 0.0) {
+    out += " (" +
+           format_double_fixed(100.0 * node.total_us / parent_total_us, 1) +
+           "% of parent)";
+  }
+  out += '\n';
+  for (const auto& child : node.children)
+    append_report(out, child, node.total_us, depth + 1);
+}
+
+void append_rows(std::vector<MetricRow>& rows, const ProfileNode& node,
+                 const std::string& path) {
+  MetricRow hist;
+  hist.name = "profile." + path;
+  hist.kind = MetricKind::kHistogram;
+  hist.count = node.durations_us.count();
+  hist.sum = node.durations_us.sum();
+  hist.min = node.durations_us.min();
+  hist.max = node.durations_us.max();
+  hist.bounds = node.durations_us.bounds();
+  hist.buckets = node.durations_us.buckets();
+  rows.push_back(std::move(hist));
+
+  MetricRow self;
+  self.name = "profile." + path + ".self_us";
+  self.kind = MetricKind::kGauge;
+  self.value = node.self_us();
+  rows.push_back(std::move(self));
+
+  for (const auto& child : node.children)
+    append_rows(rows, child, path + "/" + child.name);
+}
+
+}  // namespace
+
+const std::vector<double>& profile_duration_bounds_us() {
+  static const std::vector<double> kBounds = {1.0,    10.0,    100.0,  1e3,
+                                              1e4,    1e5,     1e6};
+  return kBounds;
+}
+
+void Profiler::add_events(const std::vector<TraceEvent>& events) {
+  // Per-thread, because nesting is a property of one thread's stack.
+  std::map<std::uint32_t, std::vector<const TraceEvent*>> by_tid;
+  for (const auto& event : events) by_tid[event.tid].push_back(&event);
+
+  for (auto& [tid, thread_events] : by_tid) {
+    (void)tid;
+    std::stable_sort(thread_events.begin(), thread_events.end(),
+                     [](const TraceEvent* a, const TraceEvent* b) {
+                       if (a->ts_us != b->ts_us) return a->ts_us < b->ts_us;
+                       return a->dur_us > b->dur_us;
+                     });
+    // Stack of (node, span end): an event nests under the deepest still-open
+    // span that contains it; anything it extends past gets popped first.
+    std::vector<std::pair<ProfileNode*, double>> stack;
+    for (const TraceEvent* event : thread_events) {
+      const double end_us = event->ts_us + event->dur_us;
+      while (!stack.empty() && end_us > stack.back().second + kEpsUs)
+        stack.pop_back();
+      ProfileNode& parent = stack.empty() ? root_ : *stack.back().first;
+      ProfileNode& node = child_named(parent, event->name);
+      node.count += 1;
+      node.total_us += event->dur_us;
+      node.durations_us.observe(event->dur_us);
+      parent.child_us += event->dur_us;
+      stack.emplace_back(&node, end_us);
+    }
+  }
+  root_.total_us = root_.child_us;  // the root is the sum of its phases
+}
+
+Profiler Profiler::from_collector() {
+  Profiler profiler;
+  profiler.add_events(TraceCollector::instance().snapshot_events());
+  return profiler;
+}
+
+std::string Profiler::report() const {
+  std::string out;
+  for (const auto& child : root_.children)
+    append_report(out, child, root_.total_us, 0);
+  return out;
+}
+
+MetricsSnapshot Profiler::metrics_snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& child : root_.children)
+    append_rows(snap.rows, child, child.name);
+  std::sort(snap.rows.begin(), snap.rows.end(),
+            [](const MetricRow& a, const MetricRow& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+}  // namespace msehsim::obs

@@ -1,0 +1,83 @@
+// Campaign phase profiler — hierarchical wall-clock attribution.
+//
+// The span collector (obs/trace.hpp) records flat (name, ts, dur, tid)
+// events; Perfetto renders them, but "where did the campaign's seconds go"
+// needs an aggregate: trace compile vs cache probe vs lane dispatch vs
+// export, nested the way the spans actually nested at runtime. A Profiler
+// reconstructs that call tree from the events — per thread, spans sorted by
+// start time and stacked by interval containment — and merges all threads
+// into one tree keyed by span name paths.
+//
+// Each node carries a duration histogram (fixed decade bounds in
+// microseconds) alongside count/total/self time, so the report and the
+// metrics rows expose tail behavior (one 2 s compile among a thousand 2 ms
+// probes), not just means. Wall-clock numbers are inherently
+// nondeterministic; like the raw spans they never feed RunResult — the
+// profile is a diagnostic surface, exported only through its own report()/
+// metrics_snapshot() (and from there the Prometheus text).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace msehsim::obs {
+
+/// Decade bounds for span durations, in microseconds: 1 µs .. 1 s, overflow
+/// above. Shared by every profile node so campaign-level merges line up.
+[[nodiscard]] const std::vector<double>& profile_duration_bounds_us();
+
+/// One aggregated span site in the reconstructed call tree.
+struct ProfileNode {
+  std::string name;
+  std::uint64_t count{0};
+  double total_us{0.0};  ///< summed span durations
+  double child_us{0.0};  ///< summed durations of direct children
+  Histogram durations_us{profile_duration_bounds_us()};
+  std::vector<ProfileNode> children;  ///< first-seen order
+
+  /// Time inside this span not covered by a child span.
+  [[nodiscard]] double self_us() const {
+    return total_us > child_us ? total_us - child_us : 0.0;
+  }
+};
+
+class Profiler {
+ public:
+  /// Folds @p events into the tree. Events are grouped by tid; within a
+  /// thread they are ordered by start time (ties: longest first, so an
+  /// enclosing span precedes the spans it contains) and nested by interval
+  /// containment — a span that extends past the current stack top is its
+  /// sibling, not its child, which keeps pseudo-spans like campaign.job_wait
+  /// (recorded with a back-dated start) from swallowing the real work.
+  void add_events(const std::vector<TraceEvent>& events);
+
+  /// A Profiler fed from the process collector's current buffer
+  /// (TraceCollector::snapshot_events).
+  [[nodiscard]] static Profiler from_collector();
+
+  /// The synthetic root; its children are the top-level phases.
+  [[nodiscard]] const ProfileNode& root() const { return root_; }
+
+  /// Indented text tree: count, total/self milliseconds, and the share of
+  /// the parent's total per node. For humans; numbers are wall clock.
+  [[nodiscard]] std::string report() const;
+
+  /// The tree as metrics rows: per node a duration histogram
+  /// `profile.<path>` ('/'-joined span names) and a `profile.<path>.self_us`
+  /// gauge. Rows are name-sorted, so snapshots merge like any others.
+  [[nodiscard]] MetricsSnapshot metrics_snapshot() const;
+
+ private:
+  static ProfileNode make_root() {
+    ProfileNode node;
+    node.name = "root";
+    return node;
+  }
+  ProfileNode root_ = make_root();
+};
+
+}  // namespace msehsim::obs

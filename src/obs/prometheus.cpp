@@ -1,0 +1,487 @@
+#include "obs/prometheus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <string_view>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/fmt.hpp"
+
+namespace msehsim::obs {
+
+namespace {
+
+// ---- renderer ------------------------------------------------------------
+
+bool valid_name_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool valid_name_char(char c) {
+  return valid_name_start(c) || (c >= '0' && c <= '9');
+}
+
+bool valid_label_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool valid_label_char(char c) {
+  return valid_label_start(c) || (c >= '0' && c <= '9');
+}
+
+/// Prometheus value spelling: format_double for finite values, the
+/// exposition format's canonical +Inf/-Inf/NaN for the rest.
+std::string prom_value(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0.0 ? "+Inf" : "-Inf";
+  return format_double(v);
+}
+
+std::string escape_label_value(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string escape_help(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Splits a dotted metric name into the Prometheus family name and labels:
+/// bracketed segments become `index`/`index2`/... label values, every
+/// character outside the name grammar becomes '_', and @p prefix leads.
+/// `ledger.source[0].share` -> ("<prefix>_ledger_source_share", {index="0"}).
+struct MappedName {
+  std::string family;
+  std::string labels;  ///< rendered `k="v"` pairs, comma-separated, no braces
+};
+
+MappedName map_name(const std::string& name, const std::string& prefix) {
+  MappedName mapped;
+  mapped.family = prefix.empty() ? "" : prefix + "_";
+  std::size_t label_ordinal = 0;
+  std::size_t i = 0;
+  while (i < name.size()) {
+    const char c = name[i];
+    if (c == '[') {
+      const std::size_t close = name.find(']', i);
+      const std::string value = close == std::string::npos
+                                    ? name.substr(i + 1)
+                                    : name.substr(i + 1, close - i - 1);
+      ++label_ordinal;
+      if (!mapped.labels.empty()) mapped.labels += ',';
+      mapped.labels += "index";
+      if (label_ordinal > 1) mapped.labels += std::to_string(label_ordinal);
+      mapped.labels += "=\"" + escape_label_value(value) + '"';
+      i = close == std::string::npos ? name.size() : close + 1;
+      continue;
+    }
+    mapped.family += valid_name_char(c) ? c : '_';
+    ++i;
+  }
+  // A bracket segment directly before '.' leaves "__" runs behind; collapse
+  // a trailing '_' left by a bracket at the very end.
+  while (mapped.family.size() > 1 && mapped.family.back() == '_' &&
+         mapped.family[mapped.family.size() - 2] == '_')
+    mapped.family.pop_back();
+  return mapped;
+}
+
+const char* type_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+// ---- lint ----------------------------------------------------------------
+
+/// Parses one exposition-format value token (+Inf/-Inf/NaN or a plain
+/// decimal); nullopt on anything else.
+std::optional<double> parse_prom_value(std::string_view token) {
+  const auto ieq = [](std::string_view a, std::string_view b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const char ca = a[i] >= 'A' && a[i] <= 'Z' ? char(a[i] - 'A' + 'a') : a[i];
+      const char cb = b[i] >= 'A' && b[i] <= 'Z' ? char(b[i] - 'A' + 'a') : b[i];
+      if (ca != cb) return false;
+    }
+    return true;
+  };
+  if (ieq(token, "nan")) return std::nan("");
+  if (ieq(token, "inf") || ieq(token, "+inf"))
+    return std::numeric_limits<double>::infinity();
+  if (ieq(token, "-inf")) return -std::numeric_limits<double>::infinity();
+  return parse_double(token);
+}
+
+/// One parsed sample line.
+struct Sample {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;  ///< parse order
+  double value{0.0};
+};
+
+/// Parses a sample line; returns an error message or "" with @p out filled.
+std::string parse_sample(const std::string& line, Sample& out) {
+  std::size_t i = 0;
+  if (i >= line.size() || !valid_name_start(line[i]))
+    return "metric name must start with [a-zA-Z_:]";
+  while (i < line.size() && valid_name_char(line[i])) ++i;
+  out.name = line.substr(0, i);
+  if (i < line.size() && line[i] == '{') {
+    ++i;
+    while (true) {
+      if (i < line.size() && line[i] == '}') {
+        ++i;
+        break;
+      }
+      const std::size_t label_start = i;
+      if (i >= line.size() || !valid_label_start(line[i]))
+        return "label name must start with [a-zA-Z_]";
+      while (i < line.size() && valid_label_char(line[i])) ++i;
+      std::string label = line.substr(label_start, i - label_start);
+      if (i >= line.size() || line[i] != '=') return "expected '=' after label name";
+      ++i;
+      if (i >= line.size() || line[i] != '"') return "label value must be quoted";
+      ++i;
+      std::string value;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\') {
+          if (i + 1 >= line.size()) return "dangling escape in label value";
+          const char e = line[i + 1];
+          if (e == '\\') value += '\\';
+          else if (e == '"') value += '"';
+          else if (e == 'n') value += '\n';
+          else return "invalid escape in label value";
+          i += 2;
+          continue;
+        }
+        if (line[i] == '\n') return "raw newline in label value";
+        value += line[i];
+        ++i;
+      }
+      if (i >= line.size()) return "unterminated label value";
+      ++i;  // closing quote
+      out.labels.emplace_back(std::move(label), std::move(value));
+      if (i < line.size() && line[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < line.size() && line[i] == '}') {
+        ++i;
+        break;
+      }
+      return "expected ',' or '}' after label pair";
+    }
+  }
+  if (i >= line.size() || (line[i] != ' ' && line[i] != '\t'))
+    return "expected whitespace before value";
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  const std::size_t value_start = i;
+  while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+  const auto value =
+      parse_prom_value(std::string_view(line).substr(value_start, i - value_start));
+  if (!value) return "unparseable value";
+  out.value = *value;
+  // Optional timestamp: integer milliseconds.
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  if (i < line.size()) {
+    std::size_t ts = i;
+    if (line[ts] == '-' || line[ts] == '+') ++ts;
+    if (ts >= line.size()) return "malformed timestamp";
+    for (; ts < line.size(); ++ts)
+      if (line[ts] < '0' || line[ts] > '9') return "malformed timestamp";
+  }
+  return "";
+}
+
+/// Per-label-group histogram bookkeeping while a histogram family is open.
+struct HistGroup {
+  double last_le = -std::numeric_limits<double>::infinity();
+  double last_cum = -1.0;
+  bool has_inf{false};
+  double inf_value{0.0};
+  bool has_sum{false};
+  bool has_count{false};
+  double count_value{0.0};
+};
+
+std::string canonical_labels(
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    bool drop_le) {
+  std::vector<std::pair<std::string, std::string>> sorted;
+  for (const auto& kv : labels) {
+    if (drop_le && kv.first == "le") continue;
+    sorted.push_back(kv);
+  }
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const auto& [k, v] : sorted) out += k + "\x1f" + v + "\x1e";
+  return out;
+}
+
+}  // namespace
+
+std::string prometheus_text(const MetricsSnapshot& snapshot,
+                            const std::string& prefix) {
+  struct FamilySample {
+    std::string labels;
+    const MetricRow* row;
+  };
+  struct Family {
+    MetricKind kind{MetricKind::kGauge};
+    std::string help;  ///< first-seen dotted name (bracket indices elided)
+    std::vector<FamilySample> samples;
+  };
+  // std::map keeps the families in sorted order — the document is then a
+  // pure function of the (already name-sorted) snapshot.
+  std::map<std::string, Family> families;
+  for (const auto& row : snapshot.rows) {
+    MappedName mapped = map_name(row.name, prefix);
+    if (row.kind == MetricKind::kCounter) {
+      // The exposition convention: counters end in _total.
+      if (mapped.family.size() < 6 ||
+          mapped.family.compare(mapped.family.size() - 6, 6, "_total") != 0)
+        mapped.family += "_total";
+    }
+    auto [it, inserted] = families.try_emplace(mapped.family);
+    if (inserted) {
+      it->second.kind = row.kind;
+      it->second.help = row.name;
+    } else {
+      require_spec(it->second.kind == row.kind,
+                   "prometheus_text: rows '" + it->second.help + "' and '" +
+                       row.name + "' sanitize onto family '" + mapped.family +
+                       "' with different kinds");
+    }
+    it->second.samples.push_back({std::move(mapped.labels), &row});
+  }
+
+  std::string out;
+  out.reserve(snapshot.rows.size() * 64);
+  for (const auto& [family, data] : families) {
+    out += "# HELP " + family + " msehsim metric " + escape_help(data.help) +
+           "\n";
+    out += "# TYPE " + family + " " + type_name(data.kind) + "\n";
+    for (const auto& sample : data.samples) {
+      const MetricRow& row = *sample.row;
+      const std::string braced =
+          sample.labels.empty() ? "" : "{" + sample.labels + "}";
+      switch (data.kind) {
+        case MetricKind::kCounter:
+          out += family + braced + " " + std::to_string(row.count) + "\n";
+          break;
+        case MetricKind::kGauge:
+          out += family + braced + " " + prom_value(row.value) + "\n";
+          break;
+        case MetricKind::kHistogram: {
+          // The repo's buckets are per-bin; the exposition format wants
+          // cumulative counts-at-or-below each bound, closed by +Inf ==
+          // _count.
+          const std::string sep = sample.labels.empty() ? "" : ",";
+          std::uint64_t cum = 0;
+          for (std::size_t b = 0; b < row.bounds.size(); ++b) {
+            cum += row.buckets[b];
+            out += family + "_bucket{" + sample.labels + sep + "le=\"" +
+                   prom_value(row.bounds[b]) + "\"} " + std::to_string(cum) +
+                   "\n";
+          }
+          out += family + "_bucket{" + sample.labels + sep + "le=\"+Inf\"} " +
+                 std::to_string(row.count) + "\n";
+          out += family + "_sum" + braced + " " + prom_value(row.sum) + "\n";
+          out += family + "_count" + braced + " " + std::to_string(row.count) +
+                 "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string prometheus_lint(const std::string& text) {
+  if (text.empty()) return "";
+  if (text.back() != '\n') return "line 1: document must end with a newline";
+
+  std::set<std::string> closed_families;
+  std::set<std::string> series_seen;
+  std::string fam;
+  std::string fam_type;
+  bool fam_has_help = false;
+  bool fam_has_type = false;
+  std::size_t fam_samples = 0;
+  std::map<std::string, HistGroup> hist_groups;
+
+  // Validates the histogram invariants of the family being closed; returns
+  // an error suffix or "".
+  const auto close_family = [&]() -> std::string {
+    if (!fam.empty()) closed_families.insert(fam);
+    if (fam_type == "histogram") {
+      if (fam_samples == 0) return "histogram family '" + fam + "' has no samples";
+      for (const auto& [labels, group] : hist_groups) {
+        (void)labels;
+        if (!group.has_inf)
+          return "histogram '" + fam + "' is missing its le=\"+Inf\" bucket";
+        if (!group.has_count)
+          return "histogram '" + fam + "' is missing " + fam + "_count";
+        if (!group.has_sum)
+          return "histogram '" + fam + "' is missing " + fam + "_sum";
+        if (group.inf_value != group.count_value)
+          return "histogram '" + fam + "': le=\"+Inf\" bucket (" +
+                 format_double(group.inf_value) + ") != _count (" +
+                 format_double(group.count_value) + ")";
+      }
+    }
+    hist_groups.clear();
+    fam_has_help = fam_has_type = false;
+    fam_samples = 0;
+    fam_type.clear();
+    return "";
+  };
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  std::size_t close_line = 0;  // line that opened the family, for close errors
+  while (pos < text.size()) {
+    ++line_no;
+    const std::size_t eol = text.find('\n', pos);
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    const auto err = [&](const std::string& message) {
+      return "line " + std::to_string(line_no) + ": " + message;
+    };
+
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // `# HELP name text` / `# TYPE name type`; any other comment is legal
+      // and ignored.
+      if (line.rfind("# HELP ", 0) != 0 && line.rfind("# TYPE ", 0) != 0)
+        continue;
+      const bool is_help = line.rfind("# HELP ", 0) == 0;
+      const std::string rest = line.substr(7);
+      const std::size_t space = rest.find(' ');
+      const std::string name = rest.substr(0, space);
+      if (name.empty() || !valid_name_start(name[0]))
+        return err("invalid metric name in comment");
+      for (const char c : name)
+        if (!valid_name_char(c)) return err("invalid metric name in comment");
+      if (name != fam) {
+        if (const std::string closing = close_family(); !closing.empty())
+          return "line " + std::to_string(close_line) + ": " + closing;
+        if (closed_families.count(name) != 0)
+          return err("family '" + name + "' interleaved (seen earlier)");
+        fam = name;
+        close_line = line_no;
+      }
+      if (fam_samples != 0)
+        return err("HELP/TYPE after samples of family '" + fam + "'");
+      if (is_help) {
+        if (fam_has_help) return err("duplicate HELP for '" + fam + "'");
+        fam_has_help = true;
+      } else {
+        if (fam_has_type) return err("duplicate TYPE for '" + fam + "'");
+        if (space == std::string::npos) return err("TYPE is missing its type");
+        const std::string type = rest.substr(space + 1);
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped")
+          return err("unknown type '" + type + "'");
+        fam_has_type = true;
+        fam_type = type;
+      }
+      continue;
+    }
+
+    Sample sample;
+    if (const std::string message = parse_sample(line, sample);
+        !message.empty())
+      return err(message);
+    if (!fam_has_type)
+      return err("sample '" + sample.name + "' before any # TYPE");
+    const bool in_family =
+        sample.name == fam ||
+        (fam_type == "histogram" &&
+         (sample.name == fam + "_bucket" || sample.name == fam + "_sum" ||
+          sample.name == fam + "_count")) ||
+        (fam_type == "summary" &&
+         (sample.name == fam + "_sum" || sample.name == fam + "_count"));
+    if (!in_family)
+      return err("sample '" + sample.name + "' outside family '" + fam + "'");
+    ++fam_samples;
+
+    const std::string series_key =
+        sample.name + "\x1d" + canonical_labels(sample.labels, false);
+    if (!series_seen.insert(series_key).second)
+      return err("duplicate series '" + sample.name + "'");
+
+    if (fam_type == "counter") {
+      if (std::isnan(sample.value) || sample.value < 0.0)
+        return err("counter '" + sample.name + "' has a negative or NaN value");
+    }
+    if (fam_type == "histogram") {
+      const std::string group_key = canonical_labels(sample.labels, true);
+      HistGroup& group = hist_groups[group_key];
+      if (sample.name == fam + "_bucket") {
+        std::string le;
+        bool has_le = false;
+        for (const auto& [k, v] : sample.labels)
+          if (k == "le") {
+            le = v;
+            has_le = true;
+          }
+        if (!has_le) return err("histogram bucket without an le label");
+        const auto le_value = parse_prom_value(le);
+        if (!le_value) return err("unparseable le value '" + le + "'");
+        if (std::isnan(sample.value) || sample.value < 0.0)
+          return err("negative or NaN bucket count");
+        if (*le_value <= group.last_le)
+          return err("le values not ascending at le=\"" + le + "\"");
+        if (sample.value < group.last_cum)
+          return err("cumulative bucket counts decreased at le=\"" + le + "\"");
+        group.last_le = *le_value;
+        group.last_cum = sample.value;
+        if (std::isinf(*le_value) && *le_value > 0.0) {
+          group.has_inf = true;
+          group.inf_value = sample.value;
+        }
+      } else if (sample.name == fam + "_sum") {
+        if (group.has_sum) return err("duplicate _sum for one label set");
+        group.has_sum = true;
+      } else if (sample.name == fam + "_count") {
+        if (group.has_count) return err("duplicate _count for one label set");
+        group.has_count = true;
+        group.count_value = sample.value;
+      }
+    }
+  }
+  if (const std::string closing = close_family(); !closing.empty())
+    return "line " + std::to_string(close_line) + ": " + closing;
+  return "";
+}
+
+}  // namespace msehsim::obs

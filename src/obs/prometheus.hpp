@@ -1,0 +1,43 @@
+// Prometheus text exposition — the scrape surface for the campaign daemon.
+//
+// Renders any MetricsSnapshot into the Prometheus text format (version
+// 0.0.4): `# HELP` / `# TYPE` headers per family, counters suffixed
+// `_total`, histograms expanded into cumulative `_bucket{le="..."}` rows
+// plus `_sum`/`_count`. The repo's dotted metric names map mechanically:
+// bracketed index segments (`ledger.source[0].share`) become an `index`
+// label, every remaining invalid character becomes '_', and the @p prefix
+// namespaces the whole family set (`msehsim_ledger_source_share{index="0"}`).
+// One snapshot in, one scrape body out — the ROADMAP's daemon serves this
+// string verbatim from its /metrics endpoint.
+//
+// prometheus_lint is the strict self-check (a promtool-style parse) run in
+// tests and CI against everything the renderer emits: family grouping,
+// name/label syntax, escape sequences, value parses, ascending cumulative
+// buckets with a `+Inf` row equal to `_count`, non-negative counters.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace msehsim::obs {
+
+/// @p snapshot rendered as a Prometheus text-format scrape body. Rows whose
+/// names sanitize onto the same family (e.g. one metric per bracket index)
+/// group under one HELP/TYPE header; a sanitization collision across
+/// different kinds throws SpecError. Deterministic: families in sorted
+/// order, samples in snapshot (name-sorted) order.
+[[nodiscard]] std::string prometheus_text(const MetricsSnapshot& snapshot,
+                                          const std::string& prefix = "msehsim");
+
+/// Strict parser over a text-format scrape body: returns "" when @p text is
+/// valid, else "line N: <problem>" for the first violation. Checks comment
+/// syntax (HELP/TYPE, known types, TYPE before samples, one of each per
+/// family), metric/label name grammar, label-value escapes, value syntax
+/// (including +Inf/-Inf/NaN), family grouping without interleaving,
+/// duplicate series, non-negative counters, and histogram structure
+/// (ascending le, non-decreasing cumulative buckets, +Inf bucket present
+/// and equal to _count, _sum and _count present).
+[[nodiscard]] std::string prometheus_lint(const std::string& text);
+
+}  // namespace msehsim::obs

@@ -222,6 +222,23 @@ std::string TraceCollector::chrome_trace_json() const {
   return out;
 }
 
+std::vector<TraceEvent> TraceCollector::snapshot_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<const ThreadBuffer*> ordered;
+  ordered.reserve(buffers_.size());
+  for (const auto& buffer : buffers_) ordered.push_back(buffer.get());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ThreadBuffer* a, const ThreadBuffer* b) {
+              return a->tid < b->tid;
+            });
+  std::vector<TraceEvent> out;
+  for (const ThreadBuffer* buffer : ordered) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+  }
+  return out;
+}
+
 void TraceCollector::write_chrome_trace(const std::string& path) const {
   std::ofstream file(path, std::ios::binary);
   require_spec(file.good(), "trace export: cannot open '" + path + "'");

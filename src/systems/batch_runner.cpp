@@ -39,6 +39,7 @@ struct BatchRunner::Lane {
   RunningStats input_stats;
   Pcg32 query_rng;
   detail::MidRunProbe probe;
+  detail::TimelineSampler sampler;
   LaneOps ops;
   Joules initial_stored{0.0};
   bool deliver_queries{false};
@@ -86,6 +87,18 @@ std::size_t BatchRunner::add_lane(Platform& platform,
     probe->sampled = true;
   });
   if (injector != nullptr) injector->arm(lane->sim);
+  // Run-health timeline: registered LAST, exactly as in run_platform, so
+  // the sample reads the platform after every other callback of the same
+  // dispatch. every() consumes no one-shot sequence number, so injector
+  // events keep their FIFO tiebreaks. A lane with a due sample leaves the
+  // SoA fast path for that step (begin_step's event-due test) — a perf
+  // effect only, since the scalar and strided bodies are byte-identical.
+  if (options_.timeline_dt.value() > 0.0) {
+    lane->sampler.init(platform, options_.timeline_dt, duration_);
+    detail::TimelineSampler* sampler = &lane->sampler;
+    lane->sim.every(options_.timeline_dt,
+                    [sampler](Seconds now) { sampler->sample(now); });
+  }
 
   // Resolve the dispatch tags AFTER the injector exists: fault schedules
   // wrap harvesters in fault::FaultyHarvester at build time, so the types
@@ -116,6 +129,7 @@ std::vector<RunResult> BatchRunner::run() {
 
   const std::size_t n = lanes_.size();
   const Seconds dt = options_.dt;
+  const bool timeline_on = options_.timeline_dt.value() > 0.0;
   const bool query_traffic = options_.mean_query_interval.value() > 0.0;
   // Poisson arrivals discretized per step — the same constant run_platform
   // recomputes in its query callback.
@@ -168,36 +182,58 @@ std::vector<RunResult> BatchRunner::run() {
     const env::AmbientConditions conditions = trace.at(raw_idx % slot_count);
     const Seconds horizon = now + dt;
 
+    // Timeline residency column: lanes with any event due this step capture
+    // whether they were on the SoA fast path coming into it — before
+    // begin_step scatters them — so a firing sample reports the residency
+    // the lane would have had without the event's scalar detour.
+    if (timeline_on) {
+      for (std::size_t l = 0; l < n; ++l) {
+        if (state.next_event_s[l] < horizon.value()) {
+          lanes_[l]->sampler.soa_resident =
+              (in_soa[l] != 0 && soa.resident(l)) ? 1.0 : 0.0;
+        }
+      }
+    }
+
     // SoA lanes with an event due this step (or still off the fast path)
     // are scattered back to their objects and marked for the scalar body.
     soa.begin_step(state.next_event_s, horizon.value(), run_scalar);
 
-    for (std::size_t l = 0; l < n; ++l) {
-      if (in_soa[l] != 0 && run_scalar[l] == 0) continue;
-      // An event is due iff next_scheduled() < now + dt — the dispatch
-      // window test of Simulation::step. On quiet steps (the common case)
-      // the lane skips its event engine entirely; dispatch is a pure
-      // function of the queue and the clock, so skipping a no-op dispatch
-      // cannot change a byte.
-      if (state.next_event_s[l] < horizon.value()) {
-        Lane& lane = *lanes_[l];
-        lane.sim.sync_clock(now, steps);
-        lane.sim.dispatch_events();
-        state.next_event_s[l] = lane.sim.next_scheduled().value();
-      }
-      Platform& platform = *state.platform[l];
-      platform.step_with(lanes_[l]->ops, conditions, now, dt);
-      lanes_[l]->input_stats.add(platform.last_input_power().value(), dt);
-      if (state.queries[l] != 0 &&
-          lanes_[l]->query_rng.bernoulli(p_arrival)) {
-        platform.node()->deliver_query(platform.rail_voltage());
+    {
+      // Sampled phase span (1 in sample_every steps): how much of the step
+      // budget the scalar-fallback loop eats vs the strided body below —
+      // the resident-vs-fallback split the campaign profiler reports.
+      OBS_SPAN_SAMPLED("batch.scalar_fallback", "systems");
+      for (std::size_t l = 0; l < n; ++l) {
+        if (in_soa[l] != 0 && run_scalar[l] == 0) continue;
+        // An event is due iff next_scheduled() < now + dt — the dispatch
+        // window test of Simulation::step. On quiet steps (the common case)
+        // the lane skips its event engine entirely; dispatch is a pure
+        // function of the queue and the clock, so skipping a no-op dispatch
+        // cannot change a byte.
+        if (state.next_event_s[l] < horizon.value()) {
+          Lane& lane = *lanes_[l];
+          lane.sim.sync_clock(now, steps);
+          lane.sim.dispatch_events();
+          state.next_event_s[l] = lane.sim.next_scheduled().value();
+        }
+        Platform& platform = *state.platform[l];
+        platform.step_with(lanes_[l]->ops, conditions, now, dt);
+        lanes_[l]->input_stats.add(platform.last_input_power().value(), dt);
+        if (state.queries[l] != 0 &&
+            lanes_[l]->query_rng.bernoulli(p_arrival)) {
+          platform.node()->deliver_query(platform.rail_voltage());
+        }
       }
     }
 
     // Clean SoA lanes advance through the strided body, then get the same
     // per-step bookkeeping (input stats, query arrival draw) the scalar loop
     // does — the rng is consumed every step for query lanes either way.
-    soa.step_clean(conditions, now, dt);
+    {
+      OBS_SPAN_SAMPLED("batch.soa_resident", "systems");
+      soa.step_clean(conditions, now, dt);
+    }
     for (std::size_t l = 0; l < n; ++l) {
       if (in_soa[l] == 0 || run_scalar[l] != 0) continue;
       lanes_[l]->input_stats.add(*p_in_col[l], dt);
@@ -213,16 +249,16 @@ std::vector<RunResult> BatchRunner::run() {
     ++steps;
   }
   soa.scatter_all();
+  soa_counters_ = soa.counters();
 
   std::vector<RunResult> out;
   out.reserve(n);
   for (auto& lane : lanes_) {
     RunOptions lane_options = options_;
     lane_options.injector = lane->injector;
-    out.push_back(detail::assemble_run_result(*lane->platform, duration_,
-                                              lane_options,
-                                              lane->initial_stored,
-                                              lane->input_stats, lane->probe));
+    out.push_back(detail::assemble_run_result(
+        *lane->platform, duration_, lane_options, lane->initial_stored,
+        lane->input_stats, lane->probe, std::move(lane->sampler.timeline)));
   }
   return out;
 }

@@ -63,6 +63,7 @@
 #include "fault/injector.hpp"
 #include "systems/platform.hpp"
 #include "systems/runner.hpp"
+#include "systems/soa_state.hpp"
 
 namespace msehsim::systems {
 
@@ -91,6 +92,13 @@ class BatchRunner {
   /// tests and benches; 0 before run().
   [[nodiscard]] std::size_t soa_lane_count() const { return soa_lane_count_; }
 
+  /// SoA kernel execution counters from the last run() (zeros before it, or
+  /// when no lane joined the fast path). Diagnostics only — these feed the
+  /// campaign's metrics surface, never a RunResult.
+  [[nodiscard]] const soa::SoaCounters& soa_counters() const {
+    return soa_counters_;
+  }
+
   /// Advances every lane in lockstep to @p duration and returns one
   /// RunResult per lane, in add_lane order. Runs once.
   std::vector<RunResult> run();
@@ -104,6 +112,7 @@ class BatchRunner {
   std::vector<std::unique_ptr<Lane>> lanes_;
   bool ran_{false};
   std::size_t soa_lane_count_{0};
+  soa::SoaCounters soa_counters_;
 };
 
 /// One lane's inputs for the convenience wrapper below.

@@ -324,19 +324,86 @@ RunResult run_platform(Platform& platform, env::EnvironmentModel& environment,
       rec->stored.push(now, platform.total_stored().value());
     });
   }
+  // Run-health timeline: registered LAST, after every other periodic, so a
+  // sample reads the platform with the same dispatch ordering the batched
+  // kernel reproduces in BatchRunner::add_lane.
+  detail::TimelineSampler sampler;
+  if (options.timeline_dt.value() > 0.0) {
+    sampler.init(platform, options.timeline_dt, duration);
+    sim.every(options.timeline_dt,
+              [&sampler](Seconds now) { sampler.sample(now); });
+  }
 
   sim.run_for(duration);
 
   return detail::assemble_run_result(platform, duration, options,
-                                     initial_stored, input_stats, probe);
+                                     initial_stored, input_stats, probe,
+                                     std::move(sampler.timeline));
 }
 
-RunResult detail::assemble_run_result(Platform& platform, Seconds duration,
-                                      const RunOptions& options,
-                                      Joules initial_stored,
-                                      const RunningStats& input_stats,
-                                      const MidRunProbe& probe) {
+void detail::TimelineSampler::init(Platform& p, Seconds cadence,
+                                   Seconds duration) {
+  platform = &p;
+  const std::size_t sources = p.input_count();
+  std::vector<std::string> columns = {"soc", "stored_j", "unserved_j",
+                                      "backup_stage", "soa_resident"};
+  columns.reserve(columns.size() + 2 * sources);
+  for (std::size_t i = 0; i < sources; ++i) {
+    const std::string prefix = "source[" + std::to_string(i) + "].";
+    columns.push_back(prefix + "harvested_w");
+    columns.push_back(prefix + "delivered_w");
+  }
+  timeline = std::make_shared<obs::Timeline>(cadence, std::move(columns));
+  if (duration.value() > 0.0)
+    timeline->reserve(
+        static_cast<std::size_t>(duration.value() / cadence.value()) + 1);
+  prev_transducer_j_.assign(sources, 0.0);
+  prev_delivered_j_.assign(sources, 0.0);
+  prev_t_s_ = 0.0;
+  first_ = true;
+  row_.assign(timeline->column_count(), 0.0);
+}
+
+void detail::TimelineSampler::sample(Seconds now) {
+  row_[0] = platform->ambient_soc();
+  row_[1] = platform->total_stored().value();
+  row_[2] = platform->unserved_energy().value();
+  // Highest engaged backup stage as 1-based index (0 = chain idle or absent)
+  // — deeper stages only engage once their predecessors are in, so the
+  // maximum is the ladder's current depth.
+  double stage = 0.0;
+  if (const auto* chain = platform->backup_chain()) {
+    for (std::size_t i = 0; i < chain->stage_count(); ++i)
+      if (chain->stage_engaged(i)) stage = static_cast<double>(i + 1);
+  }
+  row_[3] = stage;
+  row_[4] = soa_resident;
+  const double gap_s = now.value() - prev_t_s_;
+  for (std::size_t i = 0; i < platform->input_count(); ++i) {
+    const auto& chain = platform->input(i);
+    const double transducer_j = chain.transducer_energy().value();
+    const double delivered_j = chain.delivered_energy().value();
+    if (first_ || gap_s <= 0.0) {
+      row_[5 + 2 * i] = 0.0;
+      row_[6 + 2 * i] = 0.0;
+    } else {
+      row_[5 + 2 * i] = (transducer_j - prev_transducer_j_[i]) / gap_s;
+      row_[6 + 2 * i] = (delivered_j - prev_delivered_j_[i]) / gap_s;
+    }
+    prev_transducer_j_[i] = transducer_j;
+    prev_delivered_j_[i] = delivered_j;
+  }
+  prev_t_s_ = now.value();
+  first_ = false;
+  timeline->append(now.value(), row_.data(), row_.size());
+}
+
+RunResult detail::assemble_run_result(
+    Platform& platform, Seconds duration, const RunOptions& options,
+    Joules initial_stored, const RunningStats& input_stats,
+    const MidRunProbe& probe, std::shared_ptr<const obs::Timeline> timeline) {
   RunResult r;
+  r.timeline = std::move(timeline);
   r.duration = duration;
   r.harvested = platform.harvested_energy();
   r.load = platform.load_energy();

@@ -7,6 +7,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -17,6 +18,7 @@
 #include "fault/injector.hpp"
 #include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "systems/platform.hpp"
 
 namespace msehsim::systems {
@@ -112,6 +114,11 @@ struct RunResult {
   /// accumulators the run integrates anyway, so its bytes are identical
   /// with observability compiled in or out.
   obs::EnergyLedger ledger;
+  /// Run-health timeline, present iff RunOptions::timeline_dt > 0.
+  /// Deliberately NOT in run_result_fields(): the timeline has its own
+  /// column table and exporters, so to_string/CSV/JSON of the result stay
+  /// byte-identical whether sampling was on or off.
+  std::shared_ptr<const obs::Timeline> timeline;
 };
 
 /// Name + accessor (+ integer formatting flag) for every scalar RunResult
@@ -183,6 +190,14 @@ struct RunOptions {
   /// bit-exactness for extra vectorization headroom, bounded by the energy
   /// ledger's <1e-9 relative-residual gate. Ignored by run_platform.
   bool allow_reassociation{false};
+  /// When positive, a fixed-cadence run-health timeline (SoC, stored energy,
+  /// unserved energy, backup-chain stage, per-source harvested/delivered
+  /// power) is sampled every timeline_dt of simulated time and attached as
+  /// RunResult::timeline. Sampling is read-only — results are byte-identical
+  /// with it on or off — but lanes with a due sample leave the SoA fast path
+  /// for that step, so prefer coarse cadences on batched campaigns
+  /// (obs::Timeline::kDefaultCadenceS is the documented default).
+  Seconds timeline_dt{0.0};
 };
 
 /// Runs @p platform in @p environment for @p duration and summarizes.
@@ -204,6 +219,36 @@ struct MidRunProbe {
   bool sampled{false};
 };
 
+/// Fixed-cadence run-health sampler shared by run_platform and the batched
+/// lane kernel. Registered as the LAST sim.every() periodic in both paths,
+/// so a sample reads the platform at the start of the step it falls in —
+/// after every management/recorder callback of the same dispatch, before
+/// the step itself — identically in the scalar and batched kernels.
+/// Strictly read-only over the platform: enabling it cannot change results.
+struct TimelineSampler {
+  std::shared_ptr<obs::Timeline> timeline;
+  Platform* platform{nullptr};
+  /// SoA residency of this sampler's lane at the sampled step (batched path
+  /// writes it just before dispatch; run_platform leaves it 0). The one
+  /// width-dependent column, excluded from cross-width comparisons.
+  double soa_resident{0.0};
+
+  /// Builds the column table for @p p (5 scalar columns + 2 per source)
+  /// and pre-reserves for @p duration at @p cadence.
+  void init(Platform& p, Seconds cadence, Seconds duration);
+  /// Appends one sample at @p now. Powers are trailing deltas of the
+  /// platform's energy accumulators over the inter-sample gap; the first
+  /// sample reports 0 W.
+  void sample(Seconds now);
+
+ private:
+  std::vector<double> prev_transducer_j_;
+  std::vector<double> prev_delivered_j_;
+  double prev_t_s_{0.0};
+  bool first_{true};
+  std::vector<double> row_;
+};
+
 /// Summarizes a finished run into a RunResult — the shared tail of
 /// run_platform and systems::BatchRunner, so every lane's result is
 /// assembled by literally the same code (exports, ledger, metrics,
@@ -211,7 +256,9 @@ struct MidRunProbe {
 RunResult assemble_run_result(Platform& platform, Seconds duration,
                               const RunOptions& options, Joules initial_stored,
                               const RunningStats& input_stats,
-                              const MidRunProbe& probe);
+                              const MidRunProbe& probe,
+                              std::shared_ptr<const obs::Timeline> timeline =
+                                  nullptr);
 
 }  // namespace detail
 

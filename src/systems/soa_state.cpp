@@ -341,7 +341,11 @@ void SoaBatch::begin_step(const std::vector<double>& next_event_s,
   // Quiet step: every lane resident and no event due before the horizon —
   // nothing can diverge, skip the per-lane scan (the common case; events
   // arrive on management-tick cadence, not step cadence).
+  ++counters_.steps;
+  counters_.lane_steps += lane_index_.size();
   if (min_valid_ && all_resident_ && min_next_event_ >= horizon_s) {
+    ++counters_.quiet_steps;
+    counters_.resident_lane_steps += lane_index_.size();
     marked_ = 0;
     return;
   }
@@ -351,12 +355,16 @@ void SoaBatch::begin_step(const std::vector<double>& next_event_s,
     for (std::size_t j = 0; j < g.lane.size(); ++j) {
       const std::size_t id = g.lane[j].lane_id;
       if (next_event_s[id] >= horizon_s && g.resident[j] != 0) {
+        ++counters_.resident_lane_steps;
         min_ev = std::min(min_ev, next_event_s[id]);
         continue;
       }
       if (g.resident[j] != 0) {
         scatter(g, j);
         g.resident[j] = 0;
+        ++counters_.exit_event_due;
+      } else {
+        ++counters_.exit_not_resident;
       }
       g.step_scalar[j] = 1;
       run_scalar[id] = 1;
@@ -411,6 +419,7 @@ void SoaBatch::end_step(const std::vector<double>& next_event_s,
           break;
         }
       }
+      if (latched) ++counters_.thermal_latched;
       if (!latched) {
         gather(g, j);
         g.resident[j] = 1;

@@ -197,6 +197,21 @@ void soa_step_range_reassoc_impl(Group& g, std::size_t b, std::size_t e,
                                  const env::AmbientConditions& conditions,
                                  Seconds now, Seconds dt);
 
+/// SoA kernel execution counters — how the fast path actually behaved over
+/// a run: quiet-step hit rate, resident-lane fraction, and why lanes left
+/// the strided body. Pure diagnostics: they never feed RunResult (the
+/// numbers are width- and schedule-dependent by nature) and surface only
+/// through BatchRunner::soa_counters() -> campaign metrics -> Prometheus.
+struct SoaCounters {
+  std::uint64_t steps{0};            ///< begin_step calls
+  std::uint64_t quiet_steps{0};      ///< steps taking the no-scan fast path
+  std::uint64_t lane_steps{0};       ///< steps x registered SoA lanes
+  std::uint64_t resident_lane_steps{0};  ///< lane-steps on the strided body
+  std::uint64_t exit_event_due{0};   ///< resident lanes scattered for a due event
+  std::uint64_t exit_not_resident{0};///< lane-steps spent off the fast path
+  std::uint64_t thermal_latched{0};  ///< re-gathers skipped by the shutdown latch
+};
+
 /// The SoA lane batch owned by a BatchRunner::run() invocation.
 class SoaBatch {
  public:
@@ -248,6 +263,17 @@ class SoaBatch {
   /// of its per-step bookkeeping loop.
   [[nodiscard]] const double* input_power_ptr(std::size_t lane_id) const;
 
+  /// Whether @p lane_id is currently resident on the SoA fast path (columns
+  /// authoritative). False for lanes that never joined.
+  [[nodiscard]] bool resident(std::size_t lane_id) const {
+    if (lane_id >= lane_slot_.size()) return false;
+    const auto [gp, pos] = lane_slot_[lane_id];
+    return gp != 0 && groups_[gp - 1].resident[pos] != 0;
+  }
+
+  /// Execution counters accumulated since construction.
+  [[nodiscard]] const SoaCounters& counters() const { return counters_; }
+
   /// Writes every resident lane's columns back to its objects (run end).
   void scatter_all();
 
@@ -264,6 +290,7 @@ class SoaBatch {
   bool min_valid_{false};
   bool all_resident_{false};
   std::size_t marked_{0};  ///< lanes sent scalar by the last begin_step
+  SoaCounters counters_;
   std::vector<Group> groups_;
   std::vector<std::pair<std::size_t, std::size_t>>
       lane_index_;  ///< lane_id -> (group, position), in add order

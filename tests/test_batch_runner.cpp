@@ -24,6 +24,7 @@
 #include "power/mppt.hpp"
 #include "storage/battery.hpp"
 #include "storage/supercapacitor.hpp"
+#include "obs/timeline.hpp"
 #include "systems/batch_runner.hpp"
 #include "systems/catalog.hpp"
 #include "systems/platform.hpp"
@@ -427,6 +428,175 @@ TEST(LeakDetector, StaysQuietOnSteadyStateLoss) {
   Campaign c(leak_grid(false));
   c.run();
   EXPECT_TRUE(c.leak_warnings().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Run-health timeline on the batched path
+// ---------------------------------------------------------------------------
+
+TEST(RunTimeline, ByteIdenticalAcrossLaneWidthsWithSamplingOn) {
+  CampaignSpec spec = systems_grid();
+  spec.scenarios[0].options.timeline_dt = Seconds{60.0};
+  expect_width_invariant(spec);
+}
+
+TEST(RunTimeline, FaultedSoaGridByteIdenticalWithSamplingOn) {
+  // The sampler's periodic forces lanes with due samples onto the scalar
+  // body for a step — a perf event, never a physics one. Faults layered on
+  // top must still reproduce the width-1 reference byte for byte.
+  CampaignSpec spec;
+  spec.platforms.push_back(
+      {"system-b", [](std::uint64_t s) { return systems::build_system_b(s); }});
+  Scenario sc;
+  sc.name = "faulted-sampled";
+  sc.environment = outdoor_factory();
+  sc.duration = Seconds{7200.0};
+  sc.options.dt = Seconds{5.0};
+  sc.options.timeline_dt = Seconds{120.0};
+  sc.options.mean_query_interval = Seconds{120.0};
+  sc.injector = [](std::uint64_t seed, systems::Platform& platform) {
+    auto inj = std::make_unique<fault::FaultInjector>(seed);
+    inj->harvester_intermittent(Seconds{600.0}, platform.input(0), 0.4);
+    inj->harvester_heal(Seconds{2400.0}, platform.input(0));
+    inj->storage_leakage_spike(Seconds{1800.0}, platform.store(0), 25.0,
+                               Seconds{1200.0});
+    inj->converter_thermal_shutdown(Seconds{4200.0}, platform.input(0),
+                                    Seconds{600.0});
+    return inj;
+  };
+  spec.scenarios.push_back(std::move(sc));
+  spec.seeds = {5, 9};
+  spec.compile_traces = true;
+  expect_width_invariant(spec);
+}
+
+TEST(RunTimeline, SamplingOnVsOffReportsIdenticalBytesAtWidthEight) {
+  CampaignSpec off = systems_grid();
+  off.lane_width = 8;
+  off.threads = 3;
+  CampaignSpec on = systems_grid();
+  on.lane_width = 8;
+  on.threads = 3;
+  on.scenarios[0].options.timeline_dt = Seconds{60.0};
+  Campaign c_off(off);
+  Campaign c_on(on);
+  EXPECT_EQ(reports(c_off), reports(c_on));
+  // Off: no job carries a timeline. On: every job does.
+  for (const auto& job : c_off.results())
+    EXPECT_EQ(job.result.timeline, nullptr);
+  for (const auto& job : c_on.results()) {
+    ASSERT_NE(job.result.timeline, nullptr);
+    EXPECT_EQ(job.result.timeline->sample_count(), 30u);  // 1800 s / 60 s
+  }
+}
+
+TEST(RunTimeline, BatchedSamplesMatchScalarExceptResidencyColumn) {
+  const Seconds dt{5.0};
+  const Seconds duration{1800.0};
+  systems::RunOptions options;
+  options.dt = dt;
+  options.mean_query_interval = Seconds{120.0};
+  options.timeline_dt = Seconds{60.0};
+
+  auto model = env::Environment::outdoor(7);
+  const auto trace = env::CompiledTrace::compile(model, dt, duration);
+
+  auto a = systems::build_system_a(7);
+  auto b = systems::build_system_b(7);
+  systems::BatchRunner runner(trace, duration, options);
+  runner.add_lane(*a);
+  runner.add_lane(*b);
+  const auto batched = runner.run();
+  ASSERT_EQ(batched.size(), 2u);
+
+  auto scalar = [&](std::unique_ptr<systems::Platform> p) {
+    env::CompiledEnvironment environment(trace);
+    return systems::run_platform(*p, environment, duration, options);
+  };
+  const auto ref_a = scalar(systems::build_system_a(7));
+  const auto ref_b = scalar(systems::build_system_b(7));
+
+  for (const auto& [got, want] : {std::pair{&batched[0], &ref_a},
+                                  std::pair{&batched[1], &ref_b}}) {
+    ASSERT_NE(got->timeline, nullptr);
+    ASSERT_NE(want->timeline, nullptr);
+    const auto& gt = *got->timeline;
+    const auto& wt = *want->timeline;
+    ASSERT_EQ(gt.columns(), wt.columns());
+    ASSERT_EQ(gt.sample_count(), wt.sample_count());
+    EXPECT_EQ(gt.time(), wt.time());
+    for (std::size_t col = 0; col < gt.column_count(); ++col) {
+      // soa_resident is width-dependent by design: the scalar runner never
+      // has a resident lane, the batched one usually does. Everything else
+      // must agree to the bit.
+      if (gt.columns()[col] == "soa_resident") continue;
+      EXPECT_EQ(gt.column(col), wt.column(col)) << gt.columns()[col];
+    }
+    const auto residency = gt.find_column("soa_resident");
+    ASSERT_NE(residency, obs::Timeline::npos);
+    for (const double v : wt.column(residency))
+      EXPECT_DOUBLE_EQ(v, 0.0);  // scalar runner: nothing is ever resident
+  }
+  // System B rides the SoA columns, so its batched residency column must
+  // actually light up somewhere mid-run.
+  const auto residency = batched[1].timeline->find_column("soa_resident");
+  double seen = 0.0;
+  for (const double v : batched[1].timeline->column(residency))
+    seen = std::max(seen, v);
+  EXPECT_DOUBLE_EQ(seen, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// SoA kernel counters
+// ---------------------------------------------------------------------------
+
+TEST(SoaCounters, PartitionLaneStepsAndShowResidency) {
+  const Seconds dt{5.0};
+  const Seconds duration{1800.0};
+  systems::RunOptions options;
+  options.dt = dt;
+  options.mean_query_interval = Seconds{120.0};
+
+  auto model = env::Environment::outdoor(7);
+  const auto trace = env::CompiledTrace::compile(model, dt, duration);
+  auto a = systems::build_system_a(7);
+  auto b = systems::build_system_b(7);
+  systems::BatchRunner runner(trace, duration, options);
+  runner.add_lane(*a);
+  runner.add_lane(*b);
+  (void)runner.run();
+
+  const auto& c = runner.soa_counters();
+  EXPECT_EQ(c.steps, 360u);  // 1800 s / 5 s
+  // One SoA lane (System B); System A stays scalar and never counts.
+  EXPECT_EQ(c.lane_steps, c.steps * runner.soa_lane_count());
+  EXPECT_EQ(c.resident_lane_steps + c.exit_event_due + c.exit_not_resident,
+            c.lane_steps);
+  EXPECT_LE(c.quiet_steps, c.steps);
+  // A clean outdoor run is overwhelmingly quiet: management ticks are 60 s
+  // apart on a 5 s step, so at least half of all lane-steps stay resident.
+  EXPECT_GT(c.resident_lane_steps * 2, c.lane_steps);
+  EXPECT_EQ(c.thermal_latched, 0u);
+}
+
+TEST(SoaCounters, ThermalLatchShowsUpUnderShutdownFaults) {
+  const Seconds dt{5.0};
+  const Seconds duration{7200.0};
+  systems::RunOptions options;
+  options.dt = dt;
+
+  auto model = env::Environment::outdoor(9);
+  const auto trace = env::CompiledTrace::compile(model, dt, duration);
+  auto b = systems::build_system_b(9);
+  fault::FaultInjector inj(9);
+  inj.converter_thermal_shutdown(Seconds{1800.0}, b->input(0), Seconds{600.0});
+  systems::BatchRunner runner(trace, duration, options);
+  runner.add_lane(*b, &inj);
+  (void)runner.run();
+
+  const auto& c = runner.soa_counters();
+  EXPECT_GT(c.thermal_latched, 0u);
+  EXPECT_GT(c.exit_not_resident, 0u);  // latched lanes re-enter scalar steps
 }
 
 TEST(LeakDetector, WarningsAgreeAcrossLaneWidths) {

@@ -7,6 +7,8 @@
 #include <clocale>
 #include <cmath>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -700,6 +702,113 @@ TEST(CampaignExport, ByteIdenticalUnderCommaDecimalLocale) {
     EXPECT_EQ(parsed.rows[0][4 + f],
               fields[f].get(reference.results()[0].result))
         << fields[f].name;
+}
+
+// ---------------------------------------------------------------------------
+// Run-health timelines at campaign scale
+// ---------------------------------------------------------------------------
+
+/// small_grid with the timeline sampler armed on every scenario.
+CampaignSpec sampled_grid(unsigned threads) {
+  auto spec = small_grid(threads);
+  for (auto& sc : spec.scenarios) sc.options.timeline_dt = Seconds{300.0};
+  return spec;
+}
+
+TEST(CampaignTimelines, ExportEmptyWhenSamplingOff) {
+  Campaign c(small_grid(1));
+  c.run();
+  EXPECT_EQ(timelines_json(c), "{\n  \"timelines\": []\n}\n");
+}
+
+TEST(CampaignTimelines, ExportDeterministicAcrossThreadCounts) {
+  Campaign serial(sampled_grid(1));
+  Campaign parallel(sampled_grid(3));
+  serial.run();
+  parallel.run();
+  const auto doc = timelines_json(serial);
+  EXPECT_EQ(doc, timelines_json(parallel));
+  // Every job carries a timeline (8 jobs) with grid coordinates and the
+  // embedded Timeline document.
+  ASSERT_FALSE(serial.results().empty());
+  for (const auto& job : serial.results())
+    ASSERT_NE(job.result.timeline, nullptr);
+  for (const char* needle :
+       {"\"timelines\": [", "\"platform\": 0", "\"seed\": 11",
+        "\"cadence_s\": 300", "\"columns\": [\"soc\"",
+        "\"samples\": [[0, "})
+    EXPECT_NE(doc.find(needle), std::string::npos) << needle;
+}
+
+TEST(CampaignTimelines, SamplingNeverChangesResultExports) {
+  Campaign off(small_grid(2));
+  Campaign on(sampled_grid(2));
+  off.run();
+  on.run();
+  EXPECT_EQ(results_csv(off), results_csv(on));
+  EXPECT_EQ(seed_stats_csv(off), seed_stats_csv(on));
+  EXPECT_EQ(results_json(off), results_json(on));
+  EXPECT_EQ(reports(off), reports(on));
+}
+
+TEST(CampaignTimelines, FileWriterRoundTrips) {
+  Campaign c(sampled_grid(2));
+  c.run();
+  const std::string path = ::testing::TempDir() + "/timelines.json";
+  write_timelines_json(c, path);
+  std::ifstream file(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  EXPECT_EQ(buffer.str(), timelines_json(c));
+  EXPECT_THROW(write_timelines_json(c, ::testing::TempDir() + "/no/dir/x.json"),
+               SpecError);
+}
+
+// ---------------------------------------------------------------------------
+// SoA kernel counters folded onto the campaign metrics
+// ---------------------------------------------------------------------------
+
+TEST(CampaignMetrics, SoaCountersSurfaceOnBatchedRuns) {
+  auto spec = small_grid(2);
+  spec.lane_width = 8;
+  Campaign c(std::move(spec));
+  c.run();
+  EXPECT_GT(c.lane_blocks(), 0u);
+  const auto snap = c.metrics();
+  const auto* steps = snap.find("campaign.soa.steps");
+  ASSERT_NE(steps, nullptr);
+  EXPECT_GT(steps->count, 0u);
+  const auto* lane_steps = snap.find("campaign.soa.lane_steps");
+  const auto* resident = snap.find("campaign.soa.resident_lane_steps");
+  const auto* due = snap.find("campaign.soa.exit_event_due");
+  const auto* not_resident = snap.find("campaign.soa.exit_not_resident");
+  ASSERT_NE(lane_steps, nullptr);
+  ASSERT_NE(resident, nullptr);
+  ASSERT_NE(due, nullptr);
+  ASSERT_NE(not_resident, nullptr);
+  EXPECT_EQ(resident->count + due->count + not_resident->count,
+            lane_steps->count);
+  const auto* fraction = snap.find("campaign.soa.resident_fraction");
+  ASSERT_NE(fraction, nullptr);
+  EXPECT_GT(fraction->value, 0.0);
+  EXPECT_LE(fraction->value, 1.0);
+  const auto* quiet = snap.find("campaign.soa.quiet_fraction");
+  ASSERT_NE(quiet, nullptr);
+  EXPECT_GE(quiet->value, 0.0);
+  EXPECT_LE(quiet->value, 1.0);
+}
+
+TEST(CampaignMetrics, SoaCounterRowsStayZeroOnTheLegacyPath) {
+  auto spec = small_grid(1);
+  spec.lane_width = 1;  // pin: the default honors MSEHSIM_LANE_WIDTH
+  Campaign c(std::move(spec));
+  c.run();
+  EXPECT_EQ(c.lane_blocks(), 0u);
+  const auto snap = c.metrics();
+  const auto* steps = snap.find("campaign.soa.steps");
+  ASSERT_NE(steps, nullptr);
+  EXPECT_EQ(steps->count, 0u);
+  EXPECT_DOUBLE_EQ(snap.find("campaign.soa.resident_fraction")->value, 0.0);
 }
 
 }  // namespace

@@ -3,7 +3,9 @@
 // span tracing, and the derived failover / brownout metrics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -15,6 +17,8 @@
 #include "manager/policies.hpp"
 #include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "storage/fuel_cell.hpp"
 #include "systems/catalog.hpp"
@@ -68,6 +72,41 @@ TEST(Histogram, BucketsObservationsAgainstSortedBounds) {
   EXPECT_EQ(h.count(), 5u);
   EXPECT_DOUBLE_EQ(h.min(), 0.5);
   EXPECT_DOUBLE_EQ(h.max(), 1e6);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinTheHoldingBucket) {
+  obs::Histogram h({1.0, 10.0, 100.0});
+  for (const double x : {0.5, 1.0, 5.0, 50.0, 1e6}) h.observe(x);
+  // count=5, buckets [2,1,1,1]. The median (target 2.5) lands in the
+  // (1, 10] bucket, halfway through its single observation.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.5);
+  // Target 4.5 reaches the overflow bucket, which interpolates over
+  // [last bound clamped to data, max] = [100, 1e6].
+  EXPECT_DOUBLE_EQ(h.quantile(0.9), 100.0 + 0.5 * (1e6 - 100.0));
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.5);  // q <= 0 -> min
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1e6);  // q >= 1 -> max
+  EXPECT_DOUBLE_EQ(h.quantile(-3.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), 1e6);
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+  obs::Histogram empty({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);  // empty -> 0 by contract
+
+  // A single observation answers every quantile with itself: the bucket
+  // edges clamp to the observed [min, max] (both 0.5).
+  obs::Histogram single({1.0});
+  single.observe(0.5);
+  EXPECT_DOUBLE_EQ(single.quantile(0.25), 0.5);
+  EXPECT_DOUBLE_EQ(single.quantile(0.75), 0.5);
+
+  // Everything in the overflow bucket: interpolation spans [min, max]
+  // because no finite bound bounds the data.
+  obs::Histogram over({1.0});
+  over.observe(10.0);
+  over.observe(20.0);
+  EXPECT_DOUBLE_EQ(over.quantile(0.5), 15.0);
+  EXPECT_DOUBLE_EQ(over.quantile(1.0), 20.0);
 }
 
 TEST(MetricsSnapshot, MergeAddsCountersAndKeepsGaugeMax) {
@@ -497,7 +536,319 @@ TEST(TraceCollector, RunPlatformEmitsSpansWhenEnabled) {
   EXPECT_NE(json.find("\"platform.step\""), std::string::npos);
 }
 
+TEST(TraceCollector, SnapshotEventsReturnsCompleteSpansInTidOrder) {
+  auto& collector = obs::TraceCollector::instance();
+  collector.enable(64);
+  {
+    OBS_SPAN("outer_snapshot_test", "test");
+    { OBS_SPAN("inner_snapshot_test", "test"); }
+  }
+  const auto events = collector.snapshot_events();
+  collector.disable();
+  ASSERT_GE(events.size(), 2u);
+  bool saw_outer = false, saw_inner = false;
+  for (const auto& e : events) {
+    if (e.name == "outer_snapshot_test") saw_outer = true;
+    if (e.name == "inner_snapshot_test") saw_inner = true;
+    EXPECT_GE(e.dur_us, 0.0);
+  }
+  EXPECT_TRUE(saw_outer);
+  EXPECT_TRUE(saw_inner);
+  // tid-ordered drain: tids never decrease across the snapshot.
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_GE(events[i].tid, events[i - 1].tid);
+}
+
 #endif  // MSEHSIM_OBS_ENABLED
+
+// ---------------------------------------------------------------------------
+// Timeline: deterministic fixed-cadence sampling container
+// ---------------------------------------------------------------------------
+
+TEST(Timeline, ValidatesCadenceColumnsAndRowWidth) {
+  EXPECT_THROW(obs::Timeline(Seconds{0.0}, {"a"}), SpecError);
+  EXPECT_THROW(obs::Timeline(Seconds{-1.0}, {"a"}), SpecError);
+  EXPECT_THROW(obs::Timeline(Seconds{1.0}, {}), SpecError);
+
+  obs::Timeline tl(Seconds{1.0}, {"a", "b"});
+  const double row[1] = {1.0};
+  EXPECT_THROW(tl.append(0.0, row, 1), SpecError);
+  EXPECT_EQ(tl.sample_count(), 0u);
+}
+
+TEST(Timeline, FindColumnAndAccessors) {
+  obs::Timeline tl(Seconds{0.5}, {"soc", "stored_j"});
+  EXPECT_EQ(tl.column_count(), 2u);
+  EXPECT_EQ(tl.find_column("soc"), 0u);
+  EXPECT_EQ(tl.find_column("stored_j"), 1u);
+  EXPECT_EQ(tl.find_column("missing"), obs::Timeline::npos);
+  EXPECT_DOUBLE_EQ(tl.cadence().value(), 0.5);
+
+  const double r0[2] = {0.5, 2.0};
+  const double r1[2] = {0.25, 1.5};
+  tl.append(0.0, r0, 2);
+  tl.append(0.5, r1, 2);
+  ASSERT_EQ(tl.sample_count(), 2u);
+  EXPECT_DOUBLE_EQ(tl.time()[1], 0.5);
+  EXPECT_DOUBLE_EQ(tl.column(0)[1], 0.25);
+  EXPECT_DOUBLE_EQ(tl.column(1)[0], 2.0);
+}
+
+TEST(Timeline, CsvAndJsonAreByteExact) {
+  obs::Timeline tl(Seconds{0.5}, {"a", "b"});
+  const double r0[2] = {1.5, 2.0};
+  const double r1[2] = {0.25, -0.5};
+  tl.append(0.0, r0, 2);
+  tl.append(0.5, r1, 2);
+  EXPECT_EQ(tl.csv(), "t_s,a,b\n0,1.5,2\n0.5,0.25,-0.5\n");
+  EXPECT_EQ(tl.json(),
+            "{\"cadence_s\": 0.5, \"columns\": [\"a\", \"b\"], "
+            "\"samples\": [[0, 1.5, 2], [0.5, 0.25, -0.5]]}");
+}
+
+TEST(Timeline, MetricsSnapshotCarriesPerColumnStats) {
+  obs::Timeline tl(Seconds{2.0}, {"a"});
+  const double r0[1] = {3.0};
+  const double r1[1] = {-1.0};
+  const double r2[1] = {2.0};
+  tl.append(0.0, r0, 1);
+  tl.append(2.0, r1, 1);
+  tl.append(4.0, r2, 1);
+  const auto snap = tl.metrics_snapshot();
+  const auto* samples = snap.find("timeline.samples");
+  ASSERT_NE(samples, nullptr);
+  EXPECT_EQ(samples->kind, obs::MetricKind::kCounter);
+  EXPECT_EQ(samples->count, 3u);
+  const auto* cadence = snap.find("timeline.cadence_s");
+  ASSERT_NE(cadence, nullptr);
+  EXPECT_DOUBLE_EQ(cadence->value, 2.0);
+  EXPECT_DOUBLE_EQ(snap.find("timeline.a.last")->value, 2.0);
+  EXPECT_DOUBLE_EQ(snap.find("timeline.a.min")->value, -1.0);
+  EXPECT_DOUBLE_EQ(snap.find("timeline.a.max")->value, 3.0);
+}
+
+TEST(Timeline, EmptyTimelineSnapshotsZeroRows) {
+  obs::Timeline tl(Seconds{1.0}, {"a"});
+  const auto snap = tl.metrics_snapshot();
+  EXPECT_EQ(snap.find("timeline.samples")->count, 0u);
+  EXPECT_DOUBLE_EQ(snap.find("timeline.a.last")->value, 0.0);
+  EXPECT_DOUBLE_EQ(snap.find("timeline.a.min")->value, 0.0);
+  EXPECT_DOUBLE_EQ(snap.find("timeline.a.max")->value, 0.0);
+  EXPECT_EQ(tl.csv(), "t_s,a\n");
+}
+
+// ---------------------------------------------------------------------------
+// Run-health timeline wired through run_platform
+// ---------------------------------------------------------------------------
+
+TEST(RunTimeline, OffByDefaultOnWhenRequested) {
+  auto a = systems::build_system_a(kSeed);
+  auto env = env::Environment::outdoor(kSeed);
+  systems::RunOptions o;
+  o.dt = Seconds{5.0};
+  const auto off = systems::run_platform(*a, env, Seconds{3600.0}, o);
+  EXPECT_EQ(off.timeline, nullptr);
+
+  auto a2 = systems::build_system_a(kSeed);
+  auto env2 = env::Environment::outdoor(kSeed);
+  o.timeline_dt = Seconds{60.0};
+  const auto on = systems::run_platform(*a2, env2, Seconds{3600.0}, o);
+  ASSERT_NE(on.timeline, nullptr);
+  // Periodics fire within [now, now + dt): samples land at t = 0, 60, ...,
+  // 3540 — the 3600 s boundary belongs to the step that never runs.
+  EXPECT_EQ(on.timeline->sample_count(), 60u);
+  EXPECT_DOUBLE_EQ(on.timeline->time().front(), 0.0);
+  EXPECT_DOUBLE_EQ(on.timeline->time().back(), 3540.0);
+  EXPECT_DOUBLE_EQ(on.timeline->cadence().value(), 60.0);
+}
+
+TEST(RunTimeline, SchemaCoversStorageBackupAndEverySource) {
+  auto a = systems::build_system_a(kSeed);
+  auto env = env::Environment::outdoor(kSeed);
+  systems::RunOptions o;
+  o.dt = Seconds{5.0};
+  o.timeline_dt = Seconds{300.0};
+  const auto r = systems::run_platform(*a, env, Seconds{6.0 * 3600.0}, o);
+  ASSERT_NE(r.timeline, nullptr);
+  const auto& tl = *r.timeline;
+  for (const char* col :
+       {"soc", "stored_j", "unserved_j", "backup_stage", "soa_resident"})
+    EXPECT_NE(tl.find_column(col), obs::Timeline::npos) << col;
+  for (std::size_t i = 0; i < a->input_count(); ++i) {
+    const std::string base = "source[" + std::to_string(i) + "]";
+    EXPECT_NE(tl.find_column(base + ".harvested_w"), obs::Timeline::npos);
+    EXPECT_NE(tl.find_column(base + ".delivered_w"), obs::Timeline::npos);
+  }
+
+  // Physical sanity: SoC in [0, 1], powers are trailing averages that start
+  // at zero (no previous sample to difference against).
+  const auto& soc = tl.column(tl.find_column("soc"));
+  for (const double v : soc) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  const auto& h0 = tl.column(tl.find_column("source[0].harvested_w"));
+  EXPECT_DOUBLE_EQ(h0.front(), 0.0);
+  double peak = 0.0;
+  for (const double v : h0) peak = std::max(peak, v);
+  EXPECT_GT(peak, 0.0);  // an outdoor day run harvests something
+}
+
+TEST(RunTimeline, SamplingNeverChangesRunResultBytes) {
+  systems::RunOptions off_o;
+  off_o.dt = Seconds{5.0};
+  systems::RunOptions on_o = off_o;
+  on_o.timeline_dt = Seconds{60.0};
+
+  {
+    auto a = systems::build_system_a(kSeed);
+    auto env = env::Environment::outdoor(kSeed);
+    const auto off = systems::run_platform(*a, env, Seconds{6.0 * 3600.0},
+                                           off_o);
+    auto a2 = systems::build_system_a(kSeed);
+    auto env2 = env::Environment::outdoor(kSeed);
+    const auto on = systems::run_platform(*a2, env2, Seconds{6.0 * 3600.0},
+                                          on_o);
+    EXPECT_EQ(systems::to_string(off), systems::to_string(on));
+    EXPECT_EQ(systems::metrics_snapshot(off).csv(),
+              systems::metrics_snapshot(on).csv());
+  }
+
+  // Faulted run: the injector's one-shot sequence numbers must be
+  // unaffected by the sampler's (periodic) registration.
+  {
+    auto run = [&](const systems::RunOptions& base) {
+      auto b = systems::build_system_b(kSeed);
+      auto env = env::Environment::indoor_industrial(kSeed);
+      fault::FaultInjector inj(kSeed);
+      inj.harvester_intermittent(Seconds{600.0}, b->input(0), 0.6);
+      inj.harvester_stuck_short(Seconds{5400.0}, b->input(1));
+      auto o = base;
+      o.injector = &inj;
+      return systems::to_string(
+          systems::run_platform(*b, env, Seconds{6.0 * 3600.0}, o));
+    };
+    EXPECT_EQ(run(off_o), run(on_o));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Profiler: call-tree reconstruction from flat span events
+// ---------------------------------------------------------------------------
+
+namespace {
+
+obs::TraceEvent make_event(const char* name, double ts_us, double dur_us,
+                           std::uint32_t tid = 0) {
+  obs::TraceEvent e;
+  e.name = name;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.tid = tid;
+  return e;
+}
+
+}  // namespace
+
+TEST(Profiler, NestsByIntervalContainment) {
+  std::vector<obs::TraceEvent> events;
+  events.push_back(make_event("job", 0.0, 100.0));
+  events.push_back(make_event("compile", 10.0, 20.0));
+  events.push_back(make_event("run", 40.0, 50.0));
+  obs::Profiler profiler;
+  profiler.add_events(events);
+
+  const auto& root = profiler.root();
+  ASSERT_EQ(root.children.size(), 1u);
+  const auto& job = root.children[0];
+  EXPECT_EQ(job.name, "job");
+  EXPECT_EQ(job.count, 1u);
+  EXPECT_DOUBLE_EQ(job.total_us, 100.0);
+  EXPECT_DOUBLE_EQ(job.child_us, 70.0);
+  EXPECT_DOUBLE_EQ(job.self_us(), 30.0);
+  ASSERT_EQ(job.children.size(), 2u);
+  EXPECT_EQ(job.children[0].name, "compile");
+  EXPECT_DOUBLE_EQ(job.children[0].total_us, 20.0);
+  EXPECT_EQ(job.children[1].name, "run");
+  EXPECT_DOUBLE_EQ(job.children[1].total_us, 50.0);
+
+  const auto report = profiler.report();
+  EXPECT_NE(report.find("job"), std::string::npos);
+  EXPECT_NE(report.find("compile"), std::string::npos);
+  EXPECT_NE(report.find("% of parent"), std::string::npos);
+}
+
+TEST(Profiler, SameStartTieGoesLongestFirstAndMergesRepeats) {
+  std::vector<obs::TraceEvent> events;
+  // Same start timestamp: the enclosing (longer) span must win the sort so
+  // the shorter one nests beneath it.
+  events.push_back(make_event("inner", 0.0, 30.0));
+  events.push_back(make_event("outer", 0.0, 100.0));
+  // A second occurrence of the same pair merges into the same nodes.
+  events.push_back(make_event("outer", 200.0, 60.0));
+  events.push_back(make_event("inner", 210.0, 10.0));
+  obs::Profiler profiler;
+  profiler.add_events(events);
+
+  const auto& root = profiler.root();
+  ASSERT_EQ(root.children.size(), 1u);
+  const auto& outer = root.children[0];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.count, 2u);
+  EXPECT_DOUBLE_EQ(outer.total_us, 160.0);
+  ASSERT_EQ(outer.children.size(), 1u);
+  EXPECT_EQ(outer.children[0].name, "inner");
+  EXPECT_EQ(outer.children[0].count, 2u);
+  EXPECT_DOUBLE_EQ(outer.children[0].total_us, 40.0);
+}
+
+TEST(Profiler, BackdatedSpanBecomesSiblingNotParent) {
+  // campaign.job_wait is recorded with a back-dated start: it begins before
+  // the work span but *ends* before the work does, so containment must file
+  // the work as its sibling.
+  std::vector<obs::TraceEvent> events;
+  events.push_back(make_event("wait", 0.0, 50.0));
+  events.push_back(make_event("work", 50.0, 100.0));
+  obs::Profiler profiler;
+  profiler.add_events(events);
+  const auto& root = profiler.root();
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0].name, "wait");
+  EXPECT_EQ(root.children[1].name, "work");
+  EXPECT_TRUE(root.children[0].children.empty());
+}
+
+TEST(Profiler, ThreadsFoldIntoOneTreeAndMetricsRowsSort) {
+  std::vector<obs::TraceEvent> events;
+  events.push_back(make_event("phase", 0.0, 100.0, 1));
+  events.push_back(make_event("step", 10.0, 30.0, 1));
+  events.push_back(make_event("phase", 0.0, 80.0, 2));
+  events.push_back(make_event("step", 5.0, 20.0, 2));
+  obs::Profiler profiler;
+  profiler.add_events(events);
+
+  const auto& root = profiler.root();
+  ASSERT_EQ(root.children.size(), 1u);
+  EXPECT_EQ(root.children[0].count, 2u);  // both threads' "phase" merge
+  EXPECT_DOUBLE_EQ(root.children[0].total_us, 180.0);
+  EXPECT_DOUBLE_EQ(root.total_us, 180.0);
+
+  const auto snap = profiler.metrics_snapshot();
+  const auto* phase = snap.find("profile.phase");
+  ASSERT_NE(phase, nullptr);
+  EXPECT_EQ(phase->kind, obs::MetricKind::kHistogram);
+  EXPECT_EQ(phase->count, 2u);
+  EXPECT_DOUBLE_EQ(phase->sum, 180.0);
+  const auto* step = snap.find("profile.phase/step");
+  ASSERT_NE(step, nullptr);
+  EXPECT_EQ(step->count, 2u);
+  const auto* self = snap.find("profile.phase.self_us");
+  ASSERT_NE(self, nullptr);
+  EXPECT_DOUBLE_EQ(self->value, 180.0 - 50.0);
+  // Rows are name-sorted so snapshots merge deterministically.
+  for (std::size_t i = 1; i < snap.rows.size(); ++i)
+    EXPECT_LT(snap.rows[i - 1].name, snap.rows[i].name);
+}
 
 }  // namespace
 }  // namespace msehsim
