@@ -3,24 +3,40 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <numeric>
 #include <thread>
 
 #include "core/error.hpp"
+#include "core/fmt.hpp"
 #include "obs/trace.hpp"
 #include "systems/batch_runner.hpp"
 
 namespace msehsim::campaign {
 
+unsigned lane_width_from_env(const char* text, unsigned fallback) {
+  if (text == nullptr) return fallback;
+  // strtoul's prefix parse accepted "8garbage" as 8 and collapsed "garbage",
+  // "", "0x8", and an overflowing "99999999999999999999" alike into silent
+  // defaults or ULONG_MAX-sized widths — in a daemon that misconfigures
+  // every request for the life of the process. Full-consumption parsing plus
+  // an explicit range gate makes every bad value loud and safe.
+  constexpr unsigned long long kMaxLaneWidth = 256;
+  const auto parsed = parse_unsigned(text);
+  if (!parsed.has_value() || *parsed == 0 || *parsed > kMaxLaneWidth) {
+    std::fprintf(stderr,
+                 "msehsim: ignoring invalid MSEHSIM_LANE_WIDTH=\"%s\" "
+                 "(want an integer in [1, %llu]); using %u\n",
+                 text, kMaxLaneWidth, fallback);
+    return fallback;
+  }
+  return static_cast<unsigned>(*parsed);
+}
+
 unsigned default_lane_width() {
-  static const unsigned width = [] {
-    if (const char* env = std::getenv("MSEHSIM_LANE_WIDTH")) {
-      const unsigned long v = std::strtoul(env, nullptr, 10);
-      if (v >= 1) return static_cast<unsigned>(v);
-    }
-    return 8u;
-  }();
+  static const unsigned width =
+      lane_width_from_env(std::getenv("MSEHSIM_LANE_WIDTH"));
   return width;
 }
 
@@ -49,15 +65,20 @@ FieldStats field_stats(const std::vector<JobResult>& jobs,
 }
 
 Campaign::Campaign(CampaignSpec spec) : spec_(std::move(spec)) {
-  require_spec(!spec_.platforms.empty(), "Campaign needs >= 1 platform variant");
-  require_spec(!spec_.scenarios.empty(), "Campaign needs >= 1 scenario");
-  require_spec(!spec_.seeds.empty(), "Campaign needs >= 1 seed");
+  // An empty axis is a legal zero-job grid, not an error: the daemon
+  // forwards user specs verbatim, and an empty request must produce valid
+  // headers-only exports and a lint-clean metrics scrape, the same way an
+  // empty SQL result set is still a table.
   for (const auto& p : spec_.platforms)
     require_spec(static_cast<bool>(p.make),
                  "Campaign platform variant '" + p.name + "' has no factory");
-  if (spec_.compile_traces && !spec_.trace_cache_dir.empty()) {
-    trace_cache_ = std::make_unique<env::TraceCache>(
-        spec_.trace_cache_dir, spec_.trace_cache_max_bytes);
+  if (spec_.compile_traces) {
+    if (spec_.shared_trace_cache) {
+      trace_cache_ = spec_.shared_trace_cache;
+    } else if (!spec_.trace_cache_dir.empty()) {
+      trace_cache_ = std::make_shared<env::TraceCache>(
+          spec_.trace_cache_dir, spec_.trace_cache_max_bytes);
+    }
   }
   for (const auto& s : spec_.scenarios) {
     require_spec(static_cast<bool>(s.environment),
@@ -88,8 +109,9 @@ std::shared_ptr<const env::CompiledTrace> Campaign::compiled_trace(
     OBS_SPAN("campaign.compile_trace", "campaign");
     try {
       const auto& scenario = spec_.scenarios[scenario_index];
-      const env::TraceCacheKey key{scenario.name, spec_.seeds[seed_index],
-                                   scenario.options.dt, scenario.duration};
+      const env::TraceCacheKey key{
+          scenario.trace_key.empty() ? scenario.name : scenario.trace_key,
+          spec_.seeds[seed_index], scenario.options.dt, scenario.duration};
       if (trace_cache_) {
         // A mapped hit skips environment construction entirely — that is
         // the win. Any invalid or missing entry falls through to a live

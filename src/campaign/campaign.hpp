@@ -75,11 +75,26 @@ struct Scenario {
   /// factory below.
   systems::RunOptions options{};
   InjectorFactory injector{};
+  /// Stable generator identity for the persistent trace cache; empty (the
+  /// default) falls back to `name`. The daemon sets this to the preset kind
+  /// so two requests labelling the same generator differently still share
+  /// one cached timeline — and two requests reusing a label for *different*
+  /// generators can never collide on it.
+  std::string trace_key;
 };
 
 /// Default for CampaignSpec::lane_width: the MSEHSIM_LANE_WIDTH environment
-/// variable when set to a positive integer (read once per process), else 8.
+/// variable (read once per process), else 8.
 [[nodiscard]] unsigned default_lane_width();
+
+/// Strict MSEHSIM_LANE_WIDTH interpretation (exposed for the bad-input
+/// matrix tests): @p text validated by core/fmt's full-consumption
+/// parse_unsigned. nullptr (unset) silently yields @p fallback; anything
+/// invalid — garbage, trailing junk, zero, > 256 — warns once on stderr and
+/// yields @p fallback, so a daemon misconfiguration is loud instead of
+/// silently reshaping every request's batching.
+[[nodiscard]] unsigned lane_width_from_env(const char* text,
+                                           unsigned fallback = 8);
 
 struct CampaignSpec {
   std::vector<PlatformVariant> platforms;
@@ -108,6 +123,12 @@ struct CampaignSpec {
   /// Byte cap for trace_cache_dir (oldest entries evicted after each
   /// store); 0 means unbounded.
   std::uint64_t trace_cache_max_bytes{0};
+  /// A caller-owned persistent trace cache shared across campaigns (the
+  /// daemon's: one warm cache for every request). When set it wins over
+  /// trace_cache_dir, and its hit/miss/eviction counters accumulate over
+  /// the cache's lifetime, not one campaign's. Only consulted when
+  /// compile_traces is on.
+  std::shared_ptr<env::TraceCache> shared_trace_cache;
   /// Pop jobs longest-expected-duration-first (expected steps =
   /// duration / dt) so a long scenario cannot strand the pool tail on one
   /// worker. Results stay in grid order; this flag never changes a byte.
@@ -282,7 +303,7 @@ class Campaign {
   std::vector<LeakWarning> leak_warnings_;
   // once_flag is neither movable nor copyable, hence the raw array.
   std::unique_ptr<TraceSlot[]> trace_slots_;
-  std::unique_ptr<env::TraceCache> trace_cache_;
+  std::shared_ptr<env::TraceCache> trace_cache_;
   std::atomic<std::uint64_t> trace_compiles_{0};
   std::atomic<std::uint64_t> lane_blocks_{0};
   // SoA kernel counters summed over every lane block (systems::soa::

@@ -89,6 +89,9 @@ std::string seed_stats_csv(const Campaign& campaign) {
   }
   out += '\n';
   const auto& spec = campaign.spec();
+  // Zero seeds means every (platform, scenario) cell has zero samples and
+  // no statistics to report: a headers-only document, not rows of NaN.
+  if (spec.seeds.empty()) return out;
   for (std::size_t p = 0; p < spec.platforms.size(); ++p) {
     for (std::size_t s = 0; s < spec.scenarios.size(); ++s) {
       const auto stats = campaign.seed_stats(p, s);
@@ -167,7 +170,10 @@ std::string results_json(const Campaign& campaign) {
   }
   out += "\n  ],\n  \"seed_stats\": [";
   bool first_cell = true;
-  for (std::size_t p = 0; p < spec.platforms.size(); ++p) {
+  // Mirror seed_stats_csv: zero seeds -> zero cells (stats over an empty
+  // sample set would render as NaN, which JSON cannot carry).
+  for (std::size_t p = 0; !spec.seeds.empty() && p < spec.platforms.size();
+       ++p) {
     for (std::size_t s = 0; s < spec.scenarios.size(); ++s) {
       out += first_cell ? "\n" : ",\n";
       first_cell = false;

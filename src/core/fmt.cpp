@@ -47,6 +47,22 @@ std::string format_double_general(double v, int precision) {
   return ec == std::errc{} ? std::string(buf, ptr) : std::string();
 }
 
+std::optional<unsigned long long> parse_unsigned(std::string_view text) {
+  std::size_t b = 0;
+  std::size_t e = text.size();
+  while (b < e && is_space(text[b])) ++b;
+  while (e > b && is_space(text[e - 1])) --e;
+  if (b == e) return std::nullopt;
+  if (text[b] == '+') ++b;  // mirror parse_double's strtod compatibility
+  if (b == e) return std::nullopt;
+  unsigned long long v{};
+  const char* first = text.data() + b;
+  const char* last = text.data() + e;
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return v;
+}
+
 std::optional<double> parse_double(std::string_view text) {
   std::size_t b = 0;
   std::size_t e = text.size();

@@ -32,6 +32,15 @@ void append_double(std::string& out, double v);
 /// printf "%.*g" equivalent (trailing zeros trimmed), always in the C locale.
 [[nodiscard]] std::string format_double_general(double v, int precision);
 
+/// Strict unsigned-integer parse with the same full-consumption rules as
+/// parse_double: leading/trailing ASCII whitespace skipped, one optional
+/// leading '+', decimal digits only (no 0x, no sign, no exponent), the rest
+/// of @p text fully consumed. Returns nullopt on empty, non-digit, trailing-
+/// junk, or > 2^64-1 input — the env-var surfaces (MSEHSIM_LANE_WIDTH)
+/// validate through this instead of strtoul's accept-anything prefix parse.
+[[nodiscard]] std::optional<unsigned long long> parse_unsigned(
+    std::string_view text);
+
 /// Locale-independent strtod replacement with strict-cell semantics: skips
 /// leading/trailing ASCII whitespace, accepts one leading '+' (which
 /// std::from_chars rejects but strtod allowed), parses "inf"/"nan" forms,

@@ -89,9 +89,12 @@ void TraceCache::sweep_orphaned_temps() {
   // A writer that crashed between ofstream and rename() leaves a
   // `<hash>.tmp.<pid>.<n>` file behind forever: it never matches the
   // `.mtrc` probe, so nothing would otherwise reclaim it. Sweep such
-  // orphans when a cache opens the directory. An age floor keeps a live
-  // writer in another process safe — a store takes milliseconds, so
-  // anything older than the floor can only be an orphan.
+  // orphans when a cache opens the directory AND on every eviction pass —
+  // a long-lived daemon opens its cache once and then runs for months, so
+  // an open-only sweep would let crashed writers leak tmp files for the
+  // life of the process. An age floor keeps a live writer in another
+  // process safe — a store takes milliseconds, so anything older than the
+  // floor can only be an orphan.
   constexpr auto kOrphanAge = std::chrono::minutes(15);
   std::error_code ec;
   for (const auto& de : fs::directory_iterator(dir_, ec)) {
@@ -267,6 +270,11 @@ void TraceCache::store(const TraceCacheKey& key, const CompiledTrace& trace) {
 }
 
 void TraceCache::evict_over_cap() {
+  // The eviction pass doubles as the steady-state orphan reaper: it already
+  // runs after every store and already walks the directory, so stale temps
+  // are reclaimed for the whole life of a long-running process, not just at
+  // open. Runs before the cap check — an unbounded cache still reaps.
+  sweep_orphaned_temps();
   if (max_bytes_ == 0) return;
   struct Entry {
     fs::path path;

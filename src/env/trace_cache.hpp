@@ -104,9 +104,13 @@ class TraceCache {
   static constexpr std::uint32_t kFormatVersion = 1;
 
  private:
+  /// Enforces max_bytes (oldest-mtime first) and reaps orphaned temps.
+  /// Called after every store, so a long-lived process keeps its cache
+  /// directory clean without reopening it.
   void evict_over_cap();
   /// Removes stale `*.tmp.*` leftovers from crashed writers (age-gated so a
-  /// live writer in another process is never raced). Called on open.
+  /// live writer in another process is never raced). Called on open and
+  /// from every eviction pass.
   void sweep_orphaned_temps();
 
   std::string dir_;

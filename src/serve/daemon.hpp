@@ -1,0 +1,97 @@
+// msehsimd — campaign-as-a-service.
+//
+// The ROADMAP's production-traffic story assembled from parts that already
+// existed: deterministic results keyed by (platform, scenario, seed), a
+// persistent trace cache, byte-stable exporters, and a Prometheus renderer
+// waiting for a listener. The daemon adds the service shell:
+//
+//   POST /v1/campaign   JSON spec in (serve/spec.hpp), results_json out.
+//                       The response is memoized in a serve::ResultCache
+//                       keyed by the request's canonical form — identical
+//                       studies from any number of users are one campaign
+//                       run and N-1 cache hits served as the same bytes.
+//                       Concurrent identical requests are single-flighted:
+//                       late arrivals wait for the first run instead of
+//                       duplicating it.
+//   GET  /metrics       The shared registry (serve.* request/hit/latency
+//                       rows + every finished campaign's merged metrics +
+//                       live cache gauges) rendered by obs::prometheus_text
+//                       and gated on obs::prometheus_lint — a scrape that
+//                       fails its own linter is a 500, not quiet garbage.
+//   GET  /healthz       Liveness probe.
+//
+// One warm process serves every request: campaigns share a process-wide
+// persistent env::TraceCache, admission control bounds how many campaigns
+// run at once (the rest wait briefly, then 503), and each campaign applies
+// the existing longest-first scheduling inside its pool. stop() (the
+// SIGTERM path) drains in-flight requests before returning.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "serve/http.hpp"
+#include "serve/result_cache.hpp"
+
+namespace msehsim::env {
+class TraceCache;
+}
+
+namespace msehsim::serve {
+
+struct DaemonOptions {
+  HttpServerOptions http{};
+  /// Threads per campaign pool (0 = hardware concurrency).
+  unsigned campaign_threads{0};
+  /// Campaigns allowed to run simultaneously; further requests wait up to
+  /// admission_timeout_ms for a slot, then 503.
+  unsigned max_concurrent_campaigns{2};
+  int admission_timeout_ms{30000};
+  /// Parse-time request caps (see parse_campaign_request).
+  std::uint64_t max_jobs{4096};
+  double max_steps{1e9};
+  /// Process-wide persistent trace cache shared by every request; empty
+  /// disables it.
+  std::string trace_cache_dir;
+  std::uint64_t trace_cache_max_bytes{0};
+  /// Response memo bounds.
+  std::size_t result_cache_entries{1024};
+  std::uint64_t result_cache_bytes{256ull << 20};
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonOptions options);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  void start();
+  /// Graceful drain: in-flight requests finish, then the pool joins.
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const;
+
+  /// The exact scrape body GET /metrics serves (exposed for tests and the
+  /// CI smoke job's lint pipe).
+  [[nodiscard]] std::string scrape() const;
+
+  [[nodiscard]] ResultCacheStats result_cache_stats() const;
+
+ private:
+  HttpResponse handle(const HttpRequest& request);
+  HttpResponse handle_campaign(const HttpRequest& request);
+  HttpResponse handle_metrics() const;
+  [[nodiscard]] obs::MetricsSnapshot snapshot_locked() const;
+
+  struct Flight;
+  struct Impl;
+  DaemonOptions options_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace msehsim::serve

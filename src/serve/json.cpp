@@ -1,0 +1,313 @@
+#include "serve/json.hpp"
+
+#include <charconv>
+#include <limits>
+
+#include "core/error.hpp"
+
+namespace msehsim::serve {
+
+namespace {
+
+[[noreturn]] void fail_at(std::size_t offset, const std::string& what) {
+  throw SpecError("json: byte " + std::to_string(offset) + ": " + what);
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  require_spec(kind_ == Kind::kBool, "json: value is not a bool");
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  require_spec(kind_ == Kind::kNumber, "json: value is not a number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  require_spec(kind_ == Kind::kString, "json: value is not a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+  require_spec(kind_ == Kind::kArray, "json: value is not an array");
+  return array_;
+}
+
+const std::vector<JsonMember>& JsonValue::as_object() const {
+  require_spec(kind_ == Kind::kObject, "json: value is not an object");
+  return object_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  require_spec(kind_ == Kind::kObject, "json: value is not an object");
+  for (const auto& [k, v] : object_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, int max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  JsonValue parse() {
+    skip_ws();
+    JsonValue v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail_at(pos_, "trailing bytes after value");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail_at(pos_, "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c)
+      fail_at(pos_, std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > max_depth_) fail_at(pos_, "nesting too deep");
+    JsonValue v;
+    switch (peek()) {
+      case '{': parse_object(v, depth); break;
+      case '[': parse_array(v, depth); break;
+      case '"':
+        v.kind_ = JsonValue::Kind::kString;
+        v.string_ = parse_string();
+        break;
+      case 't':
+        if (!consume_literal("true")) fail_at(pos_, "bad literal");
+        v.kind_ = JsonValue::Kind::kBool;
+        v.bool_ = true;
+        break;
+      case 'f':
+        if (!consume_literal("false")) fail_at(pos_, "bad literal");
+        v.kind_ = JsonValue::Kind::kBool;
+        v.bool_ = false;
+        break;
+      case 'n':
+        if (!consume_literal("null")) fail_at(pos_, "bad literal");
+        v.kind_ = JsonValue::Kind::kNull;
+        break;
+      default: parse_number(v); break;
+    }
+    return v;
+  }
+
+  void parse_object(JsonValue& v, int depth) {
+    v.kind_ = JsonValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    for (;;) {
+      skip_ws();
+      const std::size_t key_pos = pos_;
+      std::string key = parse_string();
+      for (const auto& [k, unused] : v.object_) {
+        (void)unused;
+        if (k == key) fail_at(key_pos, "duplicate key \"" + key + "\"");
+      }
+      skip_ws();
+      expect(':');
+      skip_ws();
+      v.object_.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return;
+    }
+  }
+
+  void parse_array(JsonValue& v, int depth) {
+    v.kind_ = JsonValue::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return;
+    }
+    for (;;) {
+      skip_ws();
+      v.array_.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail_at(pos_, "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail_at(pos_ - 1, "raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail_at(pos_, "unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': out += parse_unicode_escape(); break;
+        default: fail_at(pos_ - 1, "bad escape");
+      }
+    }
+  }
+
+  std::string parse_unicode_escape() {
+    if (pos_ + 4 > text_.size()) fail_at(pos_, "truncated \\u escape");
+    unsigned cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      cp <<= 4;
+      if (c >= '0' && c <= '9') cp |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') cp |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') cp |= static_cast<unsigned>(c - 'A' + 10);
+      else fail_at(pos_ - 1, "bad \\u escape digit");
+    }
+    // Surrogate pairs: a high surrogate must be followed by \uDC00-\uDFFF.
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      if (pos_ + 6 > text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u')
+        fail_at(pos_, "lone high surrogate");
+      pos_ += 2;
+      unsigned lo = 0;
+      for (int i = 0; i < 4; ++i) {
+        const char c = text_[pos_++];
+        lo <<= 4;
+        if (c >= '0' && c <= '9') lo |= static_cast<unsigned>(c - '0');
+        else if (c >= 'a' && c <= 'f') lo |= static_cast<unsigned>(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F') lo |= static_cast<unsigned>(c - 'A' + 10);
+        else fail_at(pos_ - 1, "bad \\u escape digit");
+      }
+      if (lo < 0xDC00 || lo > 0xDFFF) fail_at(pos_, "lone high surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      fail_at(pos_, "lone low surrogate");
+    }
+    // UTF-8 encode.
+    std::string out;
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+    return out;
+  }
+
+  void parse_number(JsonValue& v) {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    // Integer part: one zero, or a nonzero digit run (RFC 8259 — no leading
+    // zeros, no bare '-', no ".5").
+    if (pos_ >= text_.size()) fail_at(pos_, "truncated number");
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else if (text_[pos_] >= '1' && text_[pos_] <= '9') {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+    } else {
+      fail_at(pos_, "bad number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9')
+        fail_at(pos_, "bad fraction");
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9')
+        fail_at(pos_, "bad exponent");
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+    }
+    v.kind_ = JsonValue::Kind::kNumber;
+    v.string_.assign(text_.data() + start, pos_ - start);
+    // from_chars is locale-independent; the grammar above guarantees the
+    // spelling is one it fully consumes (out-of-range collapses to +/-inf,
+    // which the spec layer's range checks reject field by field).
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto [ptr, ec] = std::from_chars(first, last, v.number_);
+    if (ptr != last) fail_at(start, "bad number");
+    if (ec == std::errc::result_out_of_range) {
+      const bool neg = *first == '-';
+      // Distinguish overflow (huge exponent -> inf) from underflow (tiny
+      // exponent -> 0): from_chars reports both as out_of_range.
+      bool underflow = false;
+      for (const char* p = first; p != last && !underflow; ++p)
+        if (*p == 'e' || *p == 'E') underflow = *(p + 1) == '-';
+      v.number_ = underflow ? (neg ? -0.0 : 0.0)
+                            : (neg ? -std::numeric_limits<double>::infinity()
+                                   : std::numeric_limits<double>::infinity());
+    } else if (ec != std::errc{}) {
+      fail_at(start, "bad number");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_{0};
+  int max_depth_;
+};
+
+JsonValue parse_json(std::string_view text, int max_depth) {
+  return JsonParser(text, max_depth).parse();
+}
+
+}  // namespace msehsim::serve

@@ -1,0 +1,227 @@
+#include "serve/spec.hpp"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "core/error.hpp"
+#include "core/fmt.hpp"
+#include "env/environment.hpp"
+#include "serve/json.hpp"
+#include "systems/catalog.hpp"
+
+namespace msehsim::serve {
+
+namespace {
+
+/// Scenario labels land in the canonical form (space-separated) and in
+/// exported JSON, so the accepted alphabet is the same conservative one the
+/// fault-schedule parser uses for target names: no whitespace, no quotes,
+/// nothing that needs escaping anywhere downstream.
+bool valid_scenario_name(const std::string& name) {
+  if (name.empty() || name.size() > 64) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+systems::SystemId platform_id(const std::string& name) {
+  if (name == "system-a") return systems::SystemId::kSmartPowerUnit;
+  if (name == "system-b") return systems::SystemId::kPlugAndPlay;
+  if (name == "system-c") return systems::SystemId::kAmbiMax;
+  if (name == "system-d") return systems::SystemId::kMpWiNode;
+  if (name == "system-e") return systems::SystemId::kMax17710Eval;
+  if (name == "system-f") return systems::SystemId::kCymbetEval09;
+  if (name == "system-g") return systems::SystemId::kEhLink;
+  if (name == "smart-harvester") return systems::SystemId::kSmartHarvester;
+  throw SpecError("campaign request: unknown platform \"" + name + "\"");
+}
+
+env::Environment make_preset(const std::string& kind, std::uint64_t seed) {
+  if (kind == "outdoor") return env::Environment::outdoor(seed);
+  if (kind == "indoor-industrial")
+    return env::Environment::indoor_industrial(seed);
+  if (kind == "agricultural") return env::Environment::agricultural(seed);
+  if (kind == "office") return env::Environment::office(seed);
+  throw SpecError("campaign request: unknown scenario kind \"" + kind + "\"");
+}
+
+/// Strict member accessor: the body may only contain keys this schema
+/// names, so a typo ("lanewidth") is a 400, never a silently-ignored knob.
+void require_known_keys(const JsonValue& object,
+                        std::initializer_list<std::string_view> known,
+                        const char* where) {
+  for (const auto& [key, value] : object.as_object()) {
+    (void)value;
+    bool ok = false;
+    for (const std::string_view k : known) ok = ok || key == k;
+    require_spec(ok, std::string("campaign request: unknown ") + where +
+                         " key \"" + key + "\"");
+  }
+}
+
+double positive_finite(const JsonValue& v, const char* what) {
+  const double x = v.as_double();
+  require_spec(std::isfinite(x) && x > 0.0,
+               std::string("campaign request: ") + what +
+                   " must be a positive finite number");
+  return x;
+}
+
+}  // namespace
+
+const std::vector<std::string>& known_platforms() {
+  static const std::vector<std::string> names = {
+      "system-a", "system-b", "system-c", "system-d",
+      "system-e", "system-f", "system-g", "smart-harvester"};
+  return names;
+}
+
+const std::vector<std::string>& known_scenario_kinds() {
+  static const std::vector<std::string> kinds = {
+      "outdoor", "indoor-industrial", "agricultural", "office"};
+  return kinds;
+}
+
+CampaignRequest parse_campaign_request(const std::string& body,
+                                       std::uint64_t max_jobs,
+                                       double max_steps) {
+  const JsonValue root = parse_json(body);
+  require_spec(root.is_object(), "campaign request: body must be an object");
+  require_known_keys(root, {"platforms", "scenarios", "seeds", "lane_width"},
+                     "request");
+
+  CampaignRequest req;
+
+  const JsonValue* platforms = root.find("platforms");
+  require_spec(platforms != nullptr,
+               "campaign request: missing \"platforms\" array");
+  for (const JsonValue& p : platforms->as_array()) {
+    (void)platform_id(p.as_string());  // validates the name
+    req.platforms.push_back(p.as_string());
+  }
+
+  const JsonValue* scenarios = root.find("scenarios");
+  require_spec(scenarios != nullptr,
+               "campaign request: missing \"scenarios\" array");
+  for (const JsonValue& s : scenarios->as_array()) {
+    require_spec(s.is_object(),
+                 "campaign request: each scenario must be an object");
+    require_known_keys(s, {"name", "kind", "duration_s", "dt_s"}, "scenario");
+    ScenarioRequest sr;
+    const JsonValue* name = s.find("name");
+    require_spec(name != nullptr, "campaign request: scenario missing \"name\"");
+    sr.name = name->as_string();
+    require_spec(valid_scenario_name(sr.name),
+                 "campaign request: scenario name \"" + sr.name +
+                     "\" must be 1-64 chars of [A-Za-z0-9._-]");
+    const JsonValue* kind = s.find("kind");
+    require_spec(kind != nullptr, "campaign request: scenario missing \"kind\"");
+    sr.kind = kind->as_string();
+    (void)make_preset(sr.kind, 0);  // validates the kind
+    const JsonValue* duration = s.find("duration_s");
+    require_spec(duration != nullptr,
+                 "campaign request: scenario missing \"duration_s\"");
+    sr.duration_s = positive_finite(*duration, "duration_s");
+    if (const JsonValue* dt = s.find("dt_s"))
+      sr.dt_s = positive_finite(*dt, "dt_s");
+    require_spec(sr.duration_s >= sr.dt_s,
+                 "campaign request: duration_s must be >= dt_s");
+    req.scenarios.push_back(std::move(sr));
+  }
+
+  const JsonValue* seeds = root.find("seeds");
+  require_spec(seeds != nullptr, "campaign request: missing \"seeds\" array");
+  for (const JsonValue& s : seeds->as_array()) {
+    require_spec(s.is_number(), "campaign request: seeds must be numbers");
+    // Re-parse the raw spelling: seeds span the full u64 range, where a
+    // double round-trip would silently quantize above 2^53.
+    const auto v = parse_unsigned(s.raw_number());
+    require_spec(v.has_value(), "campaign request: seed \"" + s.raw_number() +
+                                    "\" must be an unsigned integer");
+    req.seeds.push_back(*v);
+  }
+
+  if (const JsonValue* lane = root.find("lane_width")) {
+    require_spec(lane->is_number(),
+                 "campaign request: lane_width must be a number");
+    const auto v = parse_unsigned(lane->raw_number());
+    require_spec(v.has_value() && *v >= 1 && *v <= 64,
+                 "campaign request: lane_width must be an integer in [1, 64]");
+    req.lane_width = static_cast<unsigned>(*v);
+  }
+
+  // Admission control starts at the parser: bound the grid and the total
+  // step budget before any factory runs, so an oversized request costs the
+  // daemon one parse, not one campaign.
+  const std::uint64_t jobs = static_cast<std::uint64_t>(req.platforms.size()) *
+                             req.scenarios.size() * req.seeds.size();
+  require_spec(jobs <= max_jobs,
+               "campaign request: grid of " + std::to_string(jobs) +
+                   " jobs exceeds the server cap of " +
+                   std::to_string(max_jobs));
+  double total_steps = 0.0;
+  for (const auto& s : req.scenarios)
+    total_steps += (s.duration_s / s.dt_s) *
+                   static_cast<double>(req.platforms.size()) *
+                   static_cast<double>(req.seeds.size());
+  require_spec(total_steps <= max_steps,
+               "campaign request: expected step count " +
+                   format_double(total_steps) + " exceeds the server cap of " +
+                   format_double(max_steps));
+  return req;
+}
+
+std::string canonical_form(const CampaignRequest& request) {
+  // Version-prefixed, newline-framed, space-separated fields; every numeric
+  // in round-trip-exact core/fmt form so "3600", "3600.0", and "3.6e3" in
+  // the body all canonicalize to the same bytes. lane_width is absent by
+  // design: it cannot change a response byte (the batched kernel's
+  // contract), so including it would only split cache entries.
+  std::string out = "msehsim-campaign-request v1\n";
+  for (const auto& p : request.platforms) out += "platform " + p + "\n";
+  for (const auto& s : request.scenarios) {
+    out += "scenario " + s.name + " " + s.kind + " " +
+           format_double(s.duration_s) + " " + format_double(s.dt_s) + "\n";
+  }
+  for (const std::uint64_t s : request.seeds)
+    out += "seed " + std::to_string(s) + "\n";
+  return out;
+}
+
+campaign::CampaignSpec to_campaign_spec(
+    const CampaignRequest& request,
+    std::shared_ptr<env::TraceCache> shared_cache, unsigned threads) {
+  campaign::CampaignSpec spec;
+  spec.threads = threads;
+  spec.shared_trace_cache = std::move(shared_cache);
+  if (request.lane_width >= 1) spec.lane_width = request.lane_width;
+  for (const auto& name : request.platforms) {
+    const systems::SystemId id = platform_id(name);
+    spec.platforms.push_back(
+        {name, [id](std::uint64_t seed) { return systems::build(id, seed); }});
+  }
+  for (const auto& s : request.scenarios) {
+    campaign::Scenario scenario;
+    scenario.name = s.name;
+    // Key the persistent trace cache on the generator identity, not the
+    // request's label: two requests naming the same preset differently share
+    // one cached timeline, and reusing a label for a different preset can
+    // never serve the wrong trace.
+    scenario.trace_key = "preset:" + s.kind;
+    scenario.duration = Seconds{s.duration_s};
+    scenario.options.dt = Seconds{s.dt_s};
+    scenario.environment = [kind = s.kind](std::uint64_t seed) {
+      return std::make_unique<env::Environment>(make_preset(kind, seed));
+    };
+    spec.scenarios.push_back(std::move(scenario));
+  }
+  spec.seeds = request.seeds;
+  return spec;
+}
+
+}  // namespace msehsim::serve

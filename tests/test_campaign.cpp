@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "campaign/campaign.hpp"
@@ -19,6 +20,9 @@
 #include "core/csv.hpp"
 #include "core/error.hpp"
 #include "env/environment.hpp"
+#include "env/trace_cache.hpp"
+#include "obs/prometheus.hpp"
+#include "serve/json.hpp"
 #include "fault/injector.hpp"
 #include "harvest/harvester.hpp"
 #include "harvest/transducers.hpp"
@@ -239,11 +243,13 @@ TEST(Campaign, FieldTableCoversEveryReportLine) {
 }
 
 TEST(Campaign, ValidatesSpecUpFront) {
-  EXPECT_THROW(Campaign(CampaignSpec{}), SpecError);
+  // Empty axes are legal since the daemon (a zero-job grid, see the
+  // CampaignEmptyGrid suite); broken factories and shared recorders are not.
+  EXPECT_NO_THROW(Campaign{CampaignSpec{}});
 
   auto no_seeds = small_grid(1);
   no_seeds.seeds.clear();
-  EXPECT_THROW(Campaign{no_seeds}, SpecError);
+  EXPECT_NO_THROW(Campaign{no_seeds});
 
   auto null_factory = small_grid(1);
   null_factory.platforms[0].make = nullptr;
@@ -809,6 +815,183 @@ TEST(CampaignMetrics, SoaCounterRowsStayZeroOnTheLegacyPath) {
   ASSERT_NE(steps, nullptr);
   EXPECT_EQ(steps->count, 0u);
   EXPECT_DOUBLE_EQ(snap.find("campaign.soa.resident_fraction")->value, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// MSEHSIM_LANE_WIDTH parsing: the long-lived-process bugfix matrix
+// ---------------------------------------------------------------------------
+
+TEST(CampaignLaneWidth, EnvParsingRejectsEveryKindOfGarbage) {
+  // Before the fix, atoi-style parsing read "8junk" as 8 and "junk" as 0
+  // (which then disabled batching silently). Each bad spelling must warn and
+  // fall back; each good spelling must parse exactly.
+  const unsigned fallback = 8;
+  for (const char* bad : {"", " ", "junk", "8junk", "junk8", "8.5", "0x10",
+                          "-4", "0", "257", "99999999999999999999", "+",
+                          "1e2", " 8 9 "}) {
+    EXPECT_EQ(lane_width_from_env(bad, fallback), fallback) << '"' << bad
+                                                            << '"';
+  }
+  EXPECT_EQ(lane_width_from_env(nullptr, fallback), fallback);
+  EXPECT_EQ(lane_width_from_env("1", fallback), 1u);
+  EXPECT_EQ(lane_width_from_env("16", fallback), 16u);
+  EXPECT_EQ(lane_width_from_env("256", fallback), 256u);
+  // Full-consumption rules still allow the benign spellings from_chars
+  // accepts after trimming: surrounding whitespace and a single leading '+'.
+  EXPECT_EQ(lane_width_from_env(" 8 ", fallback), 8u);
+  EXPECT_EQ(lane_width_from_env("+8", fallback), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Empty grids: a campaign with zero jobs is a valid (if quiet) campaign
+// ---------------------------------------------------------------------------
+
+/// small_grid with one axis emptied out; the remaining axes stay populated
+/// so the zero comes from the product, not from a degenerate spec.
+CampaignSpec empty_axis_grid(int axis) {
+  auto spec = small_grid(1);
+  if (axis == 0) spec.platforms.clear();
+  if (axis == 1) spec.scenarios.clear();
+  if (axis == 2) spec.seeds.clear();
+  return spec;
+}
+
+TEST(CampaignEmptyGrid, ZeroJobsStillExportValidDocuments) {
+  for (int axis = 0; axis < 3; ++axis) {
+    Campaign c(empty_axis_grid(axis));
+    EXPECT_TRUE(c.run().empty()) << "axis " << axis;
+    // Headers-only CSV: same first line a populated export starts with, and
+    // nothing after it, so downstream `parse_csv` and spreadsheet imports
+    // see an empty table, not a broken file.
+    const auto csv = results_csv(c);
+    EXPECT_EQ(parse_csv(csv).rows.size(), 0u) << "axis " << axis;
+    EXPECT_EQ(csv.find('\n'), csv.size() - 1) << "axis " << axis;
+    const auto stats = seed_stats_csv(c);
+    EXPECT_EQ(parse_csv(stats).rows.size(), 0u) << "axis " << axis;
+    // Valid JSON with empty arrays, not "null" and not a parse error: the
+    // strict RFC 8259 parser the daemon uses must accept the document.
+    const auto json = results_json(c);
+    EXPECT_NO_THROW((void)serve::parse_json(json)) << json;
+    EXPECT_NE(json.find("\"jobs\": [\n  ]"), std::string::npos) << json;
+    EXPECT_EQ(timelines_json(c), "{\n  \"timelines\": []\n}\n");
+  }
+}
+
+TEST(CampaignEmptyGrid, MetricsRowsPresentAndPrometheusLintClean) {
+  Campaign c(empty_axis_grid(2));
+  c.run();
+  const auto snap = c.metrics();
+  const auto* jobs = snap.find("campaign.jobs");
+  ASSERT_NE(jobs, nullptr);
+  EXPECT_EQ(jobs->count, 0u);
+  ASSERT_NE(snap.find("campaign.soa.steps"), nullptr);
+  const auto csv = metrics_csv(c);
+  EXPECT_NE(csv.find("campaign.jobs,0"), std::string::npos) << csv;
+  // The daemon serves this snapshot through the lint-gated /metrics
+  // endpoint, so an empty campaign must already scrape clean here.
+  const auto text = obs::prometheus_text(snap);
+  EXPECT_EQ(obs::prometheus_lint(text), "") << text;
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent campaigns over one persistent cache directory
+// ---------------------------------------------------------------------------
+
+TEST(CampaignTraceCache, ConcurrentCampaignsShareOneDirSafely) {
+  // The daemon's steady state: several Campaign instances racing over the
+  // same trace_cache_dir, each storing and (with a tight byte cap) evicting
+  // the very entries its peers are loading. Correctness bar: no crash while
+  // a reader holds a mapped trace that loses its file, and every campaign's
+  // bytes equal the cache-less reference.
+  const auto dir = cache_dir("concurrent");
+  Campaign reference(small_grid(1));
+  reference.run();
+  const auto expected = reports(reference);
+  const auto expected_json = results_json(reference);
+
+  // Cap below one entry's footprint so every store triggers eviction of a
+  // possibly-mapped sibling; unlink-while-mapped must stay benign.
+  constexpr std::uint64_t kTightCap = 1;
+  constexpr int kRounds = 3;
+  std::vector<std::string> left_json(kRounds), right_json(kRounds);
+  for (int round = 0; round < kRounds; ++round) {
+    std::thread left([&, round] {
+      auto spec = small_grid(2);
+      spec.trace_cache_dir = dir.string();
+      spec.trace_cache_max_bytes = kTightCap;
+      Campaign c(spec);
+      c.run();
+      EXPECT_EQ(reports(c), expected) << "left round " << round;
+      left_json[static_cast<std::size_t>(round)] = results_json(c);
+    });
+    std::thread right([&, round] {
+      auto spec = small_grid(2);
+      spec.trace_cache_dir = dir.string();
+      spec.trace_cache_max_bytes = kTightCap;
+      Campaign c(spec);
+      c.run();
+      EXPECT_EQ(reports(c), expected) << "right round " << round;
+      right_json[static_cast<std::size_t>(round)] = results_json(c);
+    });
+    left.join();
+    right.join();
+  }
+  for (int round = 0; round < kRounds; ++round) {
+    EXPECT_EQ(left_json[static_cast<std::size_t>(round)], expected_json);
+    EXPECT_EQ(right_json[static_cast<std::size_t>(round)], expected_json);
+  }
+}
+
+TEST(CampaignTraceCache, SharedCacheObjectAccumulatesAcrossCampaigns) {
+  // The daemon hands every campaign one long-lived TraceCache; its stats are
+  // lifetime counters, and per-campaign stats must reflect the shared object.
+  const auto dir = cache_dir("shared_object");
+  auto cache = std::make_shared<env::TraceCache>(dir.string());
+  auto cold_spec = small_grid(1);
+  cold_spec.shared_trace_cache = cache;
+  Campaign cold(cold_spec);
+  cold.run();
+  EXPECT_EQ(cache->stats().misses, 4u);
+
+  auto warm_spec = small_grid(2);
+  warm_spec.shared_trace_cache = cache;
+  Campaign warm(warm_spec);
+  warm.run();
+  EXPECT_EQ(cache->stats().hits, 4u);
+  EXPECT_EQ(cache->stats().misses, 4u);  // lifetime, not per-campaign
+  EXPECT_EQ(reports(cold), reports(warm));
+  // shared_trace_cache wins over trace_cache_dir when both are set.
+  auto both_spec = small_grid(1);
+  both_spec.shared_trace_cache = cache;
+  both_spec.trace_cache_dir = (cache_dir("shared_decoy")).string();
+  Campaign both(both_spec);
+  both.run();
+  EXPECT_EQ(cache->stats().hits, 8u);
+}
+
+TEST(CampaignTraceCache, TraceKeyOverridesScenarioNameInTheCacheKey) {
+  // Two specs whose scenarios differ only in display name but share a
+  // trace_key must share cache entries (the daemon keys on generator
+  // identity, not the request's label).
+  const auto dir = cache_dir("trace_key");
+  auto cold_spec = small_grid(1);
+  for (auto& sc : cold_spec.scenarios) sc.trace_key = "preset:outdoor";
+  cold_spec.trace_cache_dir = dir.string();
+  Campaign cold(cold_spec);
+  cold.run();
+  // Both scenarios collapse onto one generator identity x two seeds.
+  EXPECT_EQ(cold.trace_cache_stats().misses, 2u);
+  EXPECT_EQ(cold.trace_cache_stats().hits, 2u);
+
+  auto renamed = small_grid(1);
+  for (auto& sc : renamed.scenarios) sc.name += "-renamed";
+  for (auto& sc : renamed.scenarios) sc.trace_key = "preset:outdoor";
+  renamed.trace_cache_dir = dir.string();
+  Campaign warm(renamed);
+  warm.run();
+  EXPECT_EQ(warm.trace_cache_stats().hits, 4u);
+  EXPECT_EQ(warm.trace_cache_stats().misses, 0u);
+  EXPECT_EQ(reports(cold), reports(warm));
 }
 
 }  // namespace

@@ -319,6 +319,33 @@ TEST(TraceCache, SweepsStaleTempFilesOnOpen) {
   EXPECT_TRUE(fs::exists(entry));  // real entries are never swept
 }
 
+TEST(TraceCache, SweepsStaleTempFilesOnEviction) {
+  // Regression: the sweep used to run only at open, so a daemon-lifetime
+  // cache accumulated orphans from crashed writers forever. The eviction
+  // pass (after every store) now doubles as the steady-state reaper.
+  const auto dir = test_dir("tmp_sweep_evict");
+  TraceCache cache(dir.string());  // unbounded: eviction never unlinks entries
+  const auto key = outdoor_key(1);
+  cache.store(key, *compile_outdoor(key));
+
+  // Orphans appear *after* open, as a crashed writer would leave them.
+  const fs::path stale = dir / "deadbeefdeadbeef.tmp.999.0";
+  const fs::path fresh = dir / "cafecafecafecafe.tmp.999.1";
+  std::ofstream(stale) << "x";
+  std::ofstream(fresh) << "x";
+  fs::last_write_time(stale,
+                      fs::file_time_type::clock::now() - std::chrono::hours(1));
+
+  const auto key2 = outdoor_key(2);
+  cache.store(key2, *compile_outdoor(key2));
+  EXPECT_FALSE(fs::exists(stale));  // reaped by the post-store pass
+  EXPECT_TRUE(fs::exists(fresh));   // could belong to a live writer
+  // Real entries are untouched by the sweep, even on an unbounded cache.
+  EXPECT_NE(cache.load(key), nullptr);
+  EXPECT_NE(cache.load(key2), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
 TEST(TraceCache, StoredMappedTraceRoundTripsAgain) {
   const auto dir_a = test_dir("rt_a");
   const auto dir_b = test_dir("rt_b");

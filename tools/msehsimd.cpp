@@ -1,0 +1,186 @@
+// msehsimd — the campaign-as-a-service daemon (see src/serve/daemon.hpp).
+//
+//   $ msehsimd --port 8080 --trace-cache-dir /var/cache/msehsim
+//   listening on 127.0.0.1:8080
+//
+//   $ curl -s localhost:8080/v1/campaign -d '{
+//       "platforms": ["system-a"],
+//       "scenarios": [{"name": "outdoor-2h", "kind": "outdoor",
+//                      "duration_s": 7200, "dt_s": 5}],
+//       "seeds": [1, 2]}'
+//   $ curl -s localhost:8080/metrics | msehsimd --lint
+//
+// SIGTERM/SIGINT drain gracefully: the listener closes, in-flight
+// campaigns finish and are answered, then the process exits 0. The
+// signal handler only writes one byte to a self-pipe — every unsafe
+// operation happens on the main thread (the long-lived-process rule:
+// no allocation, locking, or I/O beyond write(2) in a handler).
+//
+// `msehsimd --lint` is the CI smoke job's pipe target: it reads a scrape
+// body from stdin, runs obs::prometheus_lint, and exits nonzero with the
+// violation on stderr.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "core/error.hpp"
+#include "core/fmt.hpp"
+#include "obs/prometheus.hpp"
+#include "serve/daemon.hpp"
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+void on_shutdown_signal(int) {
+  const char byte = 1;
+  // Best-effort: a full pipe means a signal is already pending.
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+int lint_stdin() {
+  std::string body;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::read(STDIN_FILENO, chunk, sizeof(chunk))) != 0) {
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::perror("msehsimd --lint: read");
+      return 2;
+    }
+    body.append(chunk, static_cast<std::size_t>(n));
+  }
+  const std::string problem = msehsim::obs::prometheus_lint(body);
+  if (!problem.empty()) {
+    std::fprintf(stderr, "msehsimd --lint: %s\n", problem.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+unsigned long long parse_or_die(const char* flag, const char* text) {
+  const auto v = msehsim::parse_unsigned(text ? text : "");
+  if (!v.has_value()) {
+    std::fprintf(stderr, "msehsimd: %s wants an unsigned integer, got \"%s\"\n",
+                 flag, text ? text : "");
+    std::exit(2);
+  }
+  return *v;
+}
+
+void usage() {
+  std::fputs(
+      "usage: msehsimd [options]\n"
+      "       msehsimd --lint        # lint a /metrics scrape from stdin\n"
+      "  --bind ADDR                 bind address (default 127.0.0.1)\n"
+      "  --port N                    listen port (default 8080; 0 picks one)\n"
+      "  --http-workers N            connection workers (default 4)\n"
+      "  --campaign-threads N        threads per campaign (default hardware)\n"
+      "  --max-concurrent-campaigns N  parallel campaign runs (default 2)\n"
+      "  --max-body-bytes N          request body cap (default 1 MiB)\n"
+      "  --max-jobs N                grid-size cap per request (default 4096)\n"
+      "  --request-timeout-ms N      socket recv/send timeout (default 10000)\n"
+      "  --trace-cache-dir DIR       shared persistent trace cache (off)\n"
+      "  --trace-cache-max-bytes N   trace cache size cap (unbounded)\n"
+      "  --result-cache-entries N    memoized responses cap (default 1024)\n"
+      "  --result-cache-bytes N      memoized bytes cap (default 256 MiB)\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using msehsim::serve::Daemon;
+  using msehsim::serve::DaemonOptions;
+
+  if (argc == 2 && std::strcmp(argv[1], "--lint") == 0) return lint_stdin();
+
+  DaemonOptions options;
+  options.http.port = 8080;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "msehsimd: %s needs a value\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--help" || flag == "-h") {
+      usage();
+      return 0;
+    } else if (flag == "--bind") {
+      options.http.bind_address = value();
+    } else if (flag == "--port") {
+      options.http.port = static_cast<std::uint16_t>(
+          parse_or_die("--port", value()));
+    } else if (flag == "--http-workers") {
+      options.http.workers =
+          static_cast<unsigned>(parse_or_die("--http-workers", value()));
+    } else if (flag == "--campaign-threads") {
+      options.campaign_threads =
+          static_cast<unsigned>(parse_or_die("--campaign-threads", value()));
+    } else if (flag == "--max-concurrent-campaigns") {
+      options.max_concurrent_campaigns = static_cast<unsigned>(
+          parse_or_die("--max-concurrent-campaigns", value()));
+    } else if (flag == "--max-body-bytes") {
+      options.http.max_body_bytes = static_cast<std::size_t>(
+          parse_or_die("--max-body-bytes", value()));
+    } else if (flag == "--max-jobs") {
+      options.max_jobs = parse_or_die("--max-jobs", value());
+    } else if (flag == "--request-timeout-ms") {
+      const auto ms = parse_or_die("--request-timeout-ms", value());
+      options.http.recv_timeout_ms = static_cast<int>(ms);
+      options.http.send_timeout_ms = static_cast<int>(ms);
+    } else if (flag == "--trace-cache-dir") {
+      options.trace_cache_dir = value();
+    } else if (flag == "--trace-cache-max-bytes") {
+      options.trace_cache_max_bytes =
+          parse_or_die("--trace-cache-max-bytes", value());
+    } else if (flag == "--result-cache-entries") {
+      options.result_cache_entries = static_cast<std::size_t>(
+          parse_or_die("--result-cache-entries", value()));
+    } else if (flag == "--result-cache-bytes") {
+      options.result_cache_bytes =
+          parse_or_die("--result-cache-bytes", value());
+    } else {
+      std::fprintf(stderr, "msehsimd: unknown flag %s\n", flag.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::perror("msehsimd: pipe");
+    return 1;
+  }
+  struct sigaction sa{};
+  sa.sa_handler = on_shutdown_signal;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  try {
+    Daemon daemon(options);
+    daemon.start();
+    std::printf("listening on %s:%u\n", options.http.bind_address.c_str(),
+                static_cast<unsigned>(daemon.port()));
+    std::fflush(stdout);
+
+    // Park until a shutdown signal lands on the self-pipe.
+    char byte;
+    while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+    std::printf("draining...\n");
+    std::fflush(stdout);
+    daemon.stop();  // in-flight requests finish before this returns
+    std::printf("stopped\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "msehsimd: %s\n", e.what());
+    return 1;
+  }
+}
